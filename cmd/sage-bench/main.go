@@ -1,0 +1,73 @@
+// Command sage-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sage-bench -exp fig09,fig10          # specific experiments
+//	sage-bench -exp all -sizing quick    # the whole suite, bench-sized
+//	sage-bench -list                     # available experiments
+//
+// Expensive artifacts (the pool, the trained models) are built once per
+// process and shared across the requested experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sage/internal/exp"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		sizing   = flag.String("sizing", "quick", "experiment scale: quick|paper")
+		parallel = flag.Int("parallel", 0, "rollout workers (0 = NumCPU)")
+		seed     = flag.Int64("seed", 1, "global seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Suite() {
+			fmt.Printf("%-10s %s\n", e.ID, e.About)
+		}
+		return
+	}
+
+	var s exp.Sizing
+	switch *sizing {
+	case "quick":
+		s = exp.Quick()
+	case "paper":
+		s = exp.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sizing %q (want quick|paper)\n", *sizing)
+		os.Exit(2)
+	}
+	s.Parallel = *parallel
+	s.Seed = *seed
+	a := exp.NewArtifacts(s)
+
+	var ids []string
+	if *expFlag == "all" {
+		for _, e := range exp.Suite() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expFlag, ",")
+	}
+	for _, id := range ids {
+		e, err := exp.Find(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("\n### %s — %s\n", e.ID, e.About)
+		exp.RunAndPrint(e, a, os.Stdout)
+		fmt.Printf("[%s done in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,77 @@
+// Command sage-collect runs the Policy Collector: it rolls the kernel CC
+// schemes through the Set I / Set II environment grids and writes the pool
+// of policies to disk (phase 1 of Fig. 3). Collection happens once; training
+// afterwards never touches an environment.
+//
+// Usage:
+//
+//	sage-collect -out pool.gob.gz -level small -seti-dur 10s -setii-dur 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sage/internal/cc"
+	"sage/internal/collector"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/sim"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "pool.gob.gz", "output pool file")
+		level    = flag.String("level", "tiny", "grid density: tiny|small|full")
+		setIDur  = flag.Duration("seti-dur", 10*time.Second, "Set I scenario duration")
+		setIIDur = flag.Duration("setii-dur", 30*time.Second, "Set II scenario duration")
+		schemes  = flag.String("schemes", "", "comma-separated schemes (default: the 13-scheme pool)")
+		window   = flag.Int("window", 0, "uniform observation window (0 = the default 10/200/1000)")
+		parallel = flag.Int("parallel", 0, "workers (0 = NumCPU)")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	lvl, err := parseLevel(*level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	names := cc.PoolNames()
+	if *schemes != "" {
+		names = strings.Split(*schemes, ",")
+	}
+	grCfg := gr.Config{}
+	if *window > 0 {
+		grCfg = grCfg.WithUniformWindow(*window)
+	}
+	scens := append(
+		netem.SetI(netem.SetIOptions{Level: lvl, Duration: sim.FromSeconds(setIDur.Seconds()), Seed: *seed}),
+		netem.SetII(netem.SetIIOptions{Level: lvl, Duration: sim.FromSeconds(setIIDur.Seconds()), Seed: *seed})...)
+
+	fmt.Printf("collecting %d schemes x %d environments...\n", len(names), len(scens))
+	start := time.Now()
+	pool := collector.Collect(names, scens, collector.Options{GR: grCfg, Parallel: *parallel})
+	fmt.Printf("pool: %d trajectories, %d transitions (%s)\n",
+		len(pool.Trajs), pool.Transitions(), time.Since(start).Round(time.Second))
+	if err := pool.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func parseLevel(s string) (netem.GridLevel, error) {
+	switch s {
+	case "tiny":
+		return netem.GridTiny, nil
+	case "small":
+		return netem.GridSmall, nil
+	case "full":
+		return netem.GridFull, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want tiny|small|full)", s)
+}

@@ -1,0 +1,75 @@
+// Command sage-eval deploys a trained model (phase 3 of Fig. 3): it runs the
+// model — and optionally the heuristic league — over Set I / Set II
+// scenarios and reports scores and winning rates.
+//
+// Usage:
+//
+//	sage-eval -model sage.model                 # league vs the 13 heuristics
+//	sage-eval -model sage.model -scenario flat-24mbps-20ms-1bdp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sage/internal/cc"
+	"sage/internal/core"
+	"sage/internal/eval"
+	"sage/internal/netem"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "sage.model", "trained model file")
+		level     = flag.String("level", "tiny", "grid density: tiny|small|full")
+		setIDur   = flag.Duration("seti-dur", 10*time.Second, "Set I duration")
+		setIIDur  = flag.Duration("setii-dur", 30*time.Second, "Set II duration")
+		scenario  = flag.String("scenario", "", "run a single named scenario instead of the league")
+		margin    = flag.Float64("margin", 0.10, "winner margin")
+		alpha     = flag.Float64("alpha", 2, "power-score exponent")
+		parallel  = flag.Int("parallel", 0, "workers (0 = NumCPU)")
+		seed      = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	model, err := core.LoadModel(*modelPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	lvl := map[string]netem.GridLevel{"tiny": netem.GridTiny, "small": netem.GridSmall, "full": netem.GridFull}[*level]
+	setI := netem.SetI(netem.SetIOptions{Level: lvl, Duration: sim.FromSeconds(setIDur.Seconds()), Seed: *seed})
+	setII := netem.SetII(netem.SetIIOptions{Level: lvl, Duration: sim.FromSeconds(setIIDur.Seconds()), Seed: *seed})
+
+	sage := eval.ControllerEntrant("sage", func() rollout.Controller { return model.NewAgent(*seed) })
+
+	if *scenario != "" {
+		for _, sc := range append(setI, setII...) {
+			if sc.Name != *scenario {
+				continue
+			}
+			res := sage.Run(sc, rollout.Options{})
+			fmt.Printf("%s: thr %.2f Mb/s, avg RTT %.1f ms, loss %.3f%%, fair share %.2f Mb/s\n",
+				sc.Name, res.ThroughputBps/1e6, res.AvgRTT.Millis(), res.LossRate*100, res.FairShareBps/1e6)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "scenario %q not found\n", *scenario)
+		os.Exit(2)
+	}
+
+	entrants := []eval.Entrant{sage}
+	for _, n := range cc.PoolNames() {
+		entrants = append(entrants, eval.SchemeEntrant(n))
+	}
+	res := eval.RunLeague(entrants, setI, setII, eval.LeagueOptions{
+		Margin: *margin, Alpha: *alpha, Parallel: *parallel,
+	})
+	fmt.Printf("%-12s %12s %12s\n", "scheme", "setI", "setII")
+	for _, n := range res.RankingSingle() {
+		fmt.Printf("%-12s %11.1f%% %11.1f%%\n", n, res.RateSingle[n]*100, res.RateMulti[n]*100)
+	}
+}

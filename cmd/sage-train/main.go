@@ -1,0 +1,114 @@
+// Command sage-train runs the Core Learning block: offline CRR training on
+// a collected pool (phase 2 of Fig. 3). No network environment is touched.
+//
+// Usage:
+//
+//	sage-train -pool pool.gob.gz -out sage.model -steps 20000 -enc 128 -gru 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sage/internal/collector"
+	"sage/internal/core"
+	"sage/internal/gr"
+	"sage/internal/nn"
+	"sage/internal/rl"
+)
+
+func main() {
+	var (
+		poolPath  = flag.String("pool", "pool.gob.gz", "input pool file")
+		out       = flag.String("out", "sage.model", "output model file")
+		steps     = flag.Int("steps", 2000, "CRR gradient steps")
+		enc       = flag.Int("enc", 32, "encoder width")
+		gru       = flag.Int("gru", 16, "GRU width")
+		kMix      = flag.Int("gmm", 3, "GMM components")
+		atoms     = flag.Int("atoms", 21, "critic atoms")
+		mask      = flag.String("mask", "full", "input mask: full|no-minmax|no-rttvar|no-lossinf")
+		workers   = flag.Int("workers", 1, "data-parallel training workers")
+		seed      = flag.Int64("seed", 1, "seed")
+		logEvery  = flag.Int("log-every", 100, "progress period in steps")
+		ckpt      = flag.String("checkpoint", "", "checkpoint file (written every checkpoint-every steps; resumed from if present)")
+		ckptEvery = flag.Int("checkpoint-every", 1000, "checkpoint period in steps")
+	)
+	flag.Parse()
+
+	pool, err := collector.Load(*poolPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("pool: %d trajectories, %d transitions\n", len(pool.Trajs), pool.Transitions())
+
+	var m []int
+	switch *mask {
+	case "full":
+		m = nil
+	case "no-minmax":
+		m = gr.MaskNoMinMax()
+	case "no-rttvar":
+		m = gr.MaskNoRTTVar()
+	case "no-lossinf":
+		m = gr.MaskNoLossInflight()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mask %q\n", *mask)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		GR:   pool.GR,
+		Mask: m,
+		CRR: rl.CRRConfig{
+			Policy:  nn.PolicyConfig{Enc: *enc, Hidden: *gru, ResBlocks: 2, K: *kMix},
+			Critic:  nn.CriticConfig{Hidden: 2 * *enc, Atoms: *atoms},
+			Steps:   *steps,
+			Workers: *workers,
+			Seed:    *seed,
+		},
+	}
+	start := time.Now()
+	ds := rl.BuildDataset(pool, m)
+	var learner *rl.CRR
+	done := 0
+	if *ckpt != "" {
+		if resumed, steps, err := rl.LoadCheckpoint(*ckpt, ds); err == nil {
+			learner = resumed
+			done = steps
+			fmt.Printf("resumed %s at step %d\n", *ckpt, steps)
+		}
+	}
+	if learner == nil {
+		crr := cfg.CRR
+		learner = rl.NewCRR(ds, crr)
+	}
+	remaining := *steps - done
+	if remaining < 0 {
+		remaining = 0
+	}
+	learner.Cfg.Steps = remaining
+	learner.Train(ds, func(step int, cl, pl float64) {
+		abs := done + step
+		if abs%*logEvery == 0 {
+			fmt.Printf("step %6d  critic %.4f  policy %.4f  (%s)\n",
+				abs, cl, pl, time.Since(start).Round(time.Second))
+		}
+		if *ckpt != "" && abs%*ckptEvery == 0 {
+			if err := learner.SaveCheckpoint(*ckpt, abs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	})
+	model := &core.Model{Policy: learner.Policy, Mask: cfg.Mask, GR: cfg.GR.Fill()}
+	if model.Mask == nil {
+		model.Mask = gr.MaskFull()
+	}
+	if err := model.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (policy: %d params)\n", *out, nn.ParamCount(model.Policy))
+}

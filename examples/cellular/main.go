@@ -1,0 +1,42 @@
+// Cellular runs schemes over synthetic highly-variable cellular traces (the
+// Fig. 8c regime): Markov-modulated rates between 0.5 and 50 Mb/s with short
+// outages. Delay-oriented schemes should keep delay low at some throughput
+// cost; loss-based schemes fill the deep buffer.
+//
+// Run:
+//
+//	go run ./examples/cellular
+package main
+
+import (
+	"fmt"
+
+	"sage/internal/cc"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+	"sage/internal/trace"
+)
+
+func main() {
+	scens := trace.CellularScenarios(3, 20*sim.Second)
+	schemes := []string{"cubic", "bbr2", "vegas", "sprout", "c2tcp", "westwood"}
+	fmt.Println("scheme      trace        thr(Mb/s)  avg owd(ms)  max owd(ms)")
+	for _, name := range schemes {
+		for _, sc := range scens {
+			res := rollout.Run(sc, cc.MustNew(name), rollout.Options{})
+			fmt.Printf("%-10s  %-11s  %9.2f  %11.1f  %11.1f\n",
+				name, sc.Name, res.ThroughputBps/1e6, res.AvgOWD.Millis(),
+				owdMax(res))
+		}
+	}
+}
+
+func owdMax(res rollout.Result) float64 {
+	max := res.AvgOWD
+	for _, s := range res.Series {
+		if s.OWD > max {
+			max = s.OWD
+		}
+	}
+	return max.Millis()
+}

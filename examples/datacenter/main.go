@@ -1,0 +1,45 @@
+// Datacenter demonstrates the ECN substrate: DCTCP under step marking (the
+// K-threshold queue it was designed for) against Cubic on the same
+// bottleneck. DCTCP's proportional response to the marked fraction keeps
+// the queue — and therefore latency — a fraction of what the loss-driven
+// scheme needs, at equal throughput.
+//
+// Run:
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+
+	"sage/internal/cc"
+	"sage/internal/netem"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func main() {
+	run := func(scheme, qname string, q netem.Queue) {
+		loop := sim.NewLoop()
+		n := netem.New(loop, netem.Config{
+			Rate:   netem.FlatRate(netem.Mbps(100)),
+			MinRTT: 2 * sim.Millisecond, // datacenter-ish RTT
+			Queue:  q,
+		})
+		fl := tcp.NewFlow(loop, n, 1, cc.MustNew(scheme), tcp.Options{
+			MinRTO: 10 * sim.Millisecond, // datacenter RTO floor
+		})
+		fl.Conn.Start(0)
+		loop.RunUntil(10 * sim.Second)
+		thr := float64(fl.Sink.RxBytes) * 8 / 10
+		fmt.Printf("%-8s over %-10s thr %6.1f Mb/s   owd %6.2f ms   lost %5d   marks %5d\n",
+			scheme, qname, thr/1e6, fl.Sink.OWDAvg().Millis(),
+			fl.Conn.LostPkts(), fl.Conn.ECEPkts())
+	}
+	const buf = 1 << 20
+	fmt.Println("100 Mb/s bottleneck, 2 ms RTT:")
+	run("dctcp", "ECN(K=20)", netem.NewThresholdECN(buf, 20))
+	run("cubic", "ECN(K=20)", netem.NewThresholdECN(buf, 20))
+	run("dctcp", "PIE", netem.NewPIE(buf, 1))
+	run("cubic", "TDrop", netem.NewDropTail(buf))
+}

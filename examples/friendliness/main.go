@@ -1,0 +1,43 @@
+// Friendliness reproduces the flavour of the paper's Set II: each scheme
+// joins a bottleneck already carrying a Cubic flow (the Internet's default)
+// and the run reports how fairly the newcomer shares — the Sfr score and the
+// achieved fraction of the ideal fair share.
+//
+// Run:
+//
+//	go run ./examples/friendliness
+package main
+
+import (
+	"fmt"
+
+	"sage/internal/cc"
+	"sage/internal/eval"
+	"sage/internal/netem"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+)
+
+func main() {
+	mrtt := 40 * sim.Millisecond
+	sc := netem.Scenario{
+		Name:       "vs-cubic-24mbps",
+		Rate:       netem.FlatRate(netem.Mbps(24)),
+		MinRTT:     mrtt,
+		QueueBytes: 4 * netem.BDPBytes(netem.Mbps(24), mrtt),
+		Duration:   40 * sim.Second,
+		CubicFlows: 1,
+		TestStart:  4 * sim.Second,
+	}
+	fmt.Printf("bottleneck: 24 Mb/s, 40 ms RTT, 4-BDP buffer; Cubic arrives first\n")
+	fmt.Printf("ideal fair share: %.1f Mb/s\n\n", sc.FairShare()/1e6)
+	fmt.Println("scheme      scheme(Mb/s)  cubic(Mb/s)   Sfr    share")
+	for _, name := range []string{"cubic", "newreno", "vegas", "bbr2", "copa", "ledbat", "yeah", "vivace"} {
+		res := rollout.Run(sc, cc.MustNew(name), rollout.Options{})
+		sfr := eval.FriendlinessScore(res.ThroughputBps, res.FairShareBps)
+		fmt.Printf("%-10s  %11.2f  %11.2f  %5.2f  %5.1f%%\n",
+			name, res.ThroughputBps/1e6, res.BgThroughput[0]/1e6, sfr,
+			100*res.ThroughputBps/res.FairShareBps)
+	}
+	fmt.Println("\nSfr = |fair share − achieved| in Mb/s; smaller is friendlier.")
+}

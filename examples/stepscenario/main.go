@@ -1,0 +1,40 @@
+// Stepscenario reproduces the flavour of the paper's Fig. 17: it runs a set
+// of congestion-control schemes through a sudden bandwidth step (24→48 Mb/s)
+// and prints each scheme's throughput/delay trajectory, showing who discovers
+// the new capacity and how fast.
+//
+// Run:
+//
+//	go run ./examples/stepscenario
+package main
+
+import (
+	"fmt"
+
+	"sage/internal/cc"
+	"sage/internal/netem"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+)
+
+func main() {
+	mrtt := 20 * sim.Millisecond
+	sc := netem.Scenario{
+		Name:       "step-24to48",
+		Rate:       netem.StepRate(netem.Mbps(24), netem.Mbps(48), 10*sim.Second),
+		MinRTT:     mrtt,
+		QueueBytes: 450_000, // 300 packets, as in Fig. 17
+		Duration:   20 * sim.Second,
+	}
+	schemes := []string{"cubic", "bbr2", "vegas", "yeah", "vivace"}
+	for _, name := range schemes {
+		res := rollout.Run(sc, cc.MustNew(name), rollout.Options{SamplePeriod: 2 * sim.Second})
+		fmt.Printf("\n%s (overall: %.2f Mb/s, owd %.1f ms, loss %.2f%%)\n",
+			name, res.ThroughputBps/1e6, res.AvgOWD.Millis(), res.LossRate*100)
+		fmt.Println("   t(s)   thr(Mb/s)   owd(ms)   cwnd")
+		for _, s := range res.Series {
+			fmt.Printf("  %5.1f  %9.2f  %8.1f  %5.0f\n",
+				s.At.Seconds(), s.ThrBps/1e6, s.OWD.Millis(), s.Cwnd)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("bbr2", func() tcp.CongestionControl { return NewBBR2() }) }
+
+// bbrState is BBR's top-level state machine.
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+// BBR2 implements a faithful scaled-down TCP BBR v2 (Cardwell et al.):
+// a model-based scheme that paces at a gain-cycled multiple of the windowed
+// maximum delivery rate, bounds inflight by the estimated BDP, periodically
+// probes for the minimum RTT, and — the v2 addition — reacts to loss by
+// capping inflight at a headroom below the level that produced the loss.
+type BBR2 struct {
+	HighGain    float64 // startup pacing gain (2/ln2 ≈ 2.885)
+	DrainGain   float64 // 1/HighGain
+	CwndGain    float64 // 2.0
+	Beta        float64 // v2 loss response (0.7)
+	ProbeRTTGap sim.Time
+	ProbeRTTDur sim.Time
+
+	state       bbrState
+	btlBw       *tcp.WindowedFilter // bytes/second
+	minRTT      sim.Time
+	minRTTStamp sim.Time
+	fullBw      float64
+	fullBwCnt   int
+	round       rttClock
+	cycleIdx    int
+	cycleStamp  sim.Time
+	inflightHi  float64 // v2 loss-bounded inflight cap, in packets (0 = unset)
+	probeRTTEnd sim.Time
+	priorCwnd   float64
+}
+
+var bbrPacingGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// NewBBR2 returns BBR v2 with the reference constants.
+func NewBBR2() *BBR2 {
+	return &BBR2{
+		HighGain:    2.885,
+		DrainGain:   1 / 2.885,
+		CwndGain:    2.0,
+		Beta:        0.7,
+		ProbeRTTGap: 10 * sim.Second,
+		ProbeRTTDur: 200 * sim.Millisecond,
+		btlBw:       tcp.NewMaxFilter(2 * sim.Second),
+	}
+}
+
+// Name implements tcp.CongestionControl.
+func (*BBR2) Name() string { return "bbr2" }
+
+// Init implements tcp.CongestionControl.
+func (b *BBR2) Init(c *tcp.Conn) {
+	b.state = bbrStartup
+	c.PacingRate = float64(c.MSS()*10) / 0.001 // until the first rate sample
+}
+
+func (b *BBR2) bdpPkts(c *tcp.Conn) float64 {
+	bw := b.btlBw.Get()
+	if bw <= 0 || b.minRTT <= 0 {
+		return c.Cwnd
+	}
+	return bw * b.minRTT.Seconds() / float64(c.MSS())
+}
+
+// OnAck implements tcp.CongestionControl.
+func (b *BBR2) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	now := e.Now
+	if e.DeliveryRate > 0 {
+		b.btlBw.Update(now, e.DeliveryRate)
+	}
+	if e.RTT > 0 && (b.minRTT == 0 || e.RTT <= b.minRTT || now-b.minRTTStamp > b.ProbeRTTGap) {
+		b.minRTT = e.RTT
+		b.minRTTStamp = now
+	}
+	newRound := b.round.tick(now, e.SRTT)
+
+	switch b.state {
+	case bbrStartup:
+		if newRound {
+			bw := b.btlBw.Get()
+			if bw > b.fullBw*1.25 {
+				b.fullBw = bw
+				b.fullBwCnt = 0
+			} else {
+				b.fullBwCnt++
+				if b.fullBwCnt >= 3 {
+					b.state = bbrDrain
+				}
+			}
+		}
+	case bbrDrain:
+		if float64(e.Inflight) <= b.bdpPkts(c) {
+			b.enterProbeBW(now)
+		}
+	case bbrProbeBW:
+		b.advanceCycle(c, e)
+	case bbrProbeRTT:
+		if now >= b.probeRTTEnd {
+			b.minRTTStamp = now
+			b.enterProbeBW(now)
+			if b.priorCwnd > 0 {
+				c.SetCwnd(b.priorCwnd)
+			}
+		}
+	}
+
+	// Enter ProbeRTT when the min-RTT estimate has gone stale.
+	if b.state != bbrProbeRTT && b.minRTT > 0 && now-b.minRTTStamp > b.ProbeRTTGap {
+		b.state = bbrProbeRTT
+		b.probeRTTEnd = now + b.ProbeRTTDur
+		b.priorCwnd = c.Cwnd
+	}
+
+	b.applyModel(c, e)
+}
+
+func (b *BBR2) enterProbeBW(now sim.Time) {
+	b.state = bbrProbeBW
+	b.cycleIdx = 2 // start in cruise
+	b.cycleStamp = now
+}
+
+func (b *BBR2) advanceCycle(c *tcp.Conn, e tcp.AckEvent) {
+	phaseLen := b.minRTT
+	if phaseLen <= 0 {
+		phaseLen = e.SRTT
+	}
+	if e.Now-b.cycleStamp < phaseLen {
+		return
+	}
+	// Leave the 0.75 phase early once inflight has drained to the BDP.
+	if bbrPacingGains[b.cycleIdx] == 0.75 && float64(e.Inflight) > b.bdpPkts(c) {
+		return
+	}
+	b.cycleIdx = (b.cycleIdx + 1) % len(bbrPacingGains)
+	b.cycleStamp = e.Now
+	if bbrPacingGains[b.cycleIdx] == 1.25 {
+		// v2 probing raises the inflight cap, reclaiming headroom.
+		if b.inflightHi > 0 {
+			b.inflightHi *= 1.25
+		}
+	}
+}
+
+func (b *BBR2) applyModel(c *tcp.Conn, e tcp.AckEvent) {
+	bw := b.btlBw.Get()
+	if bw <= 0 {
+		return
+	}
+	var pacingGain, cwndGain float64
+	switch b.state {
+	case bbrStartup:
+		pacingGain, cwndGain = b.HighGain, b.HighGain
+	case bbrDrain:
+		pacingGain, cwndGain = b.DrainGain, b.HighGain
+	case bbrProbeBW:
+		pacingGain, cwndGain = bbrPacingGains[b.cycleIdx], b.CwndGain
+	case bbrProbeRTT:
+		c.PacingRate = bw
+		c.SetCwnd(4)
+		return
+	}
+	c.PacingRate = pacingGain * bw
+	cwnd := cwndGain * b.bdpPkts(c)
+	if b.inflightHi > 0 && cwnd > b.inflightHi {
+		cwnd = b.inflightHi
+	}
+	if cwnd < 4 {
+		cwnd = 4
+	}
+	c.SetCwnd(cwnd)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (b *BBR2) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	// v2 loss response: remember a bounded inflight and back off to Beta×.
+	hi := float64(c.InflightPkts()+lost) * b.Beta
+	if hi < 4 {
+		hi = 4
+	}
+	if b.inflightHi == 0 || hi < b.inflightHi {
+		b.inflightHi = hi
+	}
+	if b.state == bbrStartup {
+		b.state = bbrDrain
+	}
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (b *BBR2) OnRTO(c *tcp.Conn, now sim.Time) {
+	c.SetCwnd(4)
+	b.inflightHi = 0
+	b.fullBw, b.fullBwCnt = 0, 0
+	b.state = bbrStartup
+}

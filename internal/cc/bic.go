@@ -1,0 +1,89 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("bic", func() tcp.CongestionControl { return NewBIC() }) }
+
+// BIC implements Binary Increase Congestion control (Xu, Harfoush, Rhee
+// 2004): binary search toward the last loss point Wmax, linear "additive"
+// steps capped at SMax far from it, and max-probing beyond it.
+type BIC struct {
+	Beta      float64 // multiplicative decrease (0.8, Linux's 819/1024)
+	SMax      float64 // max per-RTT increment (32)
+	SMin      float64 // min per-RTT increment (0.01)
+	LowWindow float64 // below this behave like Reno (14)
+
+	wMax     float64
+	lastWMax float64
+}
+
+// NewBIC returns BIC with the Linux defaults.
+func NewBIC() *BIC { return &BIC{Beta: 0.8, SMax: 32, SMin: 0.01, LowWindow: 14} }
+
+// Name implements tcp.CongestionControl.
+func (*BIC) Name() string { return "bic" }
+
+// Init implements tcp.CongestionControl.
+func (b *BIC) Init(c *tcp.Conn) { b.wMax = 0 }
+
+// OnAck implements tcp.CongestionControl.
+func (b *BIC) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+		return
+	}
+	if c.Cwnd < b.LowWindow || b.wMax == 0 {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts)/c.Cwnd)
+		return
+	}
+	var inc float64 // per-RTT target increment
+	if c.Cwnd < b.wMax {
+		dist := (b.wMax - c.Cwnd) / 2 // binary search midpoint step
+		switch {
+		case dist > b.SMax:
+			inc = b.SMax
+		case dist < b.SMin:
+			inc = b.SMin
+		default:
+			inc = dist
+		}
+	} else {
+		// Max probing: slow start away from wMax, accelerating.
+		dist := c.Cwnd - b.wMax
+		switch {
+		case dist < b.SMax:
+			inc = b.SMin + dist/2
+		default:
+			inc = b.SMax
+		}
+	}
+	c.SetCwnd(c.Cwnd + inc*float64(e.AckedPkts)/c.Cwnd)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (b *BIC) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	// Fast convergence.
+	if c.Cwnd < b.lastWMax {
+		b.lastWMax = c.Cwnd * (2 - b.Beta) / 2
+	} else {
+		b.lastWMax = c.Cwnd
+	}
+	b.wMax = b.lastWMax
+	if c.Cwnd <= b.LowWindow {
+		multiplicativeLoss(c, 0.5)
+		return
+	}
+	multiplicativeLoss(c, b.Beta)
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (b *BIC) OnRTO(c *tcp.Conn, now sim.Time) {
+	b.wMax = 0
+	rtoCollapse(c)
+}

@@ -1,0 +1,63 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("c2tcp", func() tcp.CongestionControl { return NewC2TCP() }) }
+
+// C2TCP implements Cellular Controlled-delay TCP (Abbasloo et al. 2018/19):
+// an add-on that lets an underlying loss-based scheme (Cubic here, as in the
+// reference design) run unchanged while delay is below a setpoint, and cuts
+// the window proportionally whenever packets exceed the target delay —
+// bounding delay without modelling the link.
+type C2TCP struct {
+	Alpha float64 // setpoint multiplier over minRTT (the paper's knob)
+
+	inner    *Cubic
+	interval rttClock
+	sumRTT   sim.Time
+	cntRTT   int
+}
+
+// NewC2TCP returns C2TCP wrapping Cubic with setpoint α=1.6·minRTT.
+func NewC2TCP() *C2TCP { return &C2TCP{Alpha: 1.6, inner: NewCubic()} }
+
+// Name implements tcp.CongestionControl.
+func (*C2TCP) Name() string { return "c2tcp" }
+
+// Init implements tcp.CongestionControl.
+func (t *C2TCP) Init(c *tcp.Conn) { t.inner.Init(c) }
+
+// OnAck implements tcp.CongestionControl.
+func (t *C2TCP) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	t.inner.OnAck(c, e)
+	t.sumRTT += e.RTT
+	t.cntRTT++
+	if !t.interval.tick(e.Now, e.SRTT) || t.cntRTT == 0 {
+		return
+	}
+	avg := t.sumRTT / sim.Time(t.cntRTT)
+	t.sumRTT, t.cntRTT = 0, 0
+	base := c.BaseRTT()
+	if base <= 0 {
+		return
+	}
+	setpoint := sim.Time(float64(base) * t.Alpha)
+	if avg > setpoint {
+		// The condition fired: scale the window down toward the setpoint.
+		f := float64(setpoint) / float64(avg)
+		c.SetCwnd(c.Cwnd * f)
+		if c.Cwnd < 2 {
+			c.SetCwnd(2)
+		}
+		c.Ssthresh = c.Cwnd
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (t *C2TCP) OnLoss(c *tcp.Conn, lost int, now sim.Time) { t.inner.OnLoss(c, lost, now) }
+
+// OnRTO implements tcp.CongestionControl.
+func (t *C2TCP) OnRTO(c *tcp.Conn, now sim.Time) { t.inner.OnRTO(c, now) }

@@ -1,0 +1,121 @@
+// Package cc implements the congestion-control algorithms of the paper's
+// pool of policies (13 kernel schemes: Westwood, Cubic, Vegas, YeAH, BBR2,
+// NewReno, Illinois, Veno, HighSpeed, CDG, HTCP, BIC, Hybla) plus the
+// delay-based league (Copa, C2TCP, LEDBAT, Sprout). Each scheme is a
+// from-scratch port of the published algorithm onto the tcp.CongestionControl
+// hook surface, the same way kernel modules implement tcp_congestion_ops.
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// Factory builds a fresh congestion-control instance. Schemes keep per-flow
+// state, so every flow needs its own instance.
+type Factory func() tcp.CongestionControl
+
+var registry = map[string]Factory{}
+
+// Register adds a scheme factory under name. It panics on duplicates so a
+// wiring mistake fails loudly at init time.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("cc: duplicate registration of " + name)
+	}
+	registry[name] = f
+}
+
+// New returns a fresh instance of the named scheme.
+func New(name string) (tcp.CongestionControl, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cc: unknown scheme %q", name)
+	}
+	return f(), nil
+}
+
+// MustNew is New for known-good names; it panics on error.
+func MustNew(name string) tcp.CongestionControl {
+	c, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names returns every registered scheme, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PoolNames returns the paper's 13-scheme pool of policies (Section 5).
+func PoolNames() []string {
+	return []string{"westwood", "cubic", "vegas", "yeah", "bbr2", "newreno",
+		"illinois", "veno", "highspeed", "cdg", "htcp", "bic", "hybla"}
+}
+
+// DelayLeagueNames returns the delay-based league of Section 6.3.
+func DelayLeagueNames() []string {
+	return []string{"bbr2", "copa", "c2tcp", "ledbat", "vegas", "sprout"}
+}
+
+// ---- shared helpers ----
+
+// slowStart reports whether the connection is below ssthresh.
+func slowStart(c *tcp.Conn) bool { return c.Cwnd < c.Ssthresh }
+
+// renoAck applies the standard NewReno window growth for one ACK when the
+// connection is in the Open state.
+func renoAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+		return
+	}
+	c.SetCwnd(c.Cwnd + float64(e.AckedPkts)/c.Cwnd)
+}
+
+// multiplicativeLoss applies ssthresh = max(cwnd*beta, 2) and deflates cwnd.
+func multiplicativeLoss(c *tcp.Conn, beta float64) {
+	ss := c.Cwnd * beta
+	if ss < 2 {
+		ss = 2
+	}
+	c.Ssthresh = ss
+	c.SetCwnd(ss)
+}
+
+// rtoCollapse applies the standard timeout response.
+func rtoCollapse(c *tcp.Conn) {
+	ss := c.Cwnd / 2
+	if ss < 2 {
+		ss = 2
+	}
+	c.Ssthresh = ss
+	c.SetCwnd(1)
+}
+
+// rttClock triggers once per smoothed RTT, for schemes with per-RTT logic.
+type rttClock struct{ next sim.Time }
+
+func (r *rttClock) tick(now, srtt sim.Time) bool {
+	if srtt <= 0 {
+		return false
+	}
+	if now < r.next {
+		return false
+	}
+	r.next = now + srtt
+	return true
+}

@@ -1,0 +1,128 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("cdg", func() tcp.CongestionControl { return NewCDG(1) }) }
+
+// CDG implements CAIA Delay-Gradient TCP (Hayes & Armitage 2011): per-RTT
+// gradients of the minimum and maximum RTT drive a probabilistic backoff
+// P = 1 − exp(−g/G), while a Reno "shadow window" preserves competitiveness
+// with loss-based flows after losses.
+type CDG struct {
+	G       float64 // backoff scaling in ms of gradient (3)
+	Backoff float64 // multiplicative backoff factor (0.7)
+	Window  int     // gradient moving-average length (8)
+
+	rng       *rand.Rand
+	clock     rttClock
+	minRTT    sim.Time
+	maxRTT    sim.Time
+	prevMin   sim.Time
+	prevMax   sim.Time
+	gMinHist  []float64
+	gMaxHist  []float64
+	shadowWnd float64
+}
+
+// NewCDG returns CDG with the paper's G=3, backoff 0.7 and an 8-sample
+// gradient average. The seed drives the probabilistic backoff.
+func NewCDG(seed int64) *CDG {
+	return &CDG{G: 3, Backoff: 0.7, Window: 8, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements tcp.CongestionControl.
+func (*CDG) Name() string { return "cdg" }
+
+// Init implements tcp.CongestionControl.
+func (d *CDG) Init(c *tcp.Conn) { d.shadowWnd = c.Cwnd }
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// OnAck implements tcp.CongestionControl.
+func (d *CDG) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if d.minRTT == 0 || e.RTT < d.minRTT {
+		d.minRTT = e.RTT
+	}
+	if e.RTT > d.maxRTT {
+		d.maxRTT = e.RTT
+	}
+	if d.clock.tick(e.Now, e.SRTT) {
+		if d.prevMin > 0 {
+			gMin := (d.minRTT - d.prevMin).Millis()
+			gMax := (d.maxRTT - d.prevMax).Millis()
+			d.gMinHist = append(d.gMinHist, gMin)
+			d.gMaxHist = append(d.gMaxHist, gMax)
+			if len(d.gMinHist) > d.Window {
+				d.gMinHist = d.gMinHist[1:]
+				d.gMaxHist = d.gMaxHist[1:]
+			}
+			g := avg(d.gMinHist)
+			if gm := avg(d.gMaxHist); gm > g {
+				g = gm
+			}
+			if g > 0 && e.State == tcp.StateOpen {
+				p := 1 - math.Exp(-g/d.G)
+				if d.rng.Float64() < p {
+					// Delay-gradient backoff; the shadow window remembers
+					// what Reno would have kept.
+					if c.Cwnd > d.shadowWnd {
+						d.shadowWnd = c.Cwnd
+					}
+					c.Ssthresh = c.Cwnd * d.Backoff
+					c.SetCwnd(c.Cwnd * d.Backoff)
+				}
+			}
+		}
+		d.prevMin, d.prevMax = d.minRTT, d.maxRTT
+		d.minRTT, d.maxRTT = 0, 0
+	}
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+	} else {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts)/c.Cwnd)
+	}
+	// The shadow window grows like Reno regardless of delay backoffs.
+	if d.shadowWnd > 0 {
+		d.shadowWnd += float64(e.AckedPkts) / d.shadowWnd
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (d *CDG) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	// Use the shadow window so prior delay backoffs are not punished twice.
+	w := c.Cwnd
+	if d.shadowWnd > w {
+		w = d.shadowWnd
+	}
+	ss := w / 2
+	if ss < 2 {
+		ss = 2
+	}
+	c.Ssthresh = ss
+	c.SetCwnd(ss)
+	d.shadowWnd = ss
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (d *CDG) OnRTO(c *tcp.Conn, now sim.Time) {
+	d.shadowWnd = 2
+	rtoCollapse(c)
+}

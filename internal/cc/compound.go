@@ -1,0 +1,97 @@
+package cc
+
+import (
+	"math"
+
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("compound", func() tcp.CongestionControl { return NewCompound() }) }
+
+// Compound implements Compound TCP (Tan et al., INFOCOM 2006): the send
+// window is the sum of a loss-based component (Reno's cwnd) and a
+// delay-based component dwnd that grows aggressively while the path is
+// uncongested (a Vegas-style backlog estimate stays below γ) and retreats
+// as the queue builds — filling large-BDP pipes without abandoning Reno's
+// fairness.
+type Compound struct {
+	Alpha float64 // dwnd growth scaling (1/8)
+	Beta  float64 // dwnd backlog retreat factor (1/2)
+	K     float64 // growth exponent (3/4)
+	Gamma float64 // backlog threshold in packets (30)
+
+	dwnd   float64
+	lwnd   float64 // the Reno component
+	clock  rttClock
+	minRTT sim.Time
+}
+
+// NewCompound returns Compound TCP with the paper's α=1/8, β=1/2, k=3/4.
+func NewCompound() *Compound { return &Compound{Alpha: 0.125, Beta: 0.5, K: 0.75, Gamma: 30} }
+
+// Name implements tcp.CongestionControl.
+func (*Compound) Name() string { return "compound" }
+
+// Init implements tcp.CongestionControl.
+func (cp *Compound) Init(c *tcp.Conn) { cp.lwnd = c.Cwnd }
+
+func (cp *Compound) apply(c *tcp.Conn) {
+	if cp.lwnd < 2 {
+		cp.lwnd = 2
+	}
+	if cp.dwnd < 0 {
+		cp.dwnd = 0
+	}
+	c.SetCwnd(cp.lwnd + cp.dwnd)
+}
+
+// OnAck implements tcp.CongestionControl.
+func (cp *Compound) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if cp.minRTT == 0 || e.RTT < cp.minRTT {
+		cp.minRTT = e.RTT
+	}
+	// Loss component: standard Reno growth.
+	if slowStart(c) {
+		cp.lwnd += float64(e.AckedPkts)
+		cp.apply(c)
+		return
+	}
+	cp.lwnd += float64(e.AckedPkts) / (cp.lwnd + cp.dwnd)
+
+	// Delay component, once per RTT.
+	if cp.clock.tick(e.Now, e.SRTT) {
+		rtt, base := cp.minRTT, c.BaseRTT()
+		cp.minRTT = 0
+		if rtt > 0 && base > 0 {
+			wnd := cp.lwnd + cp.dwnd
+			diff := wnd * float64(rtt-base) / float64(rtt)
+			if diff < cp.Gamma {
+				// Uncongested: binomial growth α·w^k per RTT.
+				cp.dwnd += cp.Alpha * math.Pow(wnd, cp.K)
+			} else {
+				// Queue building: retreat proportionally to the backlog.
+				cp.dwnd -= cp.Beta * diff
+			}
+		}
+	}
+	cp.apply(c)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (cp *Compound) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	cp.lwnd /= 2
+	cp.dwnd *= 0.5 // the paper halves dwnd on loss as well
+	cp.apply(c)
+	c.Ssthresh = c.Cwnd
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (cp *Compound) OnRTO(c *tcp.Conn, now sim.Time) {
+	cp.lwnd = 1
+	cp.dwnd = 0
+	rtoCollapse(c)
+}

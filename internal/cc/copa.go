@@ -1,0 +1,131 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("copa", func() tcp.CongestionControl { return NewCopa() }) }
+
+// Copa implements Copa (Arun & Balakrishnan, NSDI 2018): it targets the rate
+// λ = 1/(δ·dq) where dq is the standing queueing delay, moves the window
+// toward the target with velocity doubling, and switches to a competitive
+// mode (shrinking δ) when a buffer-filling competitor prevents the queue
+// from draining.
+type Copa struct {
+	DeltaDefault float64 // 0.5 in default mode
+	DeltaMin     float64 // competitive-mode floor (0.04)
+
+	delta      float64
+	velocity   float64
+	direction  int // +1 up, -1 down
+	dirRounds  int
+	clock      rttClock
+	standing   *tcp.WindowedFilter // standing RTT: windowed min over srtt/2
+	nearEmpty  bool
+	emptyClock rttClock
+}
+
+// NewCopa returns Copa with the paper's δ=0.5 default mode.
+func NewCopa() *Copa {
+	return &Copa{
+		DeltaDefault: 0.5,
+		DeltaMin:     0.04,
+		delta:        0.5,
+		velocity:     1,
+		direction:    1,
+		standing:     tcp.NewMinFilter(100 * sim.Millisecond),
+	}
+}
+
+// Name implements tcp.CongestionControl.
+func (*Copa) Name() string { return "copa" }
+
+// Init implements tcp.CongestionControl.
+func (cp *Copa) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (cp *Copa) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.RTT <= 0 || e.SRTT <= 0 {
+		return
+	}
+	cp.standing.Window = e.SRTT / 2
+	if cp.standing.Window < sim.Millisecond {
+		cp.standing.Window = sim.Millisecond
+	}
+	standingRTT := sim.Time(cp.standing.Update(e.Now, float64(e.RTT)))
+	base := c.BaseRTT()
+	dq := standingRTT - base
+	if dq < 0 {
+		dq = 0
+	}
+	// Track whether the queue nearly drains once per ~5 RTT: if it never
+	// does, a buffer-filler is present -> competitive mode.
+	if dq < base/10+sim.Millisecond {
+		cp.nearEmpty = true
+	}
+	if cp.emptyClock.tick(e.Now, 5*e.SRTT) {
+		if cp.nearEmpty {
+			cp.delta = cp.DeltaDefault
+		} else {
+			cp.delta = cp.delta / 2
+			if cp.delta < cp.DeltaMin {
+				cp.delta = cp.DeltaMin
+			}
+		}
+		cp.nearEmpty = false
+	}
+
+	// Target rate in packets/second; compare against current rate.
+	var targetRate float64
+	if dq <= 0 {
+		targetRate = 2 * c.Cwnd / e.SRTT.Seconds() // queue empty: push up
+	} else {
+		targetRate = 1 / (cp.delta * dq.Seconds())
+	}
+	curRate := c.Cwnd / e.SRTT.Seconds()
+
+	dir := 1
+	if curRate > targetRate {
+		dir = -1
+	}
+	if cp.clock.tick(e.Now, e.SRTT) {
+		if dir == cp.direction {
+			cp.dirRounds++
+			if cp.dirRounds >= 3 {
+				cp.velocity *= 2
+			}
+		} else {
+			cp.direction = dir
+			cp.dirRounds = 0
+			cp.velocity = 1
+		}
+		if cp.velocity > c.Cwnd {
+			cp.velocity = c.Cwnd
+		}
+	}
+	step := cp.velocity / (cp.delta * c.Cwnd) * float64(e.AckedPkts)
+	if dir > 0 {
+		c.SetCwnd(c.Cwnd + step)
+	} else {
+		c.SetCwnd(c.Cwnd - step)
+	}
+	if c.Cwnd < 2 {
+		c.SetCwnd(2)
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (cp *Copa) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	// Copa reduces via 1/(2δ)-style backoff only on heavy loss; mirror the
+	// reference implementation's cwnd/2 on loss episodes.
+	multiplicativeLoss(c, 0.5)
+	cp.velocity = 1
+	cp.dirRounds = 0
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (cp *Copa) OnRTO(c *tcp.Conn, now sim.Time) {
+	rtoCollapse(c)
+	cp.velocity = 1
+}

@@ -1,0 +1,141 @@
+package cc
+
+import (
+	"math"
+
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("cubic", func() tcp.CongestionControl { return NewCubic() }) }
+
+// Cubic implements CUBIC (Ha, Rhee, Xu 2008 / RFC 8312): the congestion
+// window follows W(t) = C(t−K)³ + Wmax after a loss, with a TCP-friendly
+// region and fast convergence. It is the default scheme on most platforms
+// and the background traffic of every Set II scenario.
+type Cubic struct {
+	C    float64 // scaling constant (0.4)
+	Beta float64 // multiplicative decrease (0.7)
+	// HyStart enables the hybrid slow-start delay-increase detector
+	// (Ha & Rhee 2011), on by default as in Linux: slow start exits before
+	// the first loss when the per-round minimum RTT rises by ≥ max(2 ms,
+	// baseRTT/8) over the previous round.
+	HyStart bool
+
+	wMax       float64
+	wLastMax   float64
+	k          float64
+	epochStart sim.Time
+	ackCnt     float64
+	wEst       float64 // TCP-friendly (Reno-emulation) window
+
+	hsRound   rttClock
+	hsCurMin  sim.Time
+	hsPrevMin sim.Time
+	hsExited  bool
+}
+
+// NewCubic returns a CUBIC instance with the RFC 8312 constants and
+// HyStart enabled.
+func NewCubic() *Cubic { return &Cubic{C: 0.4, Beta: 0.7, HyStart: true} }
+
+// Name implements tcp.CongestionControl.
+func (*Cubic) Name() string { return "cubic" }
+
+// Init implements tcp.CongestionControl.
+func (cu *Cubic) Init(c *tcp.Conn) { cu.reset() }
+
+func (cu *Cubic) reset() {
+	cu.epochStart = -1
+	cu.wMax = 0
+	cu.k = 0
+	cu.ackCnt = 0
+	cu.wEst = 0
+}
+
+// OnAck implements tcp.CongestionControl.
+func (cu *Cubic) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		if cu.HyStart && !cu.hsExited {
+			cu.hystartCheck(c, e)
+		}
+		if slowStart(c) {
+			c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+			return
+		}
+	}
+	if cu.epochStart < 0 {
+		cu.epochStart = e.Now
+		if cu.wMax < c.Cwnd {
+			cu.wMax = c.Cwnd
+			cu.k = 0
+		} else {
+			cu.k = math.Cbrt(cu.wMax * (1 - cu.Beta) / cu.C)
+		}
+		cu.ackCnt = 0
+		cu.wEst = c.Cwnd
+	}
+	t := (e.Now - cu.epochStart).Seconds()
+	target := cu.C*math.Pow(t-cu.k, 3) + cu.wMax
+
+	// TCP-friendly region (RFC 8312 §4.2).
+	cu.ackCnt += float64(e.AckedPkts)
+	if e.SRTT > 0 {
+		inc := 3 * (1 - cu.Beta) / (1 + cu.Beta) * cu.ackCnt / c.Cwnd
+		cu.wEst += inc
+		cu.ackCnt = 0
+	}
+	if cu.wEst > target {
+		target = cu.wEst
+	}
+	if target > c.Cwnd {
+		c.SetCwnd(c.Cwnd + (target-c.Cwnd)/c.Cwnd)
+	} else {
+		c.SetCwnd(c.Cwnd + 0.01/c.Cwnd) // minimal growth in the concave plateau
+	}
+}
+
+// hystartCheck runs the delay-increase detector once per round.
+func (cu *Cubic) hystartCheck(c *tcp.Conn, e tcp.AckEvent) {
+	if cu.hsCurMin == 0 || e.RTT < cu.hsCurMin {
+		cu.hsCurMin = e.RTT
+	}
+	if !cu.hsRound.tick(e.Now, e.SRTT) {
+		return
+	}
+	if cu.hsPrevMin > 0 && cu.hsCurMin > 0 {
+		thresh := cu.hsPrevMin / 8
+		if thresh < 2*sim.Millisecond {
+			thresh = 2 * sim.Millisecond
+		}
+		if cu.hsCurMin >= cu.hsPrevMin+thresh && c.Cwnd >= 16 {
+			// Queue is building: leave slow start before the overshoot.
+			c.Ssthresh = c.Cwnd
+			cu.hsExited = true
+		}
+	}
+	cu.hsPrevMin = cu.hsCurMin
+	cu.hsCurMin = 0
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (cu *Cubic) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	cu.epochStart = -1
+	// Fast convergence: release bandwidth faster when the loss point drops.
+	if c.Cwnd < cu.wLastMax {
+		cu.wLastMax = c.Cwnd * (2 - cu.Beta) / 2
+	} else {
+		cu.wLastMax = c.Cwnd
+	}
+	cu.wMax = cu.wLastMax
+	multiplicativeLoss(c, cu.Beta)
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (cu *Cubic) OnRTO(c *tcp.Conn, now sim.Time) {
+	cu.reset()
+	rtoCollapse(c)
+}

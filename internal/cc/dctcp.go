@@ -1,0 +1,70 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("dctcp", func() tcp.CongestionControl { return NewDCTCP() }) }
+
+// DCTCP implements Data Center TCP (Alizadeh et al., SIGCOMM 2010): the
+// sender enables ECN, estimates the fraction α of marked packets per RTT
+// with an EWMA, and scales its window down by α/2 — a congestion response
+// proportional to the *extent* of congestion rather than its mere presence.
+// It needs a marking AQM (CoDel/PIE with ECT packets) at the bottleneck.
+type DCTCP struct {
+	G float64 // EWMA gain (1/16)
+
+	alpha    float64
+	ackTotal int
+	ackMarks int
+	clock    rttClock
+	cutThis  bool // already reduced for the current window of marks
+}
+
+// NewDCTCP returns DCTCP with the paper's g = 1/16.
+func NewDCTCP() *DCTCP { return &DCTCP{G: 1.0 / 16} }
+
+// Name implements tcp.CongestionControl.
+func (*DCTCP) Name() string { return "dctcp" }
+
+// Init implements tcp.CongestionControl.
+func (d *DCTCP) Init(c *tcp.Conn) { c.EnableECN() }
+
+// Alpha returns the current marked-fraction estimate.
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+// OnAck implements tcp.CongestionControl.
+func (d *DCTCP) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	d.ackTotal += e.AckedPkts
+	if e.ECE {
+		d.ackMarks += e.AckedPkts
+	}
+	if d.clock.tick(e.Now, e.SRTT) && d.ackTotal > 0 {
+		f := float64(d.ackMarks) / float64(d.ackTotal)
+		d.alpha = (1-d.G)*d.alpha + d.G*f
+		if d.ackMarks > 0 {
+			// Proportional multiplicative decrease, once per RTT.
+			ss := c.Cwnd * (1 - d.alpha/2)
+			if ss < 2 {
+				ss = 2
+			}
+			c.Ssthresh = ss
+			c.SetCwnd(ss)
+			d.cutThis = true
+		} else {
+			d.cutThis = false
+		}
+		d.ackTotal, d.ackMarks = 0, 0
+	}
+	if e.State != tcp.StateOpen || (e.ECE && d.cutThis) {
+		return
+	}
+	renoAck(c, e)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (d *DCTCP) OnLoss(c *tcp.Conn, lost int, now sim.Time) { multiplicativeLoss(c, 0.5) }
+
+// OnRTO implements tcp.CongestionControl.
+func (d *DCTCP) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

@@ -1,0 +1,194 @@
+package cc
+
+import (
+	"testing"
+
+	"sage/internal/netem"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// ecnScenario builds a bottleneck with a marking AQM (CoDel).
+func ecnScenario(bwMbps float64, dur sim.Time) (*sim.Loop, *netem.Network, netem.Queue) {
+	loop := sim.NewLoop()
+	q := netem.NewCoDel(1 << 20)
+	n := netem.New(loop, netem.Config{
+		Rate:   netem.FlatRate(netem.Mbps(bwMbps)),
+		MinRTT: 20 * sim.Millisecond,
+		Queue:  q,
+	})
+	return loop, n, q
+}
+
+func TestDCTCPReceivesMarksNotDrops(t *testing.T) {
+	loop, n, q := ecnScenario(24, 0)
+	fl := tcp.NewFlow(loop, n, 1, MustNew("dctcp"), tcp.Options{})
+	fl.Conn.Start(0)
+	loop.RunUntil(10 * sim.Second)
+	if fl.Conn.ECEPkts() == 0 {
+		t.Fatal("DCTCP never saw an ECN mark under CoDel")
+	}
+	if q.(*netem.CoDel).Marks() == 0 {
+		t.Fatal("CoDel never marked")
+	}
+	// With ECT packets, congestion is signalled by marks; losses must be
+	// rare compared to marks.
+	if fl.Conn.LostPkts() > fl.Conn.ECEPkts() {
+		t.Fatalf("drops (%d) exceed marks (%d) despite ECN", fl.Conn.LostPkts(), fl.Conn.ECEPkts())
+	}
+	// DCTCP must still utilize the link.
+	thr := float64(fl.Sink.RxBytes) * 8 / 10
+	if thr < 0.7*24e6 {
+		t.Fatalf("dctcp throughput %.2f Mb/s", thr/1e6)
+	}
+	// And keep the queue (hence delay) low thanks to proportional cuts —
+	// measured over the second half, past the slow-start overshoot.
+	bytesHalf, pktsHalf, owdHalf := fl.Sink.Totals()
+	_ = bytesHalf
+	loop.RunUntil(20 * sim.Second)
+	bytesEnd, pktsEnd, owdEnd := fl.Sink.Totals()
+	_ = bytesEnd
+	if dp := pktsEnd - pktsHalf; dp > 0 {
+		steadyOWD := (owdEnd - owdHalf) / sim.Time(dp)
+		if steadyOWD > 40*sim.Millisecond {
+			t.Fatalf("dctcp steady owd %v too high for a marking AQM", steadyOWD)
+		}
+	}
+}
+
+func TestDCTCPAlphaTracksCongestion(t *testing.T) {
+	loop, n, _ := ecnScenario(12, 0)
+	d := NewDCTCP()
+	fl := tcp.NewFlow(loop, n, 1, d, tcp.Options{})
+	fl.Conn.Start(0)
+	loop.RunUntil(8 * sim.Second)
+	if d.Alpha() <= 0 || d.Alpha() > 1 {
+		t.Fatalf("alpha = %v", d.Alpha())
+	}
+}
+
+func TestNonECNFlowStillDropsUnderCoDel(t *testing.T) {
+	loop, n, q := ecnScenario(12, 0)
+	fl := tcp.NewFlow(loop, n, 1, MustNew("cubic"), tcp.Options{})
+	fl.Conn.Start(0)
+	loop.RunUntil(8 * sim.Second)
+	if q.(*netem.CoDel).Marks() != 0 {
+		t.Fatal("CoDel marked non-ECT packets")
+	}
+	if fl.Conn.LostPkts() == 0 {
+		t.Fatal("cubic saw no CoDel drops")
+	}
+}
+
+func TestDelayedAcksHalveAckCount(t *testing.T) {
+	run := func(delack bool) (*tcp.Flow, int64) {
+		loop := sim.NewLoop()
+		n := netem.New(loop, netem.Config{
+			Rate:   netem.FlatRate(netem.Mbps(24)),
+			MinRTT: 20 * sim.Millisecond,
+			Queue:  netem.NewDropTail(1 << 20),
+		})
+		fl := tcp.NewFlow(loop, n, 1, MustNew("cubic"), tcp.Options{DelAck: delack})
+		fl.Conn.Start(0)
+		loop.RunUntil(5 * sim.Second)
+		return fl, fl.Sink.AcksTx
+	}
+	flNo, acksNo := run(false)
+	flYes, acksYes := run(true)
+	if acksYes >= acksNo*3/4 {
+		t.Fatalf("delayed acks did not coalesce: %d vs %d", acksYes, acksNo)
+	}
+	// Throughput must not collapse with delayed ACKs.
+	if flYes.Sink.RxBytes < flNo.Sink.RxBytes/2 {
+		t.Fatalf("delack throughput collapsed: %d vs %d bytes", flYes.Sink.RxBytes, flNo.Sink.RxBytes)
+	}
+	// Packet conservation still holds with batched ACKs.
+	c := flYes.Conn
+	if c.SentPkts() != c.DeliveredPkts()+c.LostPkts()-c.SpuriousRetrans()+int64(c.InflightPkts()) {
+		t.Fatal("conservation broke with delayed ACKs")
+	}
+}
+
+func TestCompoundBeatsRenoOnLossyLargeBDP(t *testing.T) {
+	// 96 Mb/s x 160 ms with light random loss: Reno's AIMD window collapses
+	// far below the BDP; Compound's delay component keeps the pipe full as
+	// long as no queue builds.
+	run := func(name string) float64 {
+		loop := sim.NewLoop()
+		rate := netem.FlatRate(netem.Mbps(96))
+		mrtt := 160 * sim.Millisecond
+		n := netem.New(loop, netem.Config{
+			Rate: rate, MinRTT: mrtt,
+			Queue:    netem.NewDropTail(netem.BDPBytes(rate.At(0), mrtt)),
+			LossProb: 1e-4, Seed: 7,
+		})
+		fl := tcp.NewFlow(loop, n, 1, MustNew(name), tcp.Options{})
+		fl.Conn.Start(0)
+		loop.RunUntil(30 * sim.Second)
+		return float64(fl.Sink.RxBytes) * 8 / 30
+	}
+	comp, reno := run("compound"), run("newreno")
+	if comp <= 1.5*reno {
+		t.Fatalf("compound %.2f vs reno %.2f Mb/s on lossy large BDP", comp/1e6, reno/1e6)
+	}
+}
+
+func TestScalableRecovery(t *testing.T) {
+	r := run1(t, "scalable", 96, 40, 0.5, 10*sim.Second)
+	if r.util < 0.6 {
+		t.Fatalf("scalable utilization %.2f", r.util)
+	}
+}
+
+func TestNATCPTracksCapacityStep(t *testing.T) {
+	mrtt := 20 * sim.Millisecond
+	sc := netem.Scenario{
+		Name:       "natcp-step",
+		Rate:       netem.StepRate(netem.Mbps(24), netem.Mbps(48), 5*sim.Second),
+		MinRTT:     mrtt,
+		QueueBytes: 2 * netem.BDPBytes(netem.Mbps(48), mrtt),
+		Duration:   10 * sim.Second,
+	}
+	loop := sim.NewLoop()
+	n := sc.Build(loop)
+	fl := tcp.NewFlow(loop, n, 1, NewNATCP(sc, 1), tcp.Options{})
+	fl.Conn.Start(0)
+	loop.RunUntil(sc.Duration)
+	// The oracle should utilize both halves near-perfectly with near-floor
+	// delay: mean capacity is 36 Mb/s.
+	thr := float64(fl.Sink.RxBytes) * 8 / sc.Duration.Seconds()
+	if thr < 0.85*36e6 {
+		t.Fatalf("natcp throughput %.2f Mb/s", thr/1e6)
+	}
+	if fl.Sink.OWDAvg() > 15*sim.Millisecond {
+		t.Fatalf("natcp owd %v, want near the 10 ms floor", fl.Sink.OWDAvg())
+	}
+	if sent := fl.Conn.SentPkts(); sent > 0 && float64(fl.Conn.LostPkts())/float64(sent) > 0.01 {
+		t.Fatalf("natcp loss %.3f", float64(fl.Conn.LostPkts())/float64(sent))
+	}
+}
+
+func TestCubicHyStartExitsBeforeLossInDeepBuffer(t *testing.T) {
+	// Deep buffer: classic slow start overshoots to the full buffer before
+	// the first loss; HyStart should exit on the delay rise instead.
+	loop := sim.NewLoop()
+	rate := netem.FlatRate(netem.Mbps(24))
+	mrtt := 40 * sim.Millisecond
+	qb := 16 * netem.BDPBytes(rate.At(0), mrtt)
+	n := netem.New(loop, netem.Config{Rate: rate, MinRTT: mrtt, Queue: netem.NewDropTail(qb)})
+	withHS := NewCubic()
+	fl := tcp.NewFlow(loop, n, 1, withHS, tcp.Options{})
+	fl.Conn.Start(0)
+	loop.RunUntil(3 * sim.Second)
+	if !withHS.hsExited {
+		t.Fatal("HyStart never fired in a deep buffer")
+	}
+	if fl.Conn.LostPkts() != 0 {
+		t.Fatal("losses before HyStart exit")
+	}
+	// The exit point should be in the vicinity of the BDP, not 16x beyond.
+	bdpPkts := float64(netem.BDPBytes(rate.At(0), mrtt)) / float64(netem.MTU)
+	if fl.Conn.Ssthresh > 6*bdpPkts {
+		t.Fatalf("HyStart exit at ssthresh %.0f, BDP is %.0f pkts", fl.Conn.Ssthresh, bdpPkts)
+	}
+}

@@ -1,0 +1,91 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("htcp", func() tcp.CongestionControl { return NewHTCP() }) }
+
+// HTCP implements H-TCP (Leith & Shorten 2004): the additive increase grows
+// quadratically with the time elapsed since the last loss event, and the
+// backoff factor adapts to the observed RTT spread.
+type HTCP struct {
+	DeltaL sim.Time // low-speed regime threshold (1 s)
+
+	lastLoss sim.Time
+	beta     float64
+	minRTT   sim.Time
+	maxRTT   sim.Time
+	started  bool
+}
+
+// NewHTCP returns H-TCP with the paper's Δ_L = 1 s.
+func NewHTCP() *HTCP { return &HTCP{DeltaL: sim.Second, beta: 0.5} }
+
+// Name implements tcp.CongestionControl.
+func (*HTCP) Name() string { return "htcp" }
+
+// Init implements tcp.CongestionControl.
+func (h *HTCP) Init(c *tcp.Conn) {}
+
+func (h *HTCP) alpha(now sim.Time) float64 {
+	if !h.started {
+		return 1
+	}
+	delta := now - h.lastLoss
+	if delta <= h.DeltaL {
+		return 1
+	}
+	ds := (delta - h.DeltaL).Seconds()
+	a := 1 + 10*ds + ds*ds/4
+	// Scale by 2(1-beta) so throughput is invariant to the backoff factor.
+	return 2 * (1 - h.beta) * a
+}
+
+// OnAck implements tcp.CongestionControl.
+func (h *HTCP) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if !h.started {
+		h.started = true
+		h.lastLoss = e.Now
+	}
+	if h.minRTT == 0 || e.RTT < h.minRTT {
+		h.minRTT = e.RTT
+	}
+	if e.RTT > h.maxRTT {
+		h.maxRTT = e.RTT
+	}
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+		return
+	}
+	c.SetCwnd(c.Cwnd + h.alpha(e.Now)*float64(e.AckedPkts)/c.Cwnd)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (h *HTCP) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	// Adaptive backoff: β = RTTmin/RTTmax clamped to [0.5, 0.8].
+	if h.minRTT > 0 && h.maxRTT > 0 {
+		h.beta = float64(h.minRTT) / float64(h.maxRTT)
+		if h.beta < 0.5 {
+			h.beta = 0.5
+		}
+		if h.beta > 0.8 {
+			h.beta = 0.8
+		}
+	} else {
+		h.beta = 0.5
+	}
+	h.lastLoss = now
+	h.minRTT, h.maxRTT = 0, 0
+	multiplicativeLoss(c, h.beta)
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (h *HTCP) OnRTO(c *tcp.Conn, now sim.Time) {
+	h.lastLoss = now
+	rtoCollapse(c)
+}

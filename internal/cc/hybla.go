@@ -1,0 +1,51 @@
+package cc
+
+import (
+	"math"
+
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("hybla", func() tcp.CongestionControl { return NewHybla() }) }
+
+// Hybla implements TCP Hybla (Caini & Firrincieli 2004): the window growth is
+// scaled by ρ = RTT/RTT0 so long-RTT (satellite-like) connections ramp up as
+// fast as a reference 25 ms connection.
+type Hybla struct {
+	RTT0 sim.Time // reference round trip (25 ms)
+	rho  float64
+}
+
+// NewHybla returns Hybla with the paper's 25 ms reference RTT.
+func NewHybla() *Hybla { return &Hybla{RTT0: 25 * sim.Millisecond, rho: 1} }
+
+// Name implements tcp.CongestionControl.
+func (*Hybla) Name() string { return "hybla" }
+
+// Init implements tcp.CongestionControl.
+func (h *Hybla) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (h *Hybla) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.SRTT > 0 {
+		h.rho = float64(e.SRTT) / float64(h.RTT0)
+		if h.rho < 1 {
+			h.rho = 1
+		}
+	}
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + (math.Pow(2, h.rho)-1)*float64(e.AckedPkts))
+		return
+	}
+	c.SetCwnd(c.Cwnd + h.rho*h.rho*float64(e.AckedPkts)/c.Cwnd)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (h *Hybla) OnLoss(c *tcp.Conn, lost int, now sim.Time) { multiplicativeLoss(c, 0.5) }
+
+// OnRTO implements tcp.CongestionControl.
+func (h *Hybla) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

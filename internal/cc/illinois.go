@@ -1,0 +1,100 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("illinois", func() tcp.CongestionControl { return NewIllinois() }) }
+
+// Illinois implements TCP-Illinois (Liu, Başar, Srikant 2008): a loss-delay
+// hybrid whose AIMD parameters α (increase) and β (decrease) adapt to the
+// measured queueing delay — aggressive when the queue is empty, gentle and
+// sharply-backing-off when it fills.
+type Illinois struct {
+	AlphaMax, AlphaMin float64 // 10, 0.3
+	BetaMin, BetaMax   float64 // 0.125, 0.5
+
+	maxRTT sim.Time
+	alpha  float64
+	beta   float64
+	clock  rttClock
+	sumRTT sim.Time
+	cntRTT int
+}
+
+// NewIllinois returns Illinois with the paper's standard parameters.
+func NewIllinois() *Illinois {
+	return &Illinois{AlphaMax: 10, AlphaMin: 0.3, BetaMin: 0.125, BetaMax: 0.5, alpha: 1, beta: 0.5}
+}
+
+// Name implements tcp.CongestionControl.
+func (*Illinois) Name() string { return "illinois" }
+
+// Init implements tcp.CongestionControl.
+func (il *Illinois) Init(c *tcp.Conn) {}
+
+func (il *Illinois) updateParams(c *tcp.Conn) {
+	if il.cntRTT == 0 {
+		return
+	}
+	avg := il.sumRTT / sim.Time(il.cntRTT)
+	il.sumRTT, il.cntRTT = 0, 0
+	base := c.BaseRTT()
+	if base <= 0 || il.maxRTT <= base {
+		il.alpha = il.AlphaMax
+		il.beta = il.BetaMin
+		return
+	}
+	da := float64(avg - base)       // current average queueing delay
+	dm := float64(il.maxRTT - base) // maximum observed queueing delay
+	d1 := 0.01 * dm
+	if da <= d1 {
+		il.alpha = il.AlphaMax
+	} else {
+		// α(da) = k1/(k2+da), continuous at d1 with α(d1)=αmax, α(dm)=αmin.
+		k1 := (dm - d1) * il.AlphaMin * il.AlphaMax / (il.AlphaMax - il.AlphaMin)
+		k2 := k1/il.AlphaMax - d1
+		il.alpha = k1 / (k2 + da)
+		if il.alpha < il.AlphaMin {
+			il.alpha = il.AlphaMin
+		}
+	}
+	d2, d3 := 0.1*dm, 0.8*dm
+	switch {
+	case da < d2:
+		il.beta = il.BetaMin
+	case da > d3:
+		il.beta = il.BetaMax
+	default:
+		il.beta = il.BetaMin + (il.BetaMax-il.BetaMin)*(da-d2)/(d3-d2)
+	}
+}
+
+// OnAck implements tcp.CongestionControl.
+func (il *Illinois) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.RTT > il.maxRTT {
+		il.maxRTT = e.RTT
+	}
+	il.sumRTT += e.RTT
+	il.cntRTT++
+	if il.clock.tick(e.Now, e.SRTT) {
+		il.updateParams(c)
+	}
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+		return
+	}
+	c.SetCwnd(c.Cwnd + il.alpha*float64(e.AckedPkts)/c.Cwnd)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (il *Illinois) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	multiplicativeLoss(c, 1-il.beta)
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (il *Illinois) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

@@ -1,0 +1,48 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("ledbat", func() tcp.CongestionControl { return NewLEDBAT() }) }
+
+// LEDBAT implements the Low Extra Delay Background Transport controller
+// (RFC 6817): a linear controller that servoes the queueing delay to Target,
+// yielding to any queue growth caused by other traffic.
+type LEDBAT struct {
+	Target sim.Time // queueing-delay target (100 ms)
+	Gain   float64  // proportional gain (1)
+}
+
+// NewLEDBAT returns LEDBAT with the RFC's 100 ms target.
+func NewLEDBAT() *LEDBAT { return &LEDBAT{Target: 100 * sim.Millisecond, Gain: 1} }
+
+// Name implements tcp.CongestionControl.
+func (*LEDBAT) Name() string { return "ledbat" }
+
+// Init implements tcp.CongestionControl.
+func (l *LEDBAT) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (l *LEDBAT) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.State != tcp.StateOpen || e.RTT <= 0 {
+		return
+	}
+	base := c.BaseRTT()
+	qd := e.RTT - base
+	if qd < 0 {
+		qd = 0
+	}
+	offTarget := float64(l.Target-qd) / float64(l.Target)
+	c.SetCwnd(c.Cwnd + l.Gain*offTarget*float64(e.AckedPkts)/c.Cwnd)
+	if c.Cwnd < 2 {
+		c.SetCwnd(2)
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (l *LEDBAT) OnLoss(c *tcp.Conn, lost int, now sim.Time) { multiplicativeLoss(c, 0.5) }
+
+// OnRTO implements tcp.CongestionControl.
+func (l *LEDBAT) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

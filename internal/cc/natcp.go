@@ -1,0 +1,58 @@
+package cc
+
+import (
+	"sage/internal/netem"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// NATCP approximates Network-Assisted TCP (Abbasloo et al., HotEdge 2019):
+// the network tells the sender its current capacity and the propagation
+// delay, and the sender simply tracks cwnd = capacity × minRTT (one BDP).
+// Under emulation the "network assistance" is the scenario's ground truth,
+// which is why the paper plots NATCP as the near-optimal reference in its
+// cellular experiments (Fig. 8c/26). It is deliberately NOT in the
+// registry: it needs the scenario and therefore cannot be a black-box
+// kernel module.
+type NATCP struct {
+	rate   *netem.RateSchedule
+	minRTT sim.Time
+	share  float64 // fraction of capacity this flow may take
+	clock  rttClock
+}
+
+// NewNATCP builds the oracle for one scenario. share is the flow's fair
+// fraction of the link (1 for single-flow scenarios).
+func NewNATCP(sc netem.Scenario, share float64) *NATCP {
+	if share <= 0 || share > 1 {
+		share = 1
+	}
+	return &NATCP{rate: sc.Rate, minRTT: sc.MinRTT, share: share}
+}
+
+// Name implements tcp.CongestionControl.
+func (*NATCP) Name() string { return "natcp" }
+
+// Init implements tcp.CongestionControl.
+func (n *NATCP) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (n *NATCP) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if !n.clock.tick(e.Now, maxTime(e.SRTT/4, 5*sim.Millisecond)) {
+		return
+	}
+	capacity := n.rate.At(e.Now) * n.share // bits/second, told by the network
+	bdp := capacity / 8 * n.minRTT.Seconds() / float64(c.MSS())
+	if bdp < 2 {
+		bdp = 2
+	}
+	c.SetCwnd(bdp)
+	c.PacingRate = capacity / 8
+}
+
+// OnLoss implements tcp.CongestionControl (the oracle never overshoots by
+// more than scheduling noise; no extra reaction needed).
+func (n *NATCP) OnLoss(c *tcp.Conn, lost int, now sim.Time) {}
+
+// OnRTO implements tcp.CongestionControl.
+func (n *NATCP) OnRTO(c *tcp.Conn, now sim.Time) { c.SetCwnd(2) }

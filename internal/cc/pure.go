@@ -1,0 +1,31 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("pure", func() tcp.CongestionControl { return &Pure{} }) }
+
+// Pure is the execution block's kernel module ("TCP Pure" in Section 3):
+// it inherits the general TCP functionality — loss detection, RTO, ACK
+// clocking — but makes no congestion decisions of its own. An external
+// policy drives the window through the rollout.Controller hook. The only
+// built-in reaction is the mandatory RTO collapse, a transport-correctness
+// requirement rather than a policy.
+type Pure struct{}
+
+// Name implements tcp.CongestionControl.
+func (*Pure) Name() string { return "pure" }
+
+// Init implements tcp.CongestionControl.
+func (*Pure) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (*Pure) OnAck(c *tcp.Conn, e tcp.AckEvent) {}
+
+// OnLoss implements tcp.CongestionControl.
+func (*Pure) OnLoss(c *tcp.Conn, lost int, now sim.Time) {}
+
+// OnRTO implements tcp.CongestionControl.
+func (*Pure) OnRTO(c *tcp.Conn, now sim.Time) { c.SetCwnd(1) }

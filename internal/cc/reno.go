@@ -1,0 +1,28 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("newreno", func() tcp.CongestionControl { return &NewReno{} }) }
+
+// NewReno is the classic AIMD scheme (RFC 3782/6582): slow start, additive
+// increase of one packet per RTT, halving on loss. The paper uses its pure
+// AIMD logic as the baseline for the "TCP-friendly region" in Fig. 7.
+type NewReno struct{}
+
+// Name implements tcp.CongestionControl.
+func (*NewReno) Name() string { return "newreno" }
+
+// Init implements tcp.CongestionControl.
+func (*NewReno) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (*NewReno) OnAck(c *tcp.Conn, e tcp.AckEvent) { renoAck(c, e) }
+
+// OnLoss implements tcp.CongestionControl.
+func (*NewReno) OnLoss(c *tcp.Conn, lost int, now sim.Time) { multiplicativeLoss(c, 0.5) }
+
+// OnRTO implements tcp.CongestionControl.
+func (*NewReno) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

@@ -1,0 +1,46 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("scalable", func() tcp.CongestionControl { return NewScalable() }) }
+
+// Scalable implements Scalable TCP (Kelly 2003): multiplicative increase of
+// a fixed 0.01 per ACK and a gentle 1/8 multiplicative decrease, making the
+// recovery time after loss independent of the window size — the high-speed
+// behaviour YeAH borrows for its "Fast" mode.
+type Scalable struct {
+	A float64 // per-ack increase (0.01)
+	B float64 // decrease fraction (0.125)
+}
+
+// NewScalable returns Scalable TCP with Kelly's a=0.01, b=1/8.
+func NewScalable() *Scalable { return &Scalable{A: 0.01, B: 0.125} }
+
+// Name implements tcp.CongestionControl.
+func (*Scalable) Name() string { return "scalable" }
+
+// Init implements tcp.CongestionControl.
+func (s *Scalable) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (s *Scalable) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+		return
+	}
+	c.SetCwnd(c.Cwnd + s.A*float64(e.AckedPkts))
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (s *Scalable) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	multiplicativeLoss(c, 1-s.B)
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (s *Scalable) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

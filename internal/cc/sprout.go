@@ -1,0 +1,67 @@
+package cc
+
+import (
+	"math"
+
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("sprout", func() tcp.CongestionControl { return NewSprout() }) }
+
+// Sprout implements a compact Sprout-EWMA variant (Winstein, Sivaraman,
+// Balakrishnan, NSDI 2013): it forecasts the link's deliverable volume from
+// a smoothed delivery-rate estimate with an uncertainty discount, and sizes
+// the window so queued data drains within the delay tolerance — trading
+// throughput for tightly bounded delay on variable links.
+type Sprout struct {
+	TargetDelay sim.Time // tolerated queueing delay (100 ms in the paper)
+	Sigma       float64  // uncertainty discount in standard deviations (1)
+
+	mean  float64 // bytes/second
+	varr  float64
+	clock rttClock
+}
+
+// NewSprout returns Sprout with the paper's 100 ms delay tolerance.
+func NewSprout() *Sprout { return &Sprout{TargetDelay: 100 * sim.Millisecond, Sigma: 1} }
+
+// Name implements tcp.CongestionControl.
+func (*Sprout) Name() string { return "sprout" }
+
+// Init implements tcp.CongestionControl.
+func (s *Sprout) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (s *Sprout) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.DeliveryRate <= 0 {
+		return
+	}
+	if s.mean == 0 {
+		s.mean = e.DeliveryRate
+	}
+	d := e.DeliveryRate - s.mean
+	s.mean += 0.125 * d
+	s.varr = 0.875*s.varr + 0.125*d*d
+	if !s.clock.tick(e.Now, e.SRTT) {
+		return
+	}
+	// Conservative forecast: mean − σ·std, floored at a tenth of the mean.
+	forecast := s.mean - s.Sigma*math.Sqrt(s.varr)
+	if forecast < s.mean/10 {
+		forecast = s.mean / 10
+	}
+	// Window = volume the link drains in (minRTT + tolerance).
+	horizon := c.BaseRTT() + s.TargetDelay
+	w := forecast * horizon.Seconds() / float64(c.MSS())
+	if w < 2 {
+		w = 2
+	}
+	c.SetCwnd(w)
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (s *Sprout) OnLoss(c *tcp.Conn, lost int, now sim.Time) { multiplicativeLoss(c, 0.5) }
+
+// OnRTO implements tcp.CongestionControl.
+func (s *Sprout) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

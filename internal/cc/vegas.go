@@ -1,0 +1,75 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("vegas", func() tcp.CongestionControl { return NewVegas() }) }
+
+// Vegas implements TCP Vegas (Brakmo & Peterson 1994), the canonical
+// delay-based scheme: it estimates the backlog diff = cwnd·(RTT−base)/RTT
+// and holds it between Alpha and Beta packets.
+type Vegas struct {
+	Alpha float64 // lower backlog bound (2)
+	Beta  float64 // upper backlog bound (4)
+	Gamma float64 // slow-start backlog bound (1)
+
+	clock  rttClock
+	minRTT sim.Time // min RTT seen within the current observation RTT
+}
+
+// NewVegas returns Vegas with the classic α=2, β=4, γ=1 parameters.
+func NewVegas() *Vegas { return &Vegas{Alpha: 2, Beta: 4, Gamma: 1} }
+
+// Name implements tcp.CongestionControl.
+func (*Vegas) Name() string { return "vegas" }
+
+// Init implements tcp.CongestionControl.
+func (v *Vegas) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (v *Vegas) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if v.minRTT == 0 || e.RTT < v.minRTT {
+		v.minRTT = e.RTT
+	}
+	if !v.clock.tick(e.Now, e.SRTT) {
+		return
+	}
+	rtt := v.minRTT
+	v.minRTT = 0
+	base := c.BaseRTT()
+	if rtt <= 0 || base <= 0 {
+		return
+	}
+	// Expected vs actual throughput difference, in packets of backlog.
+	diff := c.Cwnd * float64(rtt-base) / float64(rtt)
+	if slowStart(c) {
+		if diff > v.Gamma {
+			// Leave slow start: the queue is already building.
+			c.Ssthresh = c.Cwnd
+			c.SetCwnd(c.Cwnd - diff)
+		} else {
+			c.SetCwnd(c.Cwnd * 2) // Vegas doubles once per RTT in slow start
+		}
+		return
+	}
+	switch {
+	case diff < v.Alpha:
+		c.SetCwnd(c.Cwnd + 1)
+	case diff > v.Beta:
+		c.SetCwnd(c.Cwnd - 1)
+	}
+	if c.Cwnd < 2 {
+		c.SetCwnd(2)
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (v *Vegas) OnLoss(c *tcp.Conn, lost int, now sim.Time) { multiplicativeLoss(c, 0.5) }
+
+// OnRTO implements tcp.CongestionControl.
+func (v *Vegas) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

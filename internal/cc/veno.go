@@ -1,0 +1,71 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("veno", func() tcp.CongestionControl { return NewVeno() }) }
+
+// Veno implements TCP Veno (Fu & Liew 2003): Vegas's backlog estimate N
+// distinguishes congestive from random (wireless) loss — cwnd is cut by only
+// 1/5 when the backlog is small, and the increase slows once N exceeds Beta.
+type Veno struct {
+	Beta float64 // backlog threshold in packets (3)
+
+	n       float64 // current backlog estimate
+	minRTT  sim.Time
+	clock   rttClock
+	ackSkip bool
+}
+
+// NewVeno returns Veno with the paper's β=3 threshold.
+func NewVeno() *Veno { return &Veno{Beta: 3} }
+
+// Name implements tcp.CongestionControl.
+func (*Veno) Name() string { return "veno" }
+
+// Init implements tcp.CongestionControl.
+func (v *Veno) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (v *Veno) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if v.minRTT == 0 || e.RTT < v.minRTT {
+		v.minRTT = e.RTT
+	}
+	if v.clock.tick(e.Now, e.SRTT) {
+		base := c.BaseRTT()
+		if v.minRTT > 0 && base > 0 && v.minRTT >= base {
+			v.n = c.Cwnd * float64(v.minRTT-base) / float64(v.minRTT)
+		}
+		v.minRTT = 0
+	}
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+		return
+	}
+	if v.n < v.Beta {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts)/c.Cwnd)
+		return
+	}
+	// Backlog built up: increase every other ACK only.
+	if v.ackSkip {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts)/c.Cwnd)
+	}
+	v.ackSkip = !v.ackSkip
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (v *Veno) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	if v.n < v.Beta {
+		multiplicativeLoss(c, 0.8) // random loss: mild cut
+	} else {
+		multiplicativeLoss(c, 0.5) // congestive loss: classic halving
+	}
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (v *Veno) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

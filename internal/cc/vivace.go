@@ -1,0 +1,263 @@
+package cc
+
+import (
+	"math"
+
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("vivace", func() tcp.CongestionControl { return NewVivace() }) }
+
+// vivacePhase is the probing state machine.
+type vivacePhase int
+
+const (
+	vivaceStartup vivacePhase = iota
+	vivaceProbeUp
+	vivaceProbeDown
+)
+
+// vivaceProbe is one monitor interval, scored over the packets *sent* during
+// it. The score is computed only once all of those packets have resolved
+// (acked or declared lost), which removes the one-RTT measurement lag that
+// otherwise corrupts the utility gradient.
+type vivaceProbe struct {
+	kind      vivacePhase
+	sentStart int64
+	sentEnd   int64 // filled when the MI closes
+	closed    bool
+	crossed   bool
+	t0        sim.Time
+	delAt0    int64
+	lostAt0   int64
+	rttAt0    sim.Time
+	utility   float64
+	scored    bool
+}
+
+// Vivace implements PCC Vivace (Dong et al., NSDI 2018): an online-learning
+// rate controller. Pairs of monitor intervals probe rates r(1+ε) and r(1−ε);
+// each interval is scored with the utility u(x) = x^0.9 − b·x·(dRTT/dt) −
+// c·x·L over exactly the packets it sent, and the rate moves along the
+// empirical utility gradient with confidence amplification.
+type Vivace struct {
+	Epsilon float64 // probe spread (0.05)
+	B       float64 // latency-gradient penalty (900)
+	C       float64 // loss penalty (11.35)
+
+	phase       vivacePhase
+	rate        float64 // bytes/second
+	mi          rttClock
+	pending     []*vivaceProbe
+	lastStartup float64
+	conf        float64
+	dir         float64
+}
+
+// NewVivace returns Vivace with the reference utility constants.
+func NewVivace() *Vivace {
+	return &Vivace{Epsilon: 0.05, B: 900, C: 11.35, conf: 1, phase: vivaceStartup, dir: 1}
+}
+
+// Name implements tcp.CongestionControl.
+func (*Vivace) Name() string { return "vivace" }
+
+// Init implements tcp.CongestionControl.
+func (v *Vivace) Init(c *tcp.Conn) {
+	v.rate = float64(10 * c.MSS() * 10) // ~1.2 Mb/s starting rate
+	v.applyRate(c)
+	v.pending = append(v.pending, &vivaceProbe{kind: vivaceStartup})
+}
+
+// applyRate programs pacing and keeps the window out of pacing's way.
+func (v *Vivace) applyRate(c *tcp.Conn) {
+	minRate := float64(2 * c.MSS() * 10)
+	if v.rate < minRate {
+		v.rate = minRate
+	}
+	// Never chase more than 2× what the path has ever delivered.
+	if maxDel := c.MaxDeliveryRate(); maxDel > 0 && v.rate > 2*maxDel+minRate {
+		v.rate = 2*maxDel + minRate
+	}
+	c.PacingRate = v.rate * v.probeGain()
+	srtt := c.SRTT()
+	if srtt <= 0 {
+		srtt = 50 * sim.Millisecond
+	}
+	w := 2 * c.PacingRate * srtt.Seconds() / float64(c.MSS())
+	if w < 4 {
+		w = 4
+	}
+	c.SetCwnd(w)
+}
+
+func (v *Vivace) probeGain() float64 {
+	switch v.phase {
+	case vivaceProbeUp:
+		return 1 + v.Epsilon
+	case vivaceProbeDown:
+		return 1 - v.Epsilon
+	}
+	return 1
+}
+
+// miLen sizes the monitor interval: at least one RTT and ≥10 packets.
+func (v *Vivace) miLen(c *tcp.Conn, srtt sim.Time) sim.Time {
+	mi := maxTime(srtt, 10*sim.Millisecond)
+	if v.rate > 0 {
+		mi = maxTime(mi, sim.FromSeconds(10*float64(c.MSS())/v.rate))
+	}
+	return mi
+}
+
+// OnAck implements tcp.CongestionControl.
+func (v *Vivace) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	v.scorePending(c, e.Now)
+	v.decide(c)
+	if !v.mi.tick(e.Now, v.miLen(c, e.SRTT)) {
+		return
+	}
+	// Close the current MI and open the next.
+	if n := len(v.pending); n > 0 && !v.pending[n-1].closed {
+		v.pending[n-1].closed = true
+		v.pending[n-1].sentEnd = c.SentPkts()
+	}
+	switch v.phase {
+	case vivaceProbeUp:
+		v.phase = vivaceProbeDown
+	case vivaceProbeDown:
+		v.phase = vivaceProbeUp
+	}
+	v.applyRate(c)
+	v.pending = append(v.pending, &vivaceProbe{kind: v.phase, sentStart: c.SentPkts()})
+	// Bound the backlog of unscored probes (e.g. across blackouts).
+	if len(v.pending) > 8 {
+		v.pending = v.pending[len(v.pending)-8:]
+	}
+}
+
+// scorePending advances probe scoring as their packets resolve.
+func (v *Vivace) scorePending(c *tcp.Conn, now sim.Time) {
+	resolved := c.DeliveredPkts() + c.LostPkts()
+	for _, p := range v.pending {
+		if p.scored {
+			continue
+		}
+		if !p.crossed {
+			if resolved >= p.sentStart {
+				p.crossed = true
+				p.t0 = now
+				p.delAt0 = c.DeliveredPkts()
+				p.lostAt0 = c.LostPkts()
+				p.rttAt0 = c.SRTT()
+			}
+			continue
+		}
+		if !p.closed || resolved < p.sentEnd {
+			continue
+		}
+		span := (now - p.t0).Seconds()
+		if span <= 0 {
+			span = 1e-3
+		}
+		del := float64(c.DeliveredPkts() - p.delAt0)
+		lost := float64(c.LostPkts() - p.lostAt0)
+		x := del * float64(c.MSS()) * 8 / span / 1e6 // Mb/s
+		lossRate := 0.0
+		if del+lost > 0 {
+			lossRate = lost / (del + lost)
+		}
+		rttGrad := (c.SRTT() - p.rttAt0).Seconds() / span
+		p.utility = math.Pow(x, 0.9) - v.B*x*rttGrad - v.C*x*lossRate
+		p.scored = true
+	}
+}
+
+// decide consumes scored probes: rate doubling during startup, utility
+// gradient steps while probing.
+func (v *Vivace) decide(c *tcp.Conn) {
+	for len(v.pending) > 0 && v.pending[0].scored {
+		p := v.pending[0]
+		switch p.kind {
+		case vivaceStartup:
+			v.pending = v.pending[1:]
+			if v.lastStartup == 0 || p.utility >= v.lastStartup {
+				v.lastStartup = p.utility
+				v.rate *= 2
+			} else {
+				v.rate /= 2
+				v.phase = vivaceProbeUp
+				// Drop the startup probes still in flight: they would
+				// trigger spurious extra halvings once scored.
+				kept := v.pending[:0]
+				for _, q := range v.pending {
+					if q.kind != vivaceStartup {
+						kept = append(kept, q)
+					}
+				}
+				v.pending = kept
+			}
+			v.applyRate(c)
+		default:
+			// Need a scored up/down pair at the head.
+			if len(v.pending) < 2 || !v.pending[1].scored {
+				return
+			}
+			a, b := v.pending[0], v.pending[1]
+			v.pending = v.pending[2:]
+			up, down := a, b
+			if a.kind == vivaceProbeDown {
+				up, down = b, a
+			}
+			diff := up.utility - down.utility
+			scale := math.Abs(up.utility)
+			if s := math.Abs(down.utility); s > scale {
+				scale = s
+			}
+			if scale < 1 {
+				scale = 1
+			}
+			if math.Abs(diff) < 0.02*scale {
+				v.conf = 1 // inconclusive probe pair: hold the rate
+				continue
+			}
+			dir := 1.0
+			if diff < 0 {
+				dir = -1
+			}
+			if dir == v.dir {
+				v.conf++
+				if v.conf > 4 {
+					v.conf = 4
+				}
+			} else {
+				v.conf = 1
+				v.dir = dir
+			}
+			v.rate *= 1 + 0.05*v.conf*dir
+			v.applyRate(c)
+			// Probes still in flight were measured under the old rate;
+			// acting on them would compound stale decisions into a limit
+			// cycle. Start the next probe pair fresh.
+			v.pending = v.pending[:0]
+			return
+		}
+	}
+}
+
+// OnLoss implements tcp.CongestionControl (loss enters the utility).
+func (v *Vivace) OnLoss(c *tcp.Conn, lost int, now sim.Time) {}
+
+// OnRTO implements tcp.CongestionControl.
+func (v *Vivace) OnRTO(c *tcp.Conn, now sim.Time) {
+	v.rate /= 2
+	v.applyRate(c)
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

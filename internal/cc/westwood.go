@@ -1,0 +1,73 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("westwood", func() tcp.CongestionControl { return &Westwood{} }) }
+
+// Westwood implements TCP Westwood+ (Casetti et al. 2002): Reno-style growth
+// with a bandwidth-estimate-based setting of ssthresh on loss
+// (ssthresh = BWE · RTTmin), which avoids blind halving on lossy links.
+type Westwood struct {
+	bwe     float64 // bytes/second, low-pass filtered
+	bkBytes int64
+	lastT   sim.Time
+}
+
+// Name implements tcp.CongestionControl.
+func (*Westwood) Name() string { return "westwood" }
+
+// Init implements tcp.CongestionControl.
+func (w *Westwood) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (w *Westwood) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	w.bkBytes += int64(e.AckedPkts * c.MSS())
+	// Sample the ACK rate once per RTT and low-pass it (Westwood+).
+	if w.lastT == 0 {
+		w.lastT = e.Now
+	} else if e.SRTT > 0 && e.Now-w.lastT >= e.SRTT {
+		sample := float64(w.bkBytes) / (e.Now - w.lastT).Seconds()
+		if w.bwe == 0 {
+			w.bwe = sample
+		} else {
+			w.bwe = 0.875*w.bwe + 0.125*sample
+		}
+		w.bkBytes = 0
+		w.lastT = e.Now
+	}
+	renoAck(c, e)
+}
+
+func (w *Westwood) bdpPkts(c *tcp.Conn) float64 {
+	base := c.BaseRTT()
+	if w.bwe <= 0 || base <= 0 {
+		return 0
+	}
+	return w.bwe * base.Seconds() / float64(c.MSS())
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (w *Westwood) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	ss := w.bdpPkts(c)
+	if ss < 2 {
+		multiplicativeLoss(c, 0.5)
+		return
+	}
+	c.Ssthresh = ss
+	if c.Cwnd > ss {
+		c.SetCwnd(ss)
+	}
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (w *Westwood) OnRTO(c *tcp.Conn, now sim.Time) {
+	ss := w.bdpPkts(c)
+	if ss < 2 {
+		ss = 2
+	}
+	c.Ssthresh = ss
+	c.SetCwnd(1)
+}

@@ -1,0 +1,88 @@
+package cc
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func init() { Register("yeah", func() tcp.CongestionControl { return NewYeAH() }) }
+
+// YeAH implements YeAH-TCP (Baiocchi et al. 2007): a scalable "Fast" mode
+// while the estimated queue is small, a Reno "Slow" mode plus precautionary
+// decongestion once the queue estimate exceeds QMax, and a queue-aware loss
+// response.
+type YeAH struct {
+	QMax float64 // queue threshold in packets (80)
+	Phi  float64 // delay-ratio threshold divisor (8)
+
+	clock   rttClock
+	minRTT  sim.Time
+	queuePk float64 // last queue estimate in packets
+	fast    bool
+}
+
+// NewYeAH returns YeAH with the paper's Qmax=80, φ=8 parameters.
+func NewYeAH() *YeAH { return &YeAH{QMax: 80, Phi: 8, fast: true} }
+
+// Name implements tcp.CongestionControl.
+func (*YeAH) Name() string { return "yeah" }
+
+// Init implements tcp.CongestionControl.
+func (y *YeAH) Init(c *tcp.Conn) {}
+
+// OnAck implements tcp.CongestionControl.
+func (y *YeAH) OnAck(c *tcp.Conn, e tcp.AckEvent) {
+	if e.State != tcp.StateOpen {
+		return
+	}
+	if y.minRTT == 0 || e.RTT < y.minRTT {
+		y.minRTT = e.RTT
+	}
+	if slowStart(c) {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts))
+	} else if y.fast {
+		// Scalable (STCP) increase: 1 per 100th of the window per ack.
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts)*c.Cwnd/100/c.Cwnd + float64(e.AckedPkts)*0.01)
+	} else {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts)/c.Cwnd)
+	}
+	if !y.clock.tick(e.Now, e.SRTT) {
+		return
+	}
+	rtt, base := y.minRTT, c.BaseRTT()
+	y.minRTT = 0
+	if rtt <= 0 || base <= 0 || rtt < base {
+		return
+	}
+	queueDelay := rtt - base
+	y.queuePk = float64(queueDelay) / float64(rtt) * c.Cwnd
+	delayRatio := float64(queueDelay) / float64(base)
+	y.fast = y.queuePk < y.QMax && delayRatio < 1/y.Phi
+	if !y.fast && y.queuePk > y.QMax {
+		// Precautionary decongestion: drain the estimated backlog.
+		c.SetCwnd(c.Cwnd - y.queuePk/2)
+		c.Ssthresh = c.Cwnd
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (y *YeAH) OnLoss(c *tcp.Conn, lost int, now sim.Time) {
+	// Reduce by the queue estimate when meaningful, else fall back to 1/2;
+	// never cut less than 1/8 (the YeAH rule).
+	red := y.queuePk
+	if red < c.Cwnd/8 {
+		red = c.Cwnd / 8
+	}
+	if red > c.Cwnd/2 {
+		red = c.Cwnd / 2
+	}
+	ss := c.Cwnd - red
+	if ss < 2 {
+		ss = 2
+	}
+	c.Ssthresh = ss
+	c.SetCwnd(ss)
+}
+
+// OnRTO implements tcp.CongestionControl.
+func (y *YeAH) OnRTO(c *tcp.Conn, now sim.Time) { rtoCollapse(c) }

@@ -1,0 +1,252 @@
+// Package collector implements the paper's Policy Collector (Section 4.1):
+// it rolls every congestion-control scheme through every environment of
+// Set I and Set II, records the GR unit's {state, action, reward}
+// trajectories, and assembles the pool of policies the offline learner
+// trains on. Collection happens once; afterwards the environments are
+// "unplugged" and training touches only the pool.
+package collector
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"sage/internal/cc"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/rollout"
+)
+
+// Trajectory is one (scheme, environment) rollout in the pool.
+type Trajectory struct {
+	Scheme    string
+	Env       string
+	MultiFlow bool
+	Steps     []gr.Step
+	// Score is the trajectory's mean reward: the collector keeps it so pool
+	// filters (BC-top, winners-only, Sage-Top) don't have to rescan steps.
+	Score float64
+}
+
+// Pool is the pool of policies.
+type Pool struct {
+	GR    gr.Config
+	Trajs []Trajectory
+}
+
+// Transitions counts the (s,a,r,s') tuples in the pool.
+func (p *Pool) Transitions() int {
+	n := 0
+	for _, tr := range p.Trajs {
+		if len(tr.Steps) > 1 {
+			n += len(tr.Steps) - 1
+		}
+	}
+	return n
+}
+
+// Schemes returns the distinct scheme names present, in first-seen order.
+func (p *Pool) Schemes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, tr := range p.Trajs {
+		if !seen[tr.Scheme] {
+			seen[tr.Scheme] = true
+			out = append(out, tr.Scheme)
+		}
+	}
+	return out
+}
+
+// Options tunes pool collection.
+type Options struct {
+	GR       gr.Config
+	Parallel int // worker goroutines (default NumCPU)
+}
+
+// Collect builds a pool by running each scheme through each scenario.
+// Rollouts are independent and run in parallel.
+func Collect(schemes []string, scenarios []netem.Scenario, opt Options) *Pool {
+	opt.GR = opt.GR.Fill()
+	if opt.Parallel == 0 {
+		opt.Parallel = runtime.NumCPU()
+	}
+	type job struct{ scheme, env int }
+	jobs := make(chan job)
+	trajs := make([]Trajectory, len(schemes)*len(scenarios))
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sc := scenarios[j.env]
+				res := rollout.Run(sc, cc.MustNew(schemes[j.scheme]), rollout.Options{
+					GR:           opt.GR,
+					CollectSteps: true,
+				})
+				trajs[j.scheme*len(scenarios)+j.env] = Trajectory{
+					Scheme:    schemes[j.scheme],
+					Env:       sc.Name,
+					MultiFlow: sc.CubicFlows > 0,
+					Steps:     res.Steps,
+					Score:     meanReward(res.Steps),
+				}
+			}
+		}()
+	}
+	for s := range schemes {
+		for e := range scenarios {
+			jobs <- job{s, e}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return &Pool{GR: opt.GR, Trajs: trajs}
+}
+
+func meanReward(steps []gr.Step) float64 {
+	if len(steps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, st := range steps {
+		s += st.Reward
+	}
+	return s / float64(len(steps))
+}
+
+// Merge combines pools collected separately (e.g. Set I and Set II).
+func Merge(pools ...*Pool) *Pool {
+	if len(pools) == 0 {
+		return &Pool{}
+	}
+	out := &Pool{GR: pools[0].GR}
+	for _, p := range pools {
+		out.Trajs = append(out.Trajs, p.Trajs...)
+	}
+	return out
+}
+
+// FilterSchemes keeps only trajectories from the named schemes (the
+// Sage-Top / Sage-Top4 pools of Fig. 15 and the BC-top variants of Fig. 9).
+func (p *Pool) FilterSchemes(names ...string) *Pool {
+	keep := map[string]bool{}
+	for _, n := range names {
+		keep[n] = true
+	}
+	out := &Pool{GR: p.GR}
+	for _, tr := range p.Trajs {
+		if keep[tr.Scheme] {
+			out.Trajs = append(out.Trajs, tr)
+		}
+	}
+	return out
+}
+
+// WinnersPerEnv keeps, for each environment, only the trajectory with the
+// best score (the BCv2 pool: "only the winner policies of each particular
+// scenario").
+func (p *Pool) WinnersPerEnv() *Pool {
+	best := map[string]int{}
+	for i, tr := range p.Trajs {
+		j, ok := best[tr.Env]
+		if !ok || tr.Score > p.Trajs[j].Score {
+			best[tr.Env] = i
+		}
+	}
+	out := &Pool{GR: p.GR}
+	for _, i := range best {
+		out.Trajs = append(out.Trajs, p.Trajs[i])
+	}
+	return out
+}
+
+// TopSchemes ranks schemes by their mean score over single-flow and
+// multi-flow trajectories separately and returns the union of the top k of
+// each ranking (the construction behind Sage-Top and Sage-Top4).
+func (p *Pool) TopSchemes(k int) []string {
+	type agg struct {
+		sum float64
+		n   int
+	}
+	single := map[string]*agg{}
+	multi := map[string]*agg{}
+	for _, tr := range p.Trajs {
+		m := single
+		if tr.MultiFlow {
+			m = multi
+		}
+		a := m[tr.Scheme]
+		if a == nil {
+			a = &agg{}
+			m[tr.Scheme] = a
+		}
+		a.sum += tr.Score
+		a.n++
+	}
+	top := func(m map[string]*agg) []string {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if m[names[j]].sum/float64(m[names[j]].n) > m[names[i]].sum/float64(m[names[i]].n) {
+					names[i], names[j] = names[j], names[i]
+				}
+			}
+		}
+		if len(names) > k {
+			names = names[:k]
+		}
+		return names
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range append(top(single), top(multi)...) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Save writes the pool as gzipped gob.
+func (p *Pool) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("collector: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(p); err != nil {
+		return fmt.Errorf("collector: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a pool written by Save.
+func Load(path string) (*Pool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("collector: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("collector: gzip: %w", err)
+	}
+	var p Pool
+	if err := gob.NewDecoder(zr).Decode(&p); err != nil {
+		return nil, fmt.Errorf("collector: decode: %w", err)
+	}
+	return &p, nil
+}

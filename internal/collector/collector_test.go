@@ -1,0 +1,125 @@
+package collector
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/sim"
+)
+
+func tinyScenarios() []netem.Scenario {
+	setI := netem.SetI(netem.SetIOptions{Level: netem.GridTiny, Duration: 3 * sim.Second})[:2]
+	setII := netem.SetII(netem.SetIIOptions{Level: netem.GridTiny, Duration: 5 * sim.Second})[:2]
+	return append(setI, setII...)
+}
+
+func TestCollectBuildsPool(t *testing.T) {
+	pool := Collect([]string{"cubic", "vegas"}, tinyScenarios(), Options{Parallel: 4})
+	if len(pool.Trajs) != 8 {
+		t.Fatalf("trajectories = %d", len(pool.Trajs))
+	}
+	if pool.Transitions() == 0 {
+		t.Fatal("no transitions")
+	}
+	multi, single := 0, 0
+	for _, tr := range pool.Trajs {
+		if len(tr.Steps) == 0 {
+			t.Fatalf("empty trajectory %s/%s", tr.Scheme, tr.Env)
+		}
+		if tr.MultiFlow {
+			multi++
+		} else {
+			single++
+		}
+		for _, s := range tr.Steps {
+			if len(s.State) != gr.StateDim {
+				t.Fatalf("state dim %d", len(s.State))
+			}
+		}
+	}
+	if multi != 4 || single != 4 {
+		t.Fatalf("multi=%d single=%d", multi, single)
+	}
+	if got := pool.Schemes(); len(got) != 2 {
+		t.Fatalf("schemes = %v", got)
+	}
+}
+
+func TestPoolFilters(t *testing.T) {
+	pool := Collect([]string{"cubic", "vegas", "newreno"}, tinyScenarios()[:2], Options{Parallel: 4})
+	f := pool.FilterSchemes("vegas")
+	if len(f.Trajs) != 2 {
+		t.Fatalf("filtered = %d", len(f.Trajs))
+	}
+	for _, tr := range f.Trajs {
+		if tr.Scheme != "vegas" {
+			t.Fatalf("leaked %s", tr.Scheme)
+		}
+	}
+	w := pool.WinnersPerEnv()
+	if len(w.Trajs) != 2 { // one winner per env
+		t.Fatalf("winners = %d", len(w.Trajs))
+	}
+	for _, tr := range w.Trajs {
+		for _, other := range pool.Trajs {
+			if other.Env == tr.Env && other.Score > tr.Score {
+				t.Fatalf("winner %s beaten by %s in %s", tr.Scheme, other.Scheme, tr.Env)
+			}
+		}
+	}
+	top := pool.TopSchemes(2)
+	if len(top) == 0 || len(top) > 4 {
+		t.Fatalf("top schemes = %v", top)
+	}
+}
+
+func TestPoolSaveLoadRoundTrip(t *testing.T) {
+	pool := Collect([]string{"cubic"}, tinyScenarios()[:1], Options{Parallel: 2})
+	path := filepath.Join(t.TempDir(), "pool.gob.gz")
+	if err := pool.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Transitions() != pool.Transitions() || len(got.Trajs) != len(pool.Trajs) {
+		t.Fatalf("round trip mismatch: %d vs %d", got.Transitions(), pool.Transitions())
+	}
+	if got.Trajs[0].Scheme != "cubic" || got.Trajs[0].Score != pool.Trajs[0].Score {
+		t.Fatal("trajectory metadata lost")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Collect([]string{"cubic"}, tinyScenarios()[:1], Options{Parallel: 2})
+	b := Collect([]string{"vegas"}, tinyScenarios()[1:2], Options{Parallel: 2})
+	m := Merge(a, b)
+	if len(m.Trajs) != 2 {
+		t.Fatalf("merged = %d", len(m.Trajs))
+	}
+	if Merge().Transitions() != 0 {
+		t.Fatal("empty merge")
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	sc := tinyScenarios()[:1]
+	p1 := Collect([]string{"cubic"}, sc, Options{Parallel: 1})
+	p2 := Collect([]string{"cubic"}, sc, Options{Parallel: 3})
+	if p1.Transitions() != p2.Transitions() {
+		t.Fatalf("nondeterministic: %d vs %d", p1.Transitions(), p2.Transitions())
+	}
+	s1 := p1.Trajs[0].Steps
+	s2 := p2.Trajs[0].Steps
+	for i := range s1 {
+		if s1[i].Action != s2[i].Action || s1[i].Reward != s2[i].Reward {
+			t.Fatalf("step %d differs across parallelism", i)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package core is Sage's public API: it ties the Policy Collector's pool to
+// the Core Learning block and wraps the learned policy as a deployment-ready
+// congestion-control agent (the Execution block of Fig. 3, "TCP Pure").
+//
+// The full pipeline a user runs:
+//
+//	pool  := collector.Collect(cc.PoolNames(), scenarios, collector.Options{})
+//	model := core.Train(pool, core.Config{}, nil)
+//	agent := model.NewAgent(0)
+//	res   := rollout.Run(scenario, cc.MustNew("pure"), rollout.Options{Controller: agent})
+package core
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sage/internal/collector"
+	"sage/internal/gr"
+	"sage/internal/nn"
+	"sage/internal/rl"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// Config gathers everything Train needs.
+type Config struct {
+	GR   gr.Config    // must match the pool's GR config
+	Mask []int        // input subset (nil = full 69-signal vector)
+	CRR  rl.CRRConfig // learner configuration
+}
+
+// Model is a trained Sage policy plus the metadata needed to run it.
+type Model struct {
+	Policy *nn.Policy
+	Mask   []int
+	GR     gr.Config
+}
+
+// Train runs the offline CRR learner on the pool and returns the model.
+// progress (optional) receives (step, criticLoss, policyLoss).
+func Train(pool *collector.Pool, cfg Config, progress func(step int, criticLoss, policyLoss float64)) *Model {
+	if cfg.Mask == nil {
+		cfg.Mask = gr.MaskFull()
+	}
+	cfg.GR = cfg.GR.Fill()
+	ds := rl.BuildDataset(pool, cfg.Mask)
+	learner := rl.NewCRR(ds, cfg.CRR)
+	learner.Train(ds, progress)
+	return &Model{Policy: learner.Policy, Mask: cfg.Mask, GR: cfg.GR}
+}
+
+// Agent drives a TCP Pure connection from the model: every GR interval it
+// reads the state vector and multiplies cwnd by 2^u, u ∈ [−1, 1].
+// It implements rollout.Controller.
+type Agent struct {
+	model      *Model
+	hidden     []float64
+	Stochastic bool // sample from the GMM instead of taking its mean
+	UseMode    bool // act on the highest-weight component instead of the mixture mean
+	rng        *rand.Rand
+
+	MinCwnd float64
+	MaxCwnd float64
+}
+
+// NewAgent returns a fresh deployment agent (its own recurrent state).
+func (m *Model) NewAgent(seed int64) *Agent {
+	return &Agent{
+		model:   m,
+		hidden:  m.Policy.InitHidden(),
+		rng:     rand.New(rand.NewSource(seed + 77)),
+		MinCwnd: 2,
+		MaxCwnd: 20000,
+	}
+}
+
+// Reset clears the recurrent state (call between flows).
+func (a *Agent) Reset() { a.hidden = a.model.Policy.InitHidden() }
+
+// Control implements rollout.Controller.
+func (a *Agent) Control(now sim.Time, conn *tcp.Conn, state []float64) {
+	masked := gr.ApplyMask(state, a.model.Mask)
+	head, h, _ := a.model.Policy.Forward(masked, a.hidden)
+	a.hidden = h
+	var u float64
+	switch {
+	case a.Stochastic:
+		u = a.model.Policy.GMM.Sample(head, a.rng)
+	case a.UseMode:
+		u = a.model.Policy.GMM.Mode(head)
+	default:
+		u = a.model.Policy.GMM.Mean(head)
+	}
+	ratio := rl.UToRatio(u)
+	w := conn.Cwnd * ratio
+	if w < a.MinCwnd {
+		w = a.MinCwnd
+	}
+	if w > a.MaxCwnd {
+		w = a.MaxCwnd
+	}
+	conn.SetCwnd(w)
+}
+
+// LastHiddenEmbedding runs the policy on a state (stateful) and returns the
+// last hidden layer activation — the embedding Fig. 16 visualizes.
+func (a *Agent) LastHiddenEmbedding(state []float64) []float64 {
+	masked := gr.ApplyMask(state, a.model.Mask)
+	head, h, cache := a.model.Policy.Forward(masked, a.hidden)
+	_ = head
+	a.hidden = h
+	return a.model.Policy.LastHidden(cache)
+}
+
+// modelBlob is the serialized form.
+type modelBlob struct {
+	Cfg    nn.PolicyConfig
+	Norm   nn.Normalizer
+	Params [][]float64
+	Mask   []int
+	GR     gr.Config
+}
+
+// Save writes the model to path as gzipped gob.
+func (m *Model) Save(path string) error {
+	blob := modelBlob{Cfg: m.Policy.Cfg, Norm: *m.Policy.Norm, Mask: m.Mask, GR: m.GR}
+	for _, p := range m.Policy.Params() {
+		blob.Params = append(blob.Params, append([]float64(nil), p.Data...))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(&blob); err != nil {
+		return fmt.Errorf("core: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: gzip: %w", err)
+	}
+	var blob modelBlob
+	if err := gob.NewDecoder(zr).Decode(&blob); err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	pol := nn.NewPolicy(blob.Cfg)
+	pol.Norm = &blob.Norm
+	ps := pol.Params()
+	if len(ps) != len(blob.Params) {
+		return nil, fmt.Errorf("core: blob has %d tensors, want %d", len(blob.Params), len(ps))
+	}
+	for i, p := range ps {
+		if len(p.Data) != len(blob.Params[i]) {
+			return nil, fmt.Errorf("core: tensor %d size mismatch", i)
+		}
+		copy(p.Data, blob.Params[i])
+	}
+	return &Model{Policy: pol, Mask: blob.Mask, GR: blob.GR}, nil
+}
+
+// WrapPolicy builds a Model around an externally trained policy (the BC and
+// online-RL baselines reuse the same deployment path).
+func WrapPolicy(pol *nn.Policy, mask []int, grCfg gr.Config) *Model {
+	if mask == nil {
+		mask = gr.MaskFull()
+	}
+	return &Model{Policy: pol, Mask: mask, GR: grCfg.Fill()}
+}

@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/sim"
+)
+
+func TestPowerScore(t *testing.T) {
+	// α=2: 1.4× throughput ≈ 2× lower delay (the paper's rationale).
+	base := PowerScore(10e6, 20, 2)
+	moreThr := PowerScore(10e6*math.Sqrt2, 20, 2)
+	lessDelay := PowerScore(10e6, 10, 2)
+	if math.Abs(moreThr-lessDelay) > 1e-9 {
+		t.Fatalf("%v vs %v", moreThr, lessDelay)
+	}
+	if base >= moreThr {
+		t.Fatal("ordering broken")
+	}
+	if PowerScore(1, 0, 2) != 0 {
+		t.Fatal("zero delay must score 0")
+	}
+}
+
+func TestFriendlinessScore(t *testing.T) {
+	if FriendlinessScore(10e6, 10e6) != 0 {
+		t.Fatal("perfect share must be 0")
+	}
+	if FriendlinessScore(5e6, 10e6) != FriendlinessScore(15e6, 10e6) {
+		t.Fatal("must be symmetric")
+	}
+	if FriendlinessScore(5e6, 10e6) != 5 {
+		t.Fatalf("got %v", FriendlinessScore(5e6, 10e6))
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("one hog: %v", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate")
+	}
+}
+
+// Property: Jain index is in (0,1] and scale-invariant.
+func TestJainIndexProperty(t *testing.T) {
+	f := func(raw []uint16, scale uint16) bool {
+		if len(raw) == 0 || scale == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		any := false
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v) * float64(scale)
+			if v != 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		j1, j2 := JainIndex(xs), JainIndex(ys)
+		return j1 > 0 && j1 <= 1+1e-12 && math.Abs(j1-j2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	u := []float64{1, 0}
+	if CosineSimilarity(u, []float64{2, 0}) != 1 {
+		t.Fatal("parallel")
+	}
+	if got := CosineSimilarity(u, []float64{0, 3}); got != 0 {
+		t.Fatalf("orthogonal: %v", got)
+	}
+	if got := CosineDistance(u, []float64{-1, 0}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("antiparallel: %v", got)
+	}
+	if CosineSimilarity(u, []float64{0, 0}) != 0 {
+		t.Fatal("zero vector")
+	}
+}
+
+func stepsOf(vals ...float64) []gr.Step {
+	var out []gr.Step
+	for _, v := range vals {
+		out = append(out, gr.Step{State: []float64{v, 2 * v}, Action: v / 10, Reward: 0})
+	}
+	return out
+}
+
+func TestTransitionVectors(t *testing.T) {
+	steps := stepsOf(1, 2, 3)
+	vs := TransitionVectors(steps)
+	if len(vs) != 2 {
+		t.Fatalf("len %d", len(vs))
+	}
+	want := []float64{1, 2, 0.1, 2, 4}
+	for i, v := range want {
+		if vs[0][i] != v {
+			t.Fatalf("vs[0] = %v", vs[0])
+		}
+	}
+	if TransitionVectors(steps[:1]) != nil {
+		t.Fatal("single step must yield nil")
+	}
+}
+
+func TestMinDistancesAndSimilarity(t *testing.T) {
+	pool := [][]float64{{1, 0}, {0, 1}}
+	queries := [][]float64{{1, 0.01}, {-1, 0}}
+	ds := MinDistances(queries, pool, 1)
+	if ds[0] > 0.01 {
+		t.Fatalf("near-identical query distance %v", ds[0])
+	}
+	if ds[1] < 0.9 {
+		t.Fatalf("opposite query distance %v", ds[1])
+	}
+	sim := MeanSimilarity([][]float64{{1, 0}}, pool, 1)
+	if math.Abs(sim-1) > 1e-9 {
+		t.Fatalf("similarity %v", sim)
+	}
+	if MeanSimilarity(nil, pool, 1) != 0 {
+		t.Fatal("empty queries")
+	}
+}
+
+func TestCDFAndPercentile(t *testing.T) {
+	xs, ys := CDF([]float64{3, 1, 2})
+	if xs[0] != 1 || xs[2] != 3 || ys[2] != 1 {
+		t.Fatalf("cdf %v %v", xs, ys)
+	}
+	if got := Percentile([]float64{1, 2, 3, 4, 5}, 50); got != 3 {
+		t.Fatalf("median %v", got)
+	}
+	if got := Percentile([]float64{1, 2, 3, 4, 5}, 100); got != 5 {
+		t.Fatalf("p100 %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestTSNESeparatesClusters(t *testing.T) {
+	// Two well-separated Gaussian blobs in 10-D must stay separated in 2-D.
+	var pts [][]float64
+	var labels []int
+	for i := 0; i < 30; i++ {
+		p := make([]float64, 10)
+		q := make([]float64, 10)
+		for k := range p {
+			p[k] = 0 + 0.1*float64((i*k)%7)/7
+			q[k] = 5 + 0.1*float64((i*k)%5)/5
+		}
+		pts = append(pts, p, q)
+		labels = append(labels, 0, 1)
+	}
+	emb := TSNE(pts, TSNEOptions{Perplexity: 10, Iterations: 250})
+	if len(emb) != len(pts) {
+		t.Fatalf("embedding size %d", len(emb))
+	}
+	if sep := ClusterSeparation(emb, labels); sep < 2 {
+		t.Fatalf("cluster separation %v, want clearly separated", sep)
+	}
+	if TSNE(nil, TSNEOptions{}) != nil {
+		t.Fatal("empty input")
+	}
+	if got := TSNE([][]float64{{1}}, TSNEOptions{}); len(got) != 1 {
+		t.Fatal("single point")
+	}
+}
+
+func TestRunLeagueRanksByDesign(t *testing.T) {
+	// Vegas (low delay) should out-rank cubic on deep-buffer single-flow
+	// scenarios under Sp; cubic should win the multi-flow friendliness set.
+	setI := []netem.Scenario{
+		{Name: "deep", Rate: netem.FlatRate(netem.Mbps(24)), MinRTT: 20 * sim.Millisecond,
+			QueueBytes: 8 * netem.BDPBytes(netem.Mbps(24), 20*sim.Millisecond), Duration: 8 * sim.Second},
+	}
+	setII := netem.SetII(netem.SetIIOptions{Level: netem.GridTiny, Duration: 20 * sim.Second})[:1]
+	res := RunLeague([]Entrant{SchemeEntrant("cubic"), SchemeEntrant("vegas")}, setI, setII, LeagueOptions{})
+	if len(res.Entrants) != 2 {
+		t.Fatal("entrants")
+	}
+	if res.RateSingle["vegas"] <= res.RateSingle["cubic"] {
+		t.Fatalf("Set I: vegas %.2f <= cubic %.2f", res.RateSingle["vegas"], res.RateSingle["cubic"])
+	}
+	if res.RateMulti["cubic"] <= res.RateMulti["vegas"] {
+		t.Fatalf("Set II: cubic %.2f <= vegas %.2f", res.RateMulti["cubic"], res.RateMulti["vegas"])
+	}
+	if got := res.RankingSingle()[0]; got != "vegas" {
+		t.Fatalf("ranking single: %v", got)
+	}
+	if got := res.RankingMulti()[0]; got != "cubic" {
+		t.Fatalf("ranking multi: %v", got)
+	}
+}
+
+func TestMatrixRescoring(t *testing.T) {
+	// One matrix, two scorings: tightening the margin can only reduce (or
+	// keep) each entrant's winning rate, never raise it.
+	setI := netem.SetI(netem.SetIOptions{Level: netem.GridTiny, Duration: 3 * sim.Second})[:3]
+	entrants := []Entrant{SchemeEntrant("cubic"), SchemeEntrant("vegas"), SchemeEntrant("bbr2")}
+	m := RunMatrix(entrants, setI, LeagueOptions{})
+	loose := ScoreLeague(m, LeagueOptions{Margin: 0.10})
+	tight := ScoreLeague(m, LeagueOptions{Margin: 0.05})
+	for _, e := range entrants {
+		if tight.RateSingle[e.Name] > loose.RateSingle[e.Name]+1e-12 {
+			t.Fatalf("%s: tighter margin raised the rate (%v > %v)",
+				e.Name, tight.RateSingle[e.Name], loose.RateSingle[e.Name])
+		}
+	}
+	// Every cell has at least one winner under any margin.
+	sum := 0.0
+	for _, e := range entrants {
+		sum += tight.RateSingle[e.Name]
+	}
+	if sum < 1.0-1e-9 {
+		t.Fatalf("winner coverage %v < 1 (every cell needs a winner)", sum)
+	}
+}

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"sage/internal/gr"
+)
+
+// CosineSimilarity returns u·v / (‖u‖‖v‖), the Similarity Index primitive of
+// Section 7.2. Zero vectors yield 0.
+func CosineSimilarity(u, v []float64) float64 {
+	var dot, nu, nv float64
+	for i := range u {
+		dot += u[i] * v[i]
+		nu += u[i] * u[i]
+		nv += v[i] * v[i]
+	}
+	if nu == 0 || nv == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(nu) * math.Sqrt(nv))
+}
+
+// CosineDistance is 1 − CosineSimilarity (the Distance of Section 7.1).
+func CosineDistance(u, v []float64) float64 { return 1 - CosineSimilarity(u, v) }
+
+// TransitionVectors flattens a trajectory into (s_t, a_t, s_{t+1}) vectors,
+// the representation Figs. 11 and 13 compare.
+func TransitionVectors(steps []gr.Step) [][]float64 {
+	if len(steps) < 2 {
+		return nil
+	}
+	out := make([][]float64, 0, len(steps)-1)
+	for i := 0; i+1 < len(steps); i++ {
+		v := make([]float64, 0, 2*len(steps[i].State)+1)
+		v = append(v, steps[i].State...)
+		v = append(v, steps[i].Action)
+		v = append(v, steps[i+1].State...)
+		out = append(out, v)
+	}
+	return out
+}
+
+// MinDistances returns, for each query transition, the minimum pairwise
+// cosine distance to the pool transitions — the Distance metric whose CDF
+// Fig. 11 plots. poolStride subsamples the pool for tractability (1 = all).
+func MinDistances(queries, pool [][]float64, poolStride int) []float64 {
+	if poolStride < 1 {
+		poolStride = 1
+	}
+	out := make([]float64, len(queries))
+	for i, q := range queries {
+		best := math.Inf(1)
+		for j := 0; j < len(pool); j += poolStride {
+			if d := CosineDistance(q, pool[j]); d < best {
+				best = d
+			}
+		}
+		if math.IsInf(best, 1) {
+			best = 0
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// MeanSimilarity averages the cosine similarity between each query vector
+// and its nearest (most similar) reference vector — the Similarity Index of
+// Fig. 13.
+func MeanSimilarity(queries, refs [][]float64, refStride int) float64 {
+	if len(queries) == 0 || len(refs) == 0 {
+		return 0
+	}
+	if refStride < 1 {
+		refStride = 1
+	}
+	sum := 0.0
+	for _, q := range queries {
+		best := -1.0
+		for j := 0; j < len(refs); j += refStride {
+			if s := CosineSimilarity(q, refs[j]); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(queries))
+}
+
+// CDF returns the sorted values and their cumulative fractions.
+func CDF(values []float64) (xs, ys []float64) {
+	xs = append([]float64(nil), values...)
+	sort.Float64s(xs)
+	ys = make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = float64(i+1) / float64(len(xs))
+	}
+	return xs, ys
+}
+
+// Percentile returns the p-th percentile (0..100) of values.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), values...)
+	sort.Float64s(xs)
+	idx := p / 100 * float64(len(xs)-1)
+	lo := int(idx)
+	if lo >= len(xs)-1 {
+		return xs[len(xs)-1]
+	}
+	frac := idx - float64(lo)
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"sage/internal/core"
+	"sage/internal/eval"
+	"sage/internal/gr"
+	"sage/internal/nn"
+)
+
+// ablationVariant describes one Fig. 12 retrain.
+type ablationVariant struct {
+	name   string
+	mask   func() []int
+	mutate func(*nn.PolicyConfig)
+}
+
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
+		{"no-minmax", gr.MaskNoMinMax, nil},
+		{"no-rttvar", gr.MaskNoRTTVar, nil},
+		{"no-loss/inf", gr.MaskNoLossInflight, nil},
+		{"no-gru", nil, func(p *nn.PolicyConfig) { p.NoGRU = true }},
+		{"no-encoder", nil, func(p *nn.PolicyConfig) { p.NoEncoder = true }},
+		{"no-gmm", nil, func(p *nn.PolicyConfig) { p.K = 1 }},
+	}
+}
+
+// AblationModels retrains (memoized) the six Fig. 12 variants on the same
+// pool and training regime as Sage.
+func (a *Artifacts) AblationModels() map[string]*core.Model {
+	out := map[string]*core.Model{"sage": a.Sage()}
+	for _, v := range ablationVariants() {
+		v := v
+		out[v.name] = a.memo("ablate/"+v.name, func() *core.Model {
+			cfg := core.Config{CRR: a.S.crr()}
+			if v.mask != nil {
+				cfg.Mask = v.mask()
+			}
+			if v.mutate != nil {
+				v.mutate(&cfg.CRR.Policy)
+			}
+			return core.Train(a.Pool(), cfg, nil)
+		})
+	}
+	return out
+}
+
+// Fig12 reproduces Figure 12: winning rates of Sage and its six ablated
+// variants over both sets (each variant wins where its removed component
+// did not matter; the full model should lead).
+func Fig12(a *Artifacts) *Table {
+	models := a.AblationModels()
+	order := []string{"sage", "no-minmax", "no-gmm", "no-encoder", "no-rttvar", "no-loss/inf", "no-gru"}
+	var entrants []eval.Entrant
+	for _, n := range order {
+		entrants = append(entrants, a.ModelEntrant(n, models[n]))
+	}
+	m := a.matrixOf("ablation", entrants)
+	res := eval.ScoreLeague(m, a.leagueOpts())
+	t := &Table{Title: "Fig. 12 — ablation study winning rates",
+		Header: []string{"variant", "winrate_setI", "winrate_setII"}}
+	for _, n := range order {
+		t.AddRow(n, pct(res.RateSingle[n]), pct(res.RateMulti[n]))
+	}
+	return t
+}
+
+// Fig14 reproduces Figure 14: Sage against the uniform-granularity variants
+// Sage-s/m/l (observation windows 10/200/1000), in both sets.
+func Fig14(a *Artifacts) *Table {
+	models := a.GranularityModels()
+	order := []string{"sage", "sage-l", "sage-m", "sage-s"}
+	var entrants []eval.Entrant
+	for _, n := range order {
+		entrants = append(entrants, a.ModelEntrant(n, models[n]))
+	}
+	m := a.matrixOf("granularity", entrants)
+	res := eval.ScoreLeague(m, a.leagueOpts())
+	t := &Table{Title: "Fig. 14 — impact of input-representation granularity",
+		Header: []string{"model", "winrate_setI", "winrate_setII"}}
+	for _, n := range order {
+		t.AddRow(n, pct(res.RateSingle[n]), pct(res.RateMulti[n]))
+	}
+	return t
+}
+
+// Fig15 reproduces Figure 15: Sage retrained on narrower pools — Sage-Top
+// (only the top scheme of each set) and Sage-Top4 (the top four of each
+// set) — showing that pool diversity, not just data volume, drives
+// performance ("the more the merrier").
+func Fig15(a *Artifacts) *Table {
+	pool := a.Pool()
+	topModel := a.memo("sage-top", func() *core.Model {
+		sub := pool.FilterSchemes(pool.TopSchemes(1)...)
+		return core.Train(sub, core.Config{CRR: a.S.crr()}, nil)
+	})
+	top4Model := a.memo("sage-top4", func() *core.Model {
+		sub := pool.FilterSchemes(pool.TopSchemes(4)...)
+		return core.Train(sub, core.Config{CRR: a.S.crr()}, nil)
+	})
+	entrants := []eval.Entrant{
+		a.ModelEntrant("sage", a.Sage()),
+		a.ModelEntrant("sage-top4", top4Model),
+		a.ModelEntrant("sage-top", topModel),
+	}
+	m := a.matrixOf("diversity", entrants)
+	res := eval.ScoreLeague(m, a.leagueOpts())
+	t := &Table{Title: "Fig. 15 — impact of pool diversity",
+		Header: []string{"model", "pool_schemes", "winrate_setI", "winrate_setII"}}
+	t.AddRow("sage", itoa(len(pool.Schemes())), pct(res.RateSingle["sage"]), pct(res.RateMulti["sage"]))
+	t.AddRow("sage-top4", itoa(len(pool.TopSchemes(4))), pct(res.RateSingle["sage-top4"]), pct(res.RateMulti["sage-top4"]))
+	t.AddRow("sage-top", itoa(len(pool.TopSchemes(1))), pct(res.RateSingle["sage-top"]), pct(res.RateMulti["sage-top"]))
+	return t
+}

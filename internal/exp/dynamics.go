@@ -1,0 +1,301 @@
+package exp
+
+import (
+	"fmt"
+
+	"sage/internal/cc"
+	"sage/internal/eval"
+	"sage/internal/netem"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// fig17Scenarios are the three sample environments of Figure 17: a sudden
+// capacity doubling, a sudden halving, and competition with a Cubic flow.
+// 20 ms minRTT and a 450 KB (300-packet) buffer, as in the paper.
+func fig17Scenarios(dur sim.Time) []netem.Scenario {
+	mrtt := 20 * sim.Millisecond
+	const buf = 450_000
+	return []netem.Scenario{
+		{Name: "bw-24to48", Rate: netem.StepRate(netem.Mbps(24), netem.Mbps(48), dur/2),
+			MinRTT: mrtt, QueueBytes: buf, Duration: dur, Seed: 171},
+		{Name: "bw-48to24", Rate: netem.StepRate(netem.Mbps(48), netem.Mbps(24), dur/2),
+			MinRTT: mrtt, QueueBytes: buf, Duration: dur, Seed: 172},
+		{Name: "vs-cubic-24", Rate: netem.FlatRate(netem.Mbps(24)),
+			MinRTT: mrtt, QueueBytes: buf, Duration: dur, CubicFlows: 1,
+			TestStart: dur / 10, Seed: 173},
+	}
+}
+
+// Fig17 reproduces Figure 17: Sage's sending rate, one-way delay, and cwnd
+// across the three sample scenarios; the table reports the series at a few
+// checkpoints plus per-half aggregates (probing/adaptation behaviour).
+func Fig17(a *Artifacts) []*Table {
+	sage := a.Entrant("sage")
+	var tables []*Table
+	for _, sc := range fig17Scenarios(a.S.SetIIDur) {
+		res := sage.Run(sc, rollout.Options{SamplePeriod: sc.Duration / 12})
+		t := &Table{Title: "Fig. 17 — Sage dynamics in " + sc.Name,
+			Header: []string{"t_s", "send_mbps", "thr_mbps", "owd_ms", "cwnd_pkts"}}
+		for _, s := range res.Series {
+			t.AddRow(
+				fmt.Sprintf("%.1f", s.At.Seconds()),
+				mbps(s.SendRateBps),
+				mbps(s.ThrBps),
+				msStr(s.OWD),
+				fmt.Sprintf("%.0f", s.Cwnd),
+			)
+		}
+		t.AddRow("avg", mbps(res.ThroughputBps), mbps(res.ThroughputBps), msStr(res.AvgOWD), "-")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig18 reproduces Figure 18: Sage flows joining a shared bottleneck every
+// interval; the table reports each flow's steady share and the Jain index
+// over the final window (all flows active).
+func Fig18(a *Artifacts, flows int) *Table {
+	if flows == 0 {
+		flows = 4
+	}
+	model := a.Sage()
+	dur := a.S.SetIIDur * 2
+	stagger := dur / sim.Time(flows+1)
+	mrtt := 40 * sim.Millisecond
+	sc := netem.Scenario{
+		Name:       "fairness-sage",
+		Rate:       netem.FlatRate(netem.Mbps(48)),
+		MinRTT:     mrtt,
+		QueueBytes: 2 * netem.BDPBytes(netem.Mbps(48), mrtt),
+		Duration:   dur,
+		Seed:       181,
+	}
+	var specs []rollout.FlowSpec
+	for i := 0; i < flows; i++ {
+		agent := model.NewAgent(int64(i))
+		specs = append(specs, rollout.FlowSpec{
+			Name:       fmt.Sprintf("sage-%d", i+1),
+			CC:         cc.MustNew("pure"),
+			Controller: agent,
+			Start:      sim.Time(i) * stagger,
+		})
+	}
+	results := rollout.RunMulti(sc, specs, rollout.MultiOptions{SamplePeriod: dur / 10})
+	t := &Table{Title: "Fig. 18 — fairness among Sage flows (staggered joins)",
+		Header: []string{"flow", "join_s", "final_window_mbps"}}
+	var final []float64
+	for i, r := range results {
+		last := r.Series[len(r.Series)-1]
+		final = append(final, last.ThrBps)
+		t.AddRow(r.Name, fmt.Sprintf("%.0f", specs[i].Start.Seconds()), mbps(last.ThrBps))
+	}
+	t.AddRow("jain_index", "-", fmt.Sprintf("%.3f", eval.JainIndex(final)))
+	return t
+}
+
+// friendlinessRun shares a 48 Mb/s, 40 ms, 1-BDP bottleneck between the
+// entrant and n Cubic flows (the Fig. 19/28 setup) and returns per-flow
+// throughputs plus the entrant's distance from its fair share.
+func (a *Artifacts) friendlinessRun(name string, nCubic int) (entrantMbps, fairMbps float64, cubic []float64) {
+	mrtt := 40 * sim.Millisecond
+	dur := a.S.SetIIDur * 2
+	sc := netem.Scenario{
+		Name:       fmt.Sprintf("friendliness-%s-%d", name, nCubic),
+		Rate:       netem.FlatRate(netem.Mbps(48)),
+		MinRTT:     mrtt,
+		QueueBytes: netem.BDPBytes(netem.Mbps(48), mrtt),
+		Duration:   dur,
+		Seed:       191,
+	}
+	ent := a.Entrant(name)
+	specs := []rollout.FlowSpec{{
+		Name:  name,
+		CC:    underlyingOf(ent),
+		Start: dur / 10,
+	}}
+	if ent.Controller != nil {
+		specs[0].Controller = ent.Controller()
+	}
+	for i := 0; i < nCubic; i++ {
+		specs = append(specs, rollout.FlowSpec{
+			Name:  fmt.Sprintf("cubic-%d", i+1),
+			CC:    cc.MustNew("cubic"),
+			Start: sim.Time(i) * 50 * sim.Millisecond,
+		})
+	}
+	results := rollout.RunMulti(sc, specs, rollout.MultiOptions{})
+	fair := netem.Mbps(48) / float64(nCubic+1)
+	for i, r := range results {
+		if i == 0 {
+			entrantMbps = r.ThroughputBps / 1e6
+		} else {
+			cubic = append(cubic, r.ThroughputBps/1e6)
+		}
+	}
+	return entrantMbps, fair / 1e6, cubic
+}
+
+func underlyingOf(e eval.Entrant) tcp.CongestionControl {
+	if e.CC != nil {
+		return e.CC()
+	}
+	return cc.MustNew("pure")
+}
+
+// Fig19 reproduces Figure 19: Sage sharing with 3 and with 7 Cubic flows.
+func Fig19(a *Artifacts) *Table {
+	t := &Table{Title: "Fig. 19 — Sage's TCP-friendliness vs 3 and 7 Cubic flows",
+		Header: []string{"competing_cubic", "sage_mbps", "fair_share_mbps", "share_ratio"}}
+	for _, n := range []int{3, 7} {
+		got, fair, _ := a.friendlinessRun("sage", n)
+		t.AddRow(itoa(n), fmt.Sprintf("%.2f", got), fmt.Sprintf("%.2f", fair),
+			fmt.Sprintf("%.2f", got/fair))
+	}
+	return t
+}
+
+// Fig22 reproduces Figure 22: the throughput/delay frontier of Sage against
+// the 13 pool heuristics in a shallow- and a deep-buffer environment.
+func Fig22(a *Artifacts) []*Table {
+	mrtt := 20 * sim.Millisecond
+	envs := []struct {
+		name string
+		bdp  float64
+	}{{"shallow buffer (0.5 BDP)", 0.5}, {"deep buffer (8 BDP)", 8}}
+	names := append([]string{"sage"}, cc.PoolNames()...)
+	var tables []*Table
+	for i, env := range envs {
+		qb := int(float64(netem.BDPBytes(netem.Mbps(48), mrtt)) * env.bdp)
+		sc := netem.Scenario{
+			Name: "frontier", Rate: netem.FlatRate(netem.Mbps(48)), MinRTT: mrtt,
+			QueueBytes: qb, Duration: a.S.SetIDur * 2, Seed: int64(221 + i),
+		}
+		t := &Table{Title: "Fig. 22 — performance frontier, " + env.name,
+			Header: []string{"scheme", "thr_mbps", "avg_rtt_ms"}}
+		for _, n := range names {
+			res := a.Entrant(n).Run(sc, rollout.Options{})
+			t.AddRow(n, mbps(res.ThroughputBps), msStr(res.AvgRTT))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig23 reproduces Figure 23: throughput/delay of the schemes under five
+// AQM disciplines at the bottleneck (48 Mb/s, 20 ms, 240 KB). Sage's spread
+// across AQMs should be the smallest.
+func Fig23(a *Artifacts) *Table {
+	mrtt := 20 * sim.Millisecond
+	aqms := []netem.AQMKind{netem.AQMHeadDrop, netem.AQMDropTail, netem.AQMPIE, netem.AQMBoDe, netem.AQMCoDel}
+	schemes := []string{"sage", "cubic", "bbr2", "vegas", "westwood", "yeah"}
+	t := &Table{Title: "Fig. 23 — impact of AQM disciplines (48 Mb/s, 20 ms, 240 KB)",
+		Header: []string{"scheme", "aqm", "thr_mbps", "avg_rtt_ms"}}
+	type point struct{ thr, rtt float64 }
+	spread := map[string][]point{}
+	for _, name := range schemes {
+		for _, q := range aqms {
+			sc := netem.Scenario{
+				Name: "aqm-" + q.String(), Rate: netem.FlatRate(netem.Mbps(48)),
+				MinRTT: mrtt, QueueBytes: 240_000, AQM: q,
+				Duration: a.S.SetIDur * 2, Seed: 231,
+			}
+			res := a.Entrant(name).Run(sc, rollout.Options{})
+			t.AddRow(name, q.String(), mbps(res.ThroughputBps), msStr(res.AvgRTT))
+			spread[name] = append(spread[name], point{res.ThroughputBps / 1e6, res.AvgRTT.Millis()})
+		}
+	}
+	for _, name := range schemes {
+		pts := spread[name]
+		minT, maxT := pts[0].thr, pts[0].thr
+		for _, p := range pts {
+			if p.thr < minT {
+				minT = p.thr
+			}
+			if p.thr > maxT {
+				maxT = p.thr
+			}
+		}
+		t.AddRow(name, "thr_spread", fmt.Sprintf("%.2f", maxT-minT), "-")
+	}
+	return t
+}
+
+// Fig24Fig25 reproduces Figures 24/25: friendliness dynamics of the ML and
+// delay leagues in a small-buffer (80-packet) and a large-buffer
+// (1280-packet) Set II environment (24 Mb/s, 40 ms). The table reports the
+// entrant's share of its fair share in each.
+func Fig24Fig25(a *Artifacts) *Table {
+	names := []string{"sage", "bc-top", "orca", "aurora", "onlinerl", "vivace",
+		"cubic", "vegas", "copa", "c2tcp", "bbr2", "ledbat"}
+	mrtt := 40 * sim.Millisecond
+	envs := []struct {
+		name string
+		pkts int
+	}{{"small-buffer(80p)", 80}, {"large-buffer(1280p)", 1280}}
+	t := &Table{Title: "Figs. 24/25 — friendliness dynamics vs Cubic (24 Mb/s, 40 ms)",
+		Header: []string{"scheme", "env", "scheme_mbps", "cubic_mbps", "share_ratio"}}
+	for _, env := range envs {
+		for _, name := range names {
+			sc := netem.Scenario{
+				Name: "dyn-" + env.name, Rate: netem.FlatRate(netem.Mbps(24)),
+				MinRTT: mrtt, QueueBytes: env.pkts * netem.MTU,
+				Duration: a.S.SetIIDur * 2, CubicFlows: 1,
+				TestStart: a.S.SetIIDur / 5, Seed: 241,
+			}
+			res := a.Entrant(name).Run(sc, rollout.Options{})
+			fair := 12.0
+			t.AddRow(name, env.name, mbps(res.ThroughputBps), mbps(res.BgThroughput[0]),
+				fmt.Sprintf("%.2f", res.ThroughputBps/1e6/fair))
+		}
+	}
+	return t
+}
+
+// Fig27Fig28 reproduces Figures 27/28: the fairness (own-kind flows) and
+// TCP-friendliness (vs 3 and 7 Cubic flows) of the comparison schemes, to
+// contextualize Figs. 18/19.
+func Fig27Fig28(a *Artifacts) []*Table {
+	schemes := []string{"sage", "vivace", "onlinerl", "aurora", "indigo", "orca", "c2tcp", "bbr2", "yeah", "cubic"}
+	mrtt := 40 * sim.Millisecond
+	dur := a.S.SetIIDur * 2
+
+	fair := &Table{Title: "Fig. 27 — fairness among own-kind flows (Jain index, 4 staggered flows)",
+		Header: []string{"scheme", "jain_index"}}
+	for _, name := range schemes {
+		ent := a.Entrant(name)
+		sc := netem.Scenario{
+			Name: "fairness-" + name, Rate: netem.FlatRate(netem.Mbps(48)), MinRTT: mrtt,
+			QueueBytes: 2 * netem.BDPBytes(netem.Mbps(48), mrtt), Duration: dur, Seed: 271,
+		}
+		var specs []rollout.FlowSpec
+		for i := 0; i < 4; i++ {
+			spec := rollout.FlowSpec{
+				Name:  fmt.Sprintf("%s-%d", name, i+1),
+				CC:    underlyingOf(ent),
+				Start: sim.Time(i) * dur / 5,
+			}
+			if ent.Controller != nil {
+				spec.Controller = ent.Controller()
+			}
+			specs = append(specs, spec)
+		}
+		results := rollout.RunMulti(sc, specs, rollout.MultiOptions{SamplePeriod: dur / 8})
+		var final []float64
+		for _, r := range results {
+			last := r.Series[len(r.Series)-1]
+			final = append(final, last.ThrBps)
+		}
+		fair.AddRow(name, fmt.Sprintf("%.3f", eval.JainIndex(final)))
+	}
+
+	friendly := &Table{Title: "Fig. 28 — TCP-friendliness of other schemes (share of fair share)",
+		Header: []string{"scheme", "vs3cubic_ratio", "vs7cubic_ratio"}}
+	for _, name := range []string{"sage", "aurora", "indigo", "bbr2", "cubic"} {
+		g3, f3, _ := a.friendlinessRun(name, 3)
+		g7, f7, _ := a.friendlinessRun(name, 7)
+		friendly.AddRow(name, fmt.Sprintf("%.2f", g3/f3), fmt.Sprintf("%.2f", g7/f7))
+	}
+	return []*Table{fair, friendly}
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment regenerates one table/figure of the paper.
+type Experiment struct {
+	ID    string // e.g. "fig09"
+	About string
+	Run   func(a *Artifacts) []*Table
+}
+
+// Suite returns every experiment, keyed by figure/table id.
+func Suite() []Experiment {
+	one := func(f func(*Artifacts) *Table) func(*Artifacts) []*Table {
+		return func(a *Artifacts) []*Table { return []*Table{f(a)} }
+	}
+	return []Experiment{
+		{"fig01", "heuristic winning rates, Set I vs Set II", one(Fig01)},
+		{"fig05", "TCP-friendliness reward curve", func(*Artifacts) []*Table { return []*Table{Fig05()} }},
+		{"fig07", "Sage winning rate during training", func(a *Artifacts) []*Table { return []*Table{Fig07(a, 0)} }},
+		{"fig08", "Internet-regime evaluation (intra/inter/cellular)", Fig08},
+		{"fig09", "ML-based league", one(Fig09)},
+		{"fig10", "delay-based league", one(Fig10)},
+		{"fig11", "distributional-shift distance CDF", one(Fig11)},
+		{"fig12", "ablation study", one(Fig12)},
+		{"fig13", "similarity to pool schemes", func(a *Artifacts) []*Table { return []*Table{Fig13(a, 0)} }},
+		{"fig14", "input granularity (Sage-s/m/l)", one(Fig14)},
+		{"fig15", "pool diversity (Sage-Top/Top4)", one(Fig15)},
+		{"fig16", "t-SNE hidden-layer separation", func(a *Artifacts) []*Table { return []*Table{Fig16(a, 0)} }},
+		{"fig17", "behaviour in three sample scenarios", Fig17},
+		{"fig18", "fairness among Sage flows", func(a *Artifacts) []*Table { return []*Table{Fig18(a, 0)} }},
+		{"fig19", "TCP-friendliness vs 3 and 7 Cubic flows", one(Fig19)},
+		{"fig20_21", "leagues at 5% winner margin", Fig20Fig21},
+		{"fig22", "performance frontier", Fig22},
+		{"fig23", "AQM robustness", one(Fig23)},
+		{"fig24_25", "friendliness dynamics samples", one(Fig24Fig25)},
+		{"fig27_28", "fairness/friendliness of other schemes", Fig27Fig28},
+		{"table2_3", "Set I rankings at α=3", Table2Table3},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range Suite() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// IDs lists all experiment ids, sorted.
+func IDs() []string {
+	var out []string
+	for _, e := range Suite() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAndPrint executes the experiment and writes its tables to w.
+func RunAndPrint(e Experiment, a *Artifacts, w io.Writer) {
+	for _, t := range e.Run(a) {
+		t.Fprint(w)
+	}
+}

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSuiteSmokeAll runs every experiment at micro sizing: it validates that
+// each table/figure regenerates without panics and produces non-empty
+// tables. Skipped under -short.
+func TestSuiteSmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite smoke is slow")
+	}
+	a := microArt
+	for _, e := range Suite() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(a)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: empty table %q", e.ID, tb.Title)
+				}
+				tb.Fprint(io.Discard)
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package gr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sage/internal/cc"
+	"sage/internal/netem"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func TestSignalNamesLayout(t *testing.T) {
+	names := SignalNames()
+	if len(names) != StateDim {
+		t.Fatalf("got %d names, want %d", len(names), StateDim)
+	}
+	// Spot-check against Table 1.
+	checks := map[int]string{
+		0:  "srtt",
+		1:  "rttvar",
+		2:  "thr",
+		3:  "ca_state",
+		4:  "rtt_s.avg",
+		12: "rtt_l.max",
+		13: "thr_s.avg",
+		22: "rtt_rate_s.avg",
+		31: "rtt_var_s.avg",
+		40: "inflight_s.avg",
+		49: "lost_s.avg",
+		58: "time_delta",
+		64: "dr",
+		68: "pre_act",
+	}
+	for i, want := range checks {
+		if names[i] != want {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], want)
+		}
+	}
+}
+
+func TestMasks(t *testing.T) {
+	if got := len(MaskFull()); got != StateDim {
+		t.Fatalf("full mask %d", got)
+	}
+	// The paper says removing min/max leaves 33 elements.
+	if got := len(MaskNoMinMax()); got != 33 {
+		t.Fatalf("no-minmax mask %d, want 33", got)
+	}
+	if got := len(MaskNoRTTVar()); got != StateDim-18 {
+		t.Fatalf("no-rttvar mask %d, want %d", got, StateDim-18)
+	}
+	if got := len(MaskNoLossInflight()); got != StateDim-18 {
+		t.Fatalf("no-loss/inf mask %d, want %d", got, StateDim-18)
+	}
+	names := SignalNames()
+	for _, i := range MaskNoRTTVar() {
+		n := names[i]
+		if len(n) > 8 && (n[:8] == "rtt_rate" || n[:8] == "rtt_var_") && n != "rtt_rate" {
+			t.Fatalf("no-rttvar mask kept %q", n)
+		}
+	}
+	s := make([]float64, StateDim)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	got := ApplyMask(s, []int{0, 5, 68})
+	if got[0] != 0 || got[1] != 5 || got[2] != 68 {
+		t.Fatalf("ApplyMask = %v", got)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := newSeries(5)
+	if a, mn, mx := s.stats(3); a != 0 || mn != 0 || mx != 0 {
+		t.Fatal("empty series must be zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7} { // wraps the ring
+		s.push(v)
+	}
+	a, mn, mx := s.stats(3) // last three: 5,6,7
+	if a != 6 || mn != 5 || mx != 7 {
+		t.Fatalf("stats(3) = %v %v %v", a, mn, mx)
+	}
+	a, mn, mx = s.stats(100) // clamped to capacity 5: 3..7
+	if a != 5 || mn != 3 || mx != 7 {
+		t.Fatalf("stats(100) = %v %v %v", a, mn, mx)
+	}
+}
+
+// Property: windowed stats always satisfy min <= avg <= max and lie within
+// the pushed values' range.
+func TestSeriesStatsProperty(t *testing.T) {
+	f := func(vals []float64, k uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := newSeries(64)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				return true // avoid float overflow artifacts in the sum
+			}
+			s.push(v)
+		}
+		a, mn, mx := s.stats(int(k%64) + 1)
+		return mn <= a+1e-9 && a <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR1Shape(t *testing.T) {
+	minRTT := 20 * sim.Millisecond
+	cap := 48e6
+	// Full utilization at propagation delay: reward 1.
+	if r := R1(cap, 0, cap, minRTT, minRTT, 1, 2); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("ideal R1 = %v", r)
+	}
+	// Higher delay strictly reduces reward.
+	r1 := R1(cap, 0, cap, 2*minRTT, minRTT, 1, 2)
+	if r1 >= 1 {
+		t.Fatalf("bufferbloat not penalized: %v", r1)
+	}
+	// Loss strictly reduces reward.
+	r2 := R1(cap, 0.5*cap, cap, minRTT, minRTT, 1, 2)
+	if r2 >= 1 || r2 <= 0 {
+		t.Fatalf("loss not penalized: %v", r2)
+	}
+	// Negative effective rate clamps to zero.
+	if r := R1(0.1*cap, cap, cap, minRTT, minRTT, 1, 2); r != 0 {
+		t.Fatalf("negative base not clamped: %v", r)
+	}
+	// Degenerate inputs.
+	if R1(1, 0, 0, minRTT, minRTT, 1, 2) != 0 || R1(1, 0, cap, 0, minRTT, 1, 2) != 0 {
+		t.Fatal("degenerate inputs must be zero")
+	}
+}
+
+func TestR2Shape(t *testing.T) {
+	// Peak of 1 at the fair share, symmetric decay (Fig. 5).
+	if r := R2(10e6, 10e6); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("peak = %v", r)
+	}
+	lo, hi := R2(5e6, 10e6), R2(15e6, 10e6)
+	if math.Abs(lo-hi) > 1e-12 {
+		t.Fatalf("asymmetric: %v vs %v", lo, hi)
+	}
+	if lo >= 1 || lo <= 0 {
+		t.Fatalf("decay value %v", lo)
+	}
+	if want := math.Exp(-8 * 0.25); math.Abs(lo-want) > 1e-12 {
+		t.Fatalf("R2(0.5) = %v, want %v", lo, want)
+	}
+	if R2(1, 0) != 0 {
+		t.Fatal("zero fair share must be zero")
+	}
+}
+
+// Property: R2 is maximized at x=1 for any rate.
+func TestR2PeakProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Abs(x)
+		return R2(x*10e6, 10e6) <= R2(10e6, 10e6)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorProducesFullState(t *testing.T) {
+	loop := sim.NewLoop()
+	rate := netem.FlatRate(netem.Mbps(24))
+	mrtt := 20 * sim.Millisecond
+	qb := netem.BDPBytes(rate.At(0), mrtt) // 1-BDP buffer: delay stays bounded
+	n := netem.New(loop, netem.Config{Rate: rate, MinRTT: mrtt, Queue: netem.NewDropTail(qb)})
+	fl := tcp.NewFlow(loop, n, 1, cc.MustNew("cubic"), tcp.Options{})
+	mon := NewMonitor(Config{}, fl.Conn, RewardContext{
+		Kind:     RewardSingleFlow,
+		Capacity: rate.At,
+		MinRTT:   mrtt,
+	})
+	fl.Conn.Start(0)
+
+	var steps []Step
+	for tick := mon.Config().Interval; tick <= 5*sim.Second; tick += mon.Config().Interval {
+		loop.RunUntil(tick)
+		steps = append(steps, mon.Tick(tick))
+	}
+	if len(steps) < 200 {
+		t.Fatalf("only %d steps", len(steps))
+	}
+	for i, s := range steps {
+		if len(s.State) != StateDim {
+			t.Fatalf("step %d: state dim %d", i, len(s.State))
+		}
+		for j, v := range s.State {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("step %d: state[%d] (%s) = %v", i, j, SignalNames()[j], v)
+			}
+		}
+		if s.Action <= 0 || math.IsNaN(s.Action) {
+			t.Fatalf("step %d: action %v", i, s.Action)
+		}
+		if s.Reward < 0 || math.IsNaN(s.Reward) {
+			t.Fatalf("step %d: reward %v", i, s.Reward)
+		}
+	}
+	// Cubic on an uncongested path must eventually earn strong rewards.
+	late := steps[len(steps)-50:]
+	sum := 0.0
+	for _, s := range late {
+		sum += s.Reward
+	}
+	if avg := sum / float64(len(late)); avg < 0.3 {
+		t.Fatalf("late average reward %v, want utilization-driven reward", avg)
+	}
+	// pre_act (last element) must echo the previous action.
+	for i := 1; i < len(steps); i++ {
+		if steps[i].State[StateDim-1] != steps[i-1].Action {
+			t.Fatalf("pre_act mismatch at %d", i)
+		}
+	}
+	if mon.Ticks() != len(steps) {
+		t.Fatalf("Ticks = %d", mon.Ticks())
+	}
+}
+
+func TestMonitorFriendlyReward(t *testing.T) {
+	loop := sim.NewLoop()
+	rate := netem.FlatRate(netem.Mbps(24))
+	mrtt := 40 * sim.Millisecond
+	qb := netem.BDPBytes(rate.At(0), mrtt) * 2
+	n := netem.New(loop, netem.Config{Rate: rate, MinRTT: mrtt, Queue: netem.NewDropTail(qb)})
+	bg := tcp.NewFlow(loop, n, 1, cc.MustNew("cubic"), tcp.Options{})
+	ut := tcp.NewFlow(loop, n, 2, cc.MustNew("cubic"), tcp.Options{})
+	mon := NewMonitor(Config{}, ut.Conn, RewardContext{
+		Kind:      RewardFriendly,
+		FairShare: netem.Mbps(12),
+	})
+	bg.Conn.Start(0)
+	loop.RunUntil(2 * sim.Second)
+	ut.Conn.Start(loop.Now())
+	var rewards []float64
+	for tick := loop.Now() + 20*sim.Millisecond; tick <= 30*sim.Second; tick += 20 * sim.Millisecond {
+		loop.RunUntil(tick)
+		rewards = append(rewards, mon.Tick(tick).Reward)
+	}
+	// Cubic-vs-Cubic converges toward the fair share: late rewards high.
+	late := rewards[len(rewards)-200:]
+	sum := 0.0
+	for _, r := range late {
+		sum += r
+	}
+	if avg := sum / float64(len(late)); avg < 0.25 {
+		t.Fatalf("late friendliness reward %v for cubic-vs-cubic", avg)
+	}
+}
+
+func TestWithUniformWindow(t *testing.T) {
+	c := Config{}.WithUniformWindow(10)
+	if c.Small != 10 || c.Medium != 10 || c.Large != 10 {
+		t.Fatalf("uniform window config %+v", c)
+	}
+	d := Config{}.Fill()
+	if d.Small != 10 || d.Medium != 200 || d.Large != 1000 {
+		t.Fatalf("defaults %+v", d)
+	}
+}

@@ -1,0 +1,59 @@
+package gr
+
+// series is a ring buffer of the most recent Large samples of one raw
+// signal, supporting avg/min/max over the trailing k samples — the
+// Small/Medium/Large observation windows of Section 7.4.
+type series struct {
+	buf   []float64
+	next  int
+	count int
+}
+
+func newSeries(capacity int) *series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &series{buf: make([]float64, capacity)}
+}
+
+func (s *series) push(v float64) {
+	s.buf[s.next] = v
+	s.next = (s.next + 1) % len(s.buf)
+	if s.count < len(s.buf) {
+		s.count++
+	}
+}
+
+// stats returns (avg, min, max) over the trailing k samples (or all samples
+// if fewer have been observed). With no samples it returns zeros.
+func (s *series) stats(k int) (avg, min, max float64) {
+	n := k
+	if n > s.count {
+		n = s.count
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	i := s.next - 1
+	if i < 0 {
+		i += len(s.buf)
+	}
+	sum := 0.0
+	min = s.buf[i]
+	max = s.buf[i]
+	for j := 0; j < n; j++ {
+		v := s.buf[i]
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		i--
+		if i < 0 {
+			i += len(s.buf)
+		}
+	}
+	return sum / float64(n), min, max
+}

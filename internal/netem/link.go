@@ -1,0 +1,64 @@
+package netem
+
+import (
+	"sage/internal/sim"
+)
+
+// Link models the bottleneck: packets are queued by the discipline and
+// served one at a time at the (possibly time-varying) schedule rate,
+// then handed to out.
+type Link struct {
+	loop  *sim.Loop
+	queue Queue
+	rate  *RateSchedule
+	out   Receiver
+
+	busy           bool
+	DeliveredPkts  int64
+	DeliveredBytes int64
+	StalledDrops   int64 // packets abandoned because the schedule ends at rate 0
+}
+
+// NewLink builds a link serving queue at the schedule rate, delivering into
+// out.
+func NewLink(loop *sim.Loop, queue Queue, rate *RateSchedule, out Receiver) *Link {
+	return &Link{loop: loop, queue: queue, rate: rate, out: out}
+}
+
+// Queue exposes the link's queue (for stats and tests).
+func (l *Link) Queue() Queue { return l.queue }
+
+// Rate exposes the link's rate schedule.
+func (l *Link) Rate() *RateSchedule { return l.rate }
+
+// Send enqueues p at the bottleneck, reporting whether it was admitted, and
+// kicks the server if the link is idle.
+func (l *Link) Send(p *Packet, now sim.Time) bool {
+	ok := l.queue.Enqueue(p, now)
+	if ok && !l.busy {
+		l.busy = true
+		l.serve(now)
+	}
+	return ok
+}
+
+func (l *Link) serve(now sim.Time) {
+	p := l.queue.Dequeue(now)
+	if p == nil {
+		l.busy = false
+		return
+	}
+	done, ok := l.rate.TxDone(now, float64(p.Size)*8)
+	if !ok {
+		// The schedule ends in a permanent outage; the packet can never leave.
+		l.StalledDrops++
+		l.busy = false
+		return
+	}
+	l.loop.At(done, func(t sim.Time) {
+		l.DeliveredPkts++
+		l.DeliveredBytes += int64(p.Size)
+		l.out.Receive(p, t)
+		l.serve(t)
+	})
+}

@@ -1,0 +1,43 @@
+package netem
+
+import (
+	"testing"
+
+	"sage/internal/sim"
+)
+
+// BenchmarkLinkThroughput measures simulated packets per wall-clock second
+// through the bottleneck — the number that bounds how much emulated traffic
+// the experiment harness can push.
+func BenchmarkLinkThroughput(b *testing.B) {
+	loop := sim.NewLoop()
+	delivered := 0
+	link := NewLink(loop, NewDropTail(1<<30), FlatRate(Mbps(1000)),
+		ReceiverFunc(func(p *Packet, now sim.Time) { delivered++ }))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Send(&Packet{Size: MTU, Seq: int64(i)}, loop.Now())
+		loop.Step()
+	}
+	if delivered == 0 && b.N > 1 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkQueueDisciplines compares enqueue/dequeue cost across AQMs.
+func BenchmarkQueueDisciplines(b *testing.B) {
+	for _, k := range []AQMKind{AQMDropTail, AQMHeadDrop, AQMCoDel, AQMPIE, AQMBoDe} {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			q := NewQueue(k, 64*MTU, 1)
+			now := sim.Time(0)
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(&Packet{Size: MTU}, now)
+				if i%2 == 1 {
+					q.Dequeue(now + sim.Millisecond)
+				}
+				now += 100 * sim.Microsecond
+			}
+		})
+	}
+}

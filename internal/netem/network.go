@@ -1,0 +1,108 @@
+package netem
+
+import (
+	"math/rand"
+
+	"sage/internal/sim"
+)
+
+// Endpoints identifies the two receivers of a flow: the data sink at the far
+// end and the ACK sink back at the sender.
+type Endpoints struct {
+	Data Receiver // receives data packets (the flow's receiver)
+	Ack  Receiver // receives ACK packets (the flow's sender)
+}
+
+// Network wires senders and receivers through one shared bottleneck with
+// symmetric propagation delay. Data packets traverse the bottleneck then a
+// one-way delay; ACKs traverse only the return one-way delay (the reverse
+// path is assumed uncongested, as in the paper's emulation).
+type Network struct {
+	Loop *sim.Loop
+	Link *Link
+
+	owd      sim.Time // one-way propagation delay, each direction
+	jitter   sim.Time // max uniform extra per-packet delay (0 = none)
+	lossProb float64  // random (non-congestive) loss on the data path
+	rng      *rand.Rand
+
+	flows map[int]Endpoints
+
+	RandomLosses int64
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	Rate     *RateSchedule
+	MinRTT   sim.Time // propagation round-trip (split evenly per direction)
+	Queue    Queue    // bottleneck buffer; nil means a 1-BDP DropTail
+	Jitter   sim.Time // max uniform extra one-way delay per packet
+	LossProb float64  // iid random loss probability on the data path
+	Seed     int64
+}
+
+// BDPBytes returns the bandwidth-delay product in bytes.
+func BDPBytes(bps float64, rtt sim.Time) int {
+	return int(bps / 8 * rtt.Seconds())
+}
+
+// New creates a network with a single bottleneck described by cfg.
+func New(loop *sim.Loop, cfg Config) *Network {
+	q := cfg.Queue
+	if q == nil {
+		q = NewDropTail(BDPBytes(cfg.Rate.At(0), cfg.MinRTT))
+	}
+	n := &Network{
+		Loop:     loop,
+		owd:      cfg.MinRTT / 2,
+		jitter:   cfg.Jitter,
+		lossProb: cfg.LossProb,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		flows:    make(map[int]Endpoints),
+	}
+	n.Link = NewLink(loop, q, cfg.Rate, ReceiverFunc(n.afterBottleneck))
+	return n
+}
+
+// MinRTT returns the propagation round-trip time.
+func (n *Network) MinRTT() sim.Time { return 2 * n.owd }
+
+// Attach registers the endpoints of flow id.
+func (n *Network) Attach(id int, ep Endpoints) { n.flows[id] = ep }
+
+// SendData injects a data packet from flow p.FlowID into the bottleneck.
+// It returns false if the packet was dropped at the queue or by random loss.
+func (n *Network) SendData(p *Packet, now sim.Time) bool {
+	if n.lossProb > 0 && n.rng.Float64() < n.lossProb {
+		n.RandomLosses++
+		return false
+	}
+	return n.Link.Send(p, now)
+}
+
+func (n *Network) afterBottleneck(p *Packet, now sim.Time) {
+	d := n.owd + n.extraJitter()
+	n.Loop.At(now+d, func(t sim.Time) {
+		if ep, ok := n.flows[p.FlowID]; ok && ep.Data != nil {
+			ep.Data.Receive(p, t)
+		}
+	})
+}
+
+// SendAck carries an ACK back to flow p.FlowID's sender over the
+// uncongested reverse path.
+func (n *Network) SendAck(p *Packet, now sim.Time) {
+	d := n.owd + n.extraJitter()
+	n.Loop.At(now+d, func(t sim.Time) {
+		if ep, ok := n.flows[p.FlowID]; ok && ep.Ack != nil {
+			ep.Ack.Receive(p, t)
+		}
+	})
+}
+
+func (n *Network) extraJitter() sim.Time {
+	if n.jitter <= 0 {
+		return 0
+	}
+	return sim.Time(n.rng.Int63n(int64(n.jitter) + 1))
+}

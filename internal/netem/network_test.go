@@ -1,0 +1,152 @@
+package netem
+
+import (
+	"testing"
+
+	"sage/internal/sim"
+)
+
+func TestLinkServesAtRate(t *testing.T) {
+	loop := sim.NewLoop()
+	var deliveries []sim.Time
+	link := NewLink(loop, NewDropTail(1<<20), FlatRate(Mbps(12)),
+		ReceiverFunc(func(p *Packet, now sim.Time) { deliveries = append(deliveries, now) }))
+	for i := 0; i < 3; i++ {
+		link.Send(&Packet{Size: MTU, Seq: int64(i)}, 0)
+	}
+	loop.Run()
+	// 12 Mb/s serves one 1500 B packet per ms.
+	want := []sim.Time{sim.Millisecond, 2 * sim.Millisecond, 3 * sim.Millisecond}
+	if len(deliveries) != 3 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+	for i := range want {
+		if deliveries[i] != want[i] {
+			t.Fatalf("delivery %d at %v, want %v", i, deliveries[i], want[i])
+		}
+	}
+	if link.DeliveredPkts != 3 || link.DeliveredBytes != 3*MTU {
+		t.Fatalf("link stats %d/%d", link.DeliveredPkts, link.DeliveredBytes)
+	}
+}
+
+func TestNetworkEndToEnd(t *testing.T) {
+	loop := sim.NewLoop()
+	n := New(loop, Config{
+		Rate:   FlatRate(Mbps(12)),
+		MinRTT: 20 * sim.Millisecond,
+		Queue:  NewDropTail(1 << 20),
+	})
+	var dataAt, ackAt sim.Time
+	n.Attach(1, Endpoints{
+		Data: ReceiverFunc(func(p *Packet, now sim.Time) {
+			dataAt = now
+			n.SendAck(&Packet{FlowID: 1, Ack: true}, now)
+		}),
+		Ack: ReceiverFunc(func(p *Packet, now sim.Time) { ackAt = now }),
+	})
+	n.SendData(&Packet{FlowID: 1, Size: MTU}, 0)
+	loop.Run()
+	// tx 1 ms + owd 10 ms = 11 ms data; +10 ms ack = 21 ms.
+	if dataAt != 11*sim.Millisecond {
+		t.Fatalf("data delivered at %v", dataAt)
+	}
+	if ackAt != 21*sim.Millisecond {
+		t.Fatalf("ack delivered at %v", ackAt)
+	}
+	if n.MinRTT() != 20*sim.Millisecond {
+		t.Fatalf("MinRTT = %v", n.MinRTT())
+	}
+}
+
+func TestNetworkRandomLoss(t *testing.T) {
+	loop := sim.NewLoop()
+	n := New(loop, Config{
+		Rate:     FlatRate(Mbps(100)),
+		MinRTT:   10 * sim.Millisecond,
+		Queue:    NewDropTail(1 << 24),
+		LossProb: 0.5,
+		Seed:     3,
+	})
+	got := 0
+	n.Attach(1, Endpoints{Data: ReceiverFunc(func(p *Packet, now sim.Time) { got++ })})
+	sent := 1000
+	for i := 0; i < sent; i++ {
+		n.SendData(&Packet{FlowID: 1, Size: MTU}, loop.Now())
+		loop.RunUntil(loop.Now() + sim.Millisecond)
+	}
+	loop.Run()
+	if n.RandomLosses == 0 || got == sent {
+		t.Fatalf("loss not applied: got=%d losses=%d", got, n.RandomLosses)
+	}
+	if got+int(n.RandomLosses) != sent {
+		t.Fatalf("conservation: %d delivered + %d lost != %d", got, n.RandomLosses, sent)
+	}
+}
+
+func TestBDPBytes(t *testing.T) {
+	// 48 Mb/s * 40 ms = 240 kB.
+	if got := BDPBytes(Mbps(48), 40*sim.Millisecond); got != 240000 {
+		t.Fatalf("BDPBytes = %d", got)
+	}
+}
+
+func TestSetIGeneration(t *testing.T) {
+	scens := SetI(SetIOptions{Level: GridTiny})
+	if len(scens) == 0 {
+		t.Fatal("no scenarios")
+	}
+	flat, step := 0, 0
+	for _, s := range scens {
+		if s.CubicFlows != 0 {
+			t.Fatalf("%s: Set I must be single-flow", s.Name)
+		}
+		if s.Rate.MaxRate() > Mbps(200) {
+			t.Fatalf("%s exceeds the 200 Mb/s cap", s.Name)
+		}
+		if s.QueueBytes < 2*MTU {
+			t.Fatalf("%s queue too small: %d", s.Name, s.QueueBytes)
+		}
+		if len(s.Rate.bps) == 1 {
+			flat++
+		} else {
+			step++
+		}
+	}
+	if flat == 0 || step == 0 {
+		t.Fatalf("want both flat and step scenarios, got %d/%d", flat, step)
+	}
+	if len(SetI(SetIOptions{Level: GridFull})) <= len(scens) {
+		t.Fatal("full grid should be larger than tiny")
+	}
+}
+
+func TestSetIIGeneration(t *testing.T) {
+	scens := SetII(SetIIOptions{Level: GridTiny})
+	if len(scens) == 0 {
+		t.Fatal("no scenarios")
+	}
+	for _, s := range scens {
+		if s.CubicFlows < 1 {
+			t.Fatalf("%s: Set II needs competing cubic", s.Name)
+		}
+		if s.TestStart <= 0 || s.TestStart >= s.Duration {
+			t.Fatalf("%s: bad TestStart %v", s.Name, s.TestStart)
+		}
+		bdp := BDPBytes(s.Rate.At(0), s.MinRTT)
+		if s.QueueBytes < bdp && s.QueueBytes >= 2*MTU && bdp >= 2*MTU {
+			t.Fatalf("%s: Set II buffer %d under 1 BDP %d", s.Name, s.QueueBytes, bdp)
+		}
+		if got := s.FairShare(); got <= 0 || got > s.Rate.MaxRate() {
+			t.Fatalf("%s: fair share %v", s.Name, got)
+		}
+	}
+	// Names unique.
+	seen := map[string]bool{}
+	for _, s := range scens {
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}

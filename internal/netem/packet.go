@@ -1,0 +1,39 @@
+// Package netem is a packet-level network emulator: a single bottleneck link
+// with a configurable (possibly time-varying) rate, a finite queue managed by
+// a pluggable AQM, and symmetric propagation delay. It plays the role
+// Mahimahi plays in the paper: the only emulated component; everything above
+// it (TCP datapath, CC logic) is the real control loop.
+package netem
+
+import "sage/internal/sim"
+
+// MTU is the default packet size in bytes (payload + headers), matching the
+// 1500-byte packets the paper's emulator carries.
+const MTU = 1500
+
+// Packet is the unit carried by the emulator. The transport layer stores its
+// own bookkeeping in the exported fields; netem itself reads only Size and
+// stamps Enqueued.
+type Packet struct {
+	FlowID   int
+	Seq      int64
+	Size     int      // bytes on the wire
+	Sent     sim.Time // when the sender handed it to the network
+	Enqueued sim.Time // when it entered the bottleneck queue (set by the queue)
+	Ack      bool     // true for acknowledgment packets (reverse path)
+	Retrans  bool
+	ECT      bool // ECN-capable transport: AQMs mark instead of dropping
+	ECE      bool // congestion experienced, set by a marking AQM
+	Payload  any  // transport-layer data (e.g. the ACK contents)
+}
+
+// Receiver consumes packets delivered by the network.
+type Receiver interface {
+	Receive(p *Packet, now sim.Time)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(p *Packet, now sim.Time)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(p *Packet, now sim.Time) { f(p, now) }

@@ -1,0 +1,137 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+
+	"sage/internal/sim"
+)
+
+// Mbps converts megabits/second to bits/second.
+func Mbps(m float64) float64 { return m * 1e6 }
+
+// RateSchedule is a piecewise-constant link rate in bits/second. Segment i
+// starts at times[i] and lasts until times[i+1] (the final segment extends
+// forever). It supports exact integration, so transmission completion times
+// are correct across rate changes — including zero-rate outage segments,
+// which simply stall the link (as a cellular trace can).
+type RateSchedule struct {
+	times []sim.Time
+	bps   []float64
+}
+
+// FlatRate returns a schedule with a single constant rate.
+func FlatRate(bps float64) *RateSchedule {
+	return &RateSchedule{times: []sim.Time{0}, bps: []float64{bps}}
+}
+
+// StepRate returns a schedule that runs at before until at, then switches to
+// after, reproducing the paper's "step scenarios".
+func StepRate(before, after float64, at sim.Time) *RateSchedule {
+	return &RateSchedule{times: []sim.Time{0, at}, bps: []float64{before, after}}
+}
+
+// NewRateSchedule builds a schedule from parallel slices of segment start
+// times (strictly increasing, first must be 0) and rates in bits/second.
+func NewRateSchedule(times []sim.Time, bps []float64) (*RateSchedule, error) {
+	if len(times) == 0 || len(times) != len(bps) {
+		return nil, fmt.Errorf("netem: schedule needs equal-length non-empty slices (%d, %d)", len(times), len(bps))
+	}
+	if times[0] != 0 {
+		return nil, fmt.Errorf("netem: schedule must start at t=0, got %v", times[0])
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("netem: schedule times not increasing at %d", i)
+		}
+	}
+	for i, r := range bps {
+		if r < 0 {
+			return nil, fmt.Errorf("netem: negative rate at segment %d", i)
+		}
+	}
+	return &RateSchedule{times: append([]sim.Time(nil), times...), bps: append([]float64(nil), bps...)}, nil
+}
+
+// At returns the rate in bits/second at time t.
+func (s *RateSchedule) At(t sim.Time) float64 {
+	i := sort.Search(len(s.times), func(i int) bool { return s.times[i] > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s.bps[i]
+}
+
+// segmentEnd returns the end time of segment i, or -1 for the last segment.
+func (s *RateSchedule) segmentEnd(i int) sim.Time {
+	if i+1 < len(s.times) {
+		return s.times[i+1]
+	}
+	return -1
+}
+
+// TxDone returns the time at which a transmission of the given number of
+// bits, starting at start, completes under the schedule. If the remaining
+// schedule can never carry the bits (trailing zero-rate segment), it returns
+// (0, false).
+func (s *RateSchedule) TxDone(start sim.Time, bits float64) (sim.Time, bool) {
+	if bits <= 0 {
+		return start, true
+	}
+	i := sort.Search(len(s.times), func(i int) bool { return s.times[i] > start }) - 1
+	if i < 0 {
+		i = 0
+	}
+	t := start
+	for {
+		end := s.segmentEnd(i)
+		rate := s.bps[i]
+		if end < 0 { // final segment
+			if rate <= 0 {
+				return 0, false
+			}
+			return t + sim.Time(bits/rate*float64(sim.Second)+0.5), true
+		}
+		if rate > 0 {
+			span := float64(end-t) / float64(sim.Second)
+			capacity := rate * span
+			if capacity >= bits {
+				return t + sim.Time(bits/rate*float64(sim.Second)+0.5), true
+			}
+			bits -= capacity
+		}
+		t = end
+		i++
+	}
+}
+
+// MaxRate returns the highest rate in the schedule.
+func (s *RateSchedule) MaxRate() float64 {
+	m := 0.0
+	for _, r := range s.bps {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// MeanRateUntil returns the time-average rate over [0, horizon].
+func (s *RateSchedule) MeanRateUntil(horizon sim.Time) float64 {
+	if horizon <= 0 {
+		return s.bps[0]
+	}
+	total := 0.0
+	for i := range s.times {
+		start := s.times[i]
+		if start >= horizon {
+			break
+		}
+		end := s.segmentEnd(i)
+		if end < 0 || end > horizon {
+			end = horizon
+		}
+		total += s.bps[i] * float64(end-start)
+	}
+	return total / float64(horizon)
+}

@@ -1,0 +1,110 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sage/internal/sim"
+)
+
+func TestFlatRateTxDone(t *testing.T) {
+	r := FlatRate(Mbps(12)) // 12 Mb/s -> 1500B = 12000 bits takes 1 ms
+	done, ok := r.TxDone(0, 12000)
+	if !ok || done != sim.Millisecond {
+		t.Fatalf("TxDone = %v, %v", done, ok)
+	}
+	done, ok = r.TxDone(5*sim.Millisecond, 24000)
+	if !ok || done != 7*sim.Millisecond {
+		t.Fatalf("TxDone = %v, %v", done, ok)
+	}
+}
+
+func TestStepRateAt(t *testing.T) {
+	r := StepRate(Mbps(24), Mbps(48), sim.Second)
+	if r.At(0) != Mbps(24) || r.At(sim.Second-1) != Mbps(24) {
+		t.Fatal("before step wrong")
+	}
+	if r.At(sim.Second) != Mbps(48) || r.At(2*sim.Second) != Mbps(48) {
+		t.Fatal("after step wrong")
+	}
+}
+
+func TestTxDoneAcrossStep(t *testing.T) {
+	// 12 Mb/s for 1 ms then 24 Mb/s. Start at t=0 with 24000 bits:
+	// first 1 ms carries 12000 bits, remaining 12000 bits at 24 Mb/s = 0.5 ms.
+	r := StepRate(Mbps(12), Mbps(24), sim.Millisecond)
+	done, ok := r.TxDone(0, 24000)
+	if !ok || done != 1500*sim.Microsecond {
+		t.Fatalf("TxDone across step = %v, %v", done, ok)
+	}
+}
+
+func TestTxDoneThroughOutage(t *testing.T) {
+	// 12 Mb/s, outage for 10 ms, then 12 Mb/s again.
+	r, err := NewRateSchedule(
+		[]sim.Time{0, sim.Millisecond, 11 * sim.Millisecond},
+		[]float64{Mbps(12), 0, Mbps(12)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24000 bits from t=0: 12000 in first ms, stall 10 ms, 12000 more in 1 ms.
+	done, ok := r.TxDone(0, 24000)
+	if !ok || done != 12*sim.Millisecond {
+		t.Fatalf("TxDone through outage = %v, %v", done, ok)
+	}
+}
+
+func TestTxDonePermanentOutage(t *testing.T) {
+	r, err := NewRateSchedule([]sim.Time{0, sim.Millisecond}, []float64{Mbps(12), 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.TxDone(2*sim.Millisecond, 100); ok {
+		t.Fatal("expected permanent outage to fail")
+	}
+	if done, ok := r.TxDone(0, 12000); !ok || done != sim.Millisecond {
+		t.Fatalf("edge fit = %v, %v", done, ok)
+	}
+}
+
+func TestNewRateScheduleValidation(t *testing.T) {
+	if _, err := NewRateSchedule(nil, nil); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if _, err := NewRateSchedule([]sim.Time{1}, []float64{1}); err == nil {
+		t.Fatal("nonzero start accepted")
+	}
+	if _, err := NewRateSchedule([]sim.Time{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("non-increasing times accepted")
+	}
+	if _, err := NewRateSchedule([]sim.Time{0}, []float64{-1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestMeanRateUntil(t *testing.T) {
+	r := StepRate(Mbps(10), Mbps(30), sim.Second)
+	got := r.MeanRateUntil(2 * sim.Second)
+	if math.Abs(got-Mbps(20)) > 1 {
+		t.Fatalf("MeanRateUntil = %v", got)
+	}
+	if r.MaxRate() != Mbps(30) {
+		t.Fatalf("MaxRate = %v", r.MaxRate())
+	}
+}
+
+// Property: TxDone is monotone in bits and never earlier than start.
+func TestTxDoneMonotoneProperty(t *testing.T) {
+	r := StepRate(Mbps(5), Mbps(50), 20*sim.Millisecond)
+	f := func(b1, b2 uint16) bool {
+		lo, hi := float64(b1), float64(b1)+float64(b2)
+		d1, ok1 := r.TxDone(0, lo)
+		d2, ok2 := r.TxDone(0, hi)
+		return ok1 && ok2 && d1 >= 0 && d2 >= d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) over a module's parameters.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns Adam with the standard β₁=0.9, β₂=0.999 moments.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64),
+		v: make(map[*Param][]float64),
+	}
+}
+
+// Step applies one update using the accumulated gradients, then clears them.
+func (a *Adam) Step(mod Module) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range mod.Params() {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Data))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			a.v[p] = v
+		}
+		for i, g := range p.Grad {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.Data[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Normalizer standardizes feature vectors with statistics estimated from the
+// pool (the model ships with them, so deployment needs no environment
+// knowledge).
+type Normalizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitNormalizer estimates per-feature mean and standard deviation.
+func FitNormalizer(samples [][]float64) *Normalizer {
+	if len(samples) == 0 {
+		return &Normalizer{}
+	}
+	dim := len(samples[0])
+	n := &Normalizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, s := range samples {
+		for i, v := range s {
+			n.Mean[i] += v
+		}
+	}
+	for i := range n.Mean {
+		n.Mean[i] /= float64(len(samples))
+	}
+	for _, s := range samples {
+		for i, v := range s {
+			d := v - n.Mean[i]
+			n.Std[i] += d * d
+		}
+	}
+	for i := range n.Std {
+		n.Std[i] = math.Sqrt(n.Std[i] / float64(len(samples)))
+		if n.Std[i] < 1e-6 {
+			n.Std[i] = 1
+		}
+	}
+	return n
+}
+
+// Apply returns the standardized copy of x, clipped to ±10σ so deployment
+// outliers cannot saturate the network.
+func (n *Normalizer) Apply(x []float64) []float64 {
+	if len(n.Mean) == 0 {
+		return append([]float64(nil), x...)
+	}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		z := (v - n.Mean[i]) / n.Std[i]
+		if z > 10 {
+			z = 10
+		} else if z < -10 {
+			z = -10
+		}
+		y[i] = z
+	}
+	return y
+}

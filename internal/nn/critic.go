@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CriticConfig sizes the distributional Q network. The paper stabilizes
+// learning with "a distributional version of the Q update" (Bellemare et
+// al.); this is a C51-style categorical critic over (state, action).
+type CriticConfig struct {
+	InDim  int // state dimension (the action adds one more input)
+	Hidden int
+	Atoms  int     // categorical support size (51 at paper scale)
+	VMin   float64 // value-support lower bound
+	VMax   float64 // value-support upper bound
+	Seed   int64
+}
+
+// Fill applies defaults.
+func (c CriticConfig) Fill() CriticConfig {
+	if c.Hidden == 0 {
+		c.Hidden = 64
+	}
+	if c.Atoms == 0 {
+		c.Atoms = 21
+	}
+	if c.VMax == 0 {
+		c.VMax = 50
+	}
+	return c
+}
+
+// Critic is a feed-forward categorical critic: (s, a) → distribution over
+// value atoms. A feed-forward critic over the GR state (which already spans
+// three timescales of history) is the documented simplification of Acme's
+// recurrent critic.
+type Critic struct {
+	Cfg  CriticConfig
+	Norm *Normalizer
+	Z    []float64 // atom support
+
+	l1, l2, l3 *Dense
+}
+
+// NewCritic builds a freshly initialized critic.
+func NewCritic(cfg CriticConfig) *Critic {
+	cfg = cfg.Fill()
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	c := &Critic{Cfg: cfg, Norm: &Normalizer{}}
+	c.l1 = NewDense("q1", cfg.InDim+1, cfg.Hidden, rng)
+	c.l2 = NewDense("q2", cfg.Hidden, cfg.Hidden, rng)
+	c.l3 = NewDense("q3", cfg.Hidden, cfg.Atoms, rng)
+	c.Z = make([]float64, cfg.Atoms)
+	for i := range c.Z {
+		c.Z[i] = cfg.VMin + (cfg.VMax-cfg.VMin)*float64(i)/float64(cfg.Atoms-1)
+	}
+	return c
+}
+
+// Params implements Module.
+func (c *Critic) Params() []*Param {
+	var out []*Param
+	out = append(out, c.l1.Params()...)
+	out = append(out, c.l2.Params()...)
+	out = append(out, c.l3.Params()...)
+	return out
+}
+
+// CriticCache holds a forward pass's intermediates.
+type CriticCache struct {
+	in        []float64
+	h1pre, h1 []float64
+	h2pre, h2 []float64
+	logits    []float64
+	probs     []float64
+}
+
+// Dist returns the categorical value distribution for (state, action).
+func (c *Critic) Dist(state []float64, action float64) ([]float64, *CriticCache) {
+	cache := &CriticCache{}
+	xn := c.Norm.Apply(state)
+	cache.in = append(xn, action)
+	cache.h1pre = c.l1.Forward(cache.in)
+	cache.h1 = LeakyReLU(cache.h1pre, lreluAlpha)
+	cache.h2pre = c.l2.Forward(cache.h1)
+	cache.h2 = LeakyReLU(cache.h2pre, lreluAlpha)
+	cache.logits = c.l3.Forward(cache.h2)
+	cache.probs = Softmax(cache.logits)
+	return cache.probs, cache
+}
+
+// Q returns the expected value E[Z] for (state, action).
+func (c *Critic) Q(state []float64, action float64) float64 {
+	probs, _ := c.Dist(state, action)
+	q := 0.0
+	for i, p := range probs {
+		q += p * c.Z[i]
+	}
+	return q
+}
+
+// BackwardCE accumulates gradients of the categorical cross-entropy
+// −Σ mᵢ log pᵢ scaled by weight, given the forward cache and the target
+// distribution m.
+func (c *Critic) BackwardCE(cache *CriticCache, target []float64, weight float64) {
+	dLogits := make([]float64, len(cache.logits))
+	for i := range dLogits {
+		dLogits[i] = (cache.probs[i] - target[i]) * weight
+	}
+	dh2 := c.l3.Backward(cache.h2, dLogits)
+	dh2pre := LeakyReLUBackward(cache.h2pre, dh2, lreluAlpha)
+	dh1 := c.l2.Backward(cache.h1, dh2pre)
+	dh1pre := LeakyReLUBackward(cache.h1pre, dh1, lreluAlpha)
+	c.l1.Backward(cache.in, dh1pre)
+}
+
+// CELoss returns −Σ mᵢ log pᵢ for reporting.
+func CELoss(probs, target []float64) float64 {
+	l := 0.0
+	for i, m := range target {
+		if m > 0 {
+			p := probs[i]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			l -= m * math.Log(p)
+		}
+	}
+	return l
+}
+
+// Project performs the Bellemare categorical projection of the target
+// distribution r + γ·Z (with next-state distribution nextProbs) onto the
+// critic's support.
+func (c *Critic) Project(r, gamma float64, nextProbs []float64) []float64 {
+	n := c.Cfg.Atoms
+	m := make([]float64, n)
+	dz := (c.Cfg.VMax - c.Cfg.VMin) / float64(n-1)
+	for j := 0; j < n; j++ {
+		tz := r + gamma*c.Z[j]
+		if tz < c.Cfg.VMin {
+			tz = c.Cfg.VMin
+		}
+		if tz > c.Cfg.VMax {
+			tz = c.Cfg.VMax
+		}
+		b := (tz - c.Cfg.VMin) / dz
+		l := int(math.Floor(b))
+		u := int(math.Ceil(b))
+		if l < 0 {
+			l = 0
+		}
+		if u > n-1 {
+			u = n - 1
+		}
+		if l == u {
+			m[l] += nextProbs[j]
+		} else {
+			m[l] += nextProbs[j] * (float64(u) - b)
+			m[u] += nextProbs[j] * (b - float64(l))
+		}
+	}
+	return m
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GMM is a Gaussian-mixture head over a scalar action: the last layer of
+// Sage's policy network. A head output vector of length 3K is interpreted as
+// K mixture logits, K means, K log-standard-deviations. The mixture lets the
+// policy stay multi-modal instead of collapsing onto a single heuristic's
+// behaviour (Section 4.2).
+type GMM struct {
+	K int
+}
+
+const (
+	gmmLogStdMin = -5
+	gmmLogStdMax = 2
+	log2Pi       = 1.8378770664093453 // ln(2π)
+)
+
+// HeadDim returns the required head output width.
+func (g GMM) HeadDim() int { return 3 * g.K }
+
+func (g GMM) split(p []float64) (logits, means, logstds []float64) {
+	return p[:g.K], p[g.K : 2*g.K], p[2*g.K : 3*g.K]
+}
+
+func clampLogStd(s float64) float64 {
+	if s < gmmLogStdMin {
+		return gmmLogStdMin
+	}
+	if s > gmmLogStdMax {
+		return gmmLogStdMax
+	}
+	return s
+}
+
+// LogProb returns log π(a) under the mixture described by head output p.
+func (g GMM) LogProb(p []float64, a float64) float64 {
+	logits, means, logstds := g.split(p)
+	logPi := make([]float64, g.K)
+	lse := LogSumExp(logits)
+	for k := 0; k < g.K; k++ {
+		s := clampLogStd(logstds[k])
+		z := (a - means[k]) / math.Exp(s)
+		logN := -0.5*z*z - s - 0.5*log2Pi
+		logPi[k] = logits[k] - lse + logN
+	}
+	return LogSumExp(logPi)
+}
+
+// LogProbGrad returns log π(a) and d logπ/dp (length 3K).
+func (g GMM) LogProbGrad(p []float64, a float64) (float64, []float64) {
+	logits, means, logstds := g.split(p)
+	w := Softmax(logits)
+	logJoint := make([]float64, g.K)
+	sigma := make([]float64, g.K)
+	inRange := make([]bool, g.K)
+	lse := LogSumExp(logits)
+	for k := 0; k < g.K; k++ {
+		s := clampLogStd(logstds[k])
+		inRange[k] = logstds[k] > gmmLogStdMin && logstds[k] < gmmLogStdMax
+		sigma[k] = math.Exp(s)
+		z := (a - means[k]) / sigma[k]
+		logJoint[k] = (logits[k] - lse) + (-0.5*z*z - s - 0.5*log2Pi)
+	}
+	logp := LogSumExp(logJoint)
+	dp := make([]float64, 3*g.K)
+	for k := 0; k < g.K; k++ {
+		gamma := math.Exp(logJoint[k] - logp) // responsibility
+		// d/dlogits: γ_k − w_k (softmax prior gradient).
+		dp[k] = gamma - w[k]
+		z := (a - means[k]) / sigma[k]
+		dp[g.K+k] = gamma * z / sigma[k] // d/dmean
+		if inRange[k] {
+			dp[2*g.K+k] = gamma * (z*z - 1) // d/dlogstd
+		}
+	}
+	return logp, dp
+}
+
+// Sample draws an action from the mixture.
+func (g GMM) Sample(p []float64, rng *rand.Rand) float64 {
+	logits, means, logstds := g.split(p)
+	w := Softmax(logits)
+	u := rng.Float64()
+	k := g.K - 1
+	acc := 0.0
+	for i, wi := range w {
+		acc += wi
+		if u <= acc {
+			k = i
+			break
+		}
+	}
+	return means[k] + math.Exp(clampLogStd(logstds[k]))*rng.NormFloat64()
+}
+
+// Mean returns the mixture mean (the deterministic action used at
+// deployment).
+func (g GMM) Mean(p []float64) float64 {
+	logits, means, _ := g.split(p)
+	w := Softmax(logits)
+	m := 0.0
+	for k := 0; k < g.K; k++ {
+		m += w[k] * means[k]
+	}
+	return m
+}
+
+// Mode returns the mean of the highest-weight component — sharper than the
+// mixture mean when components disagree.
+func (g GMM) Mode(p []float64) float64 {
+	logits, means, _ := g.split(p)
+	best := 0
+	for k := 1; k < g.K; k++ {
+		if logits[k] > logits[best] {
+			best = k
+		}
+	}
+	return means[best]
+}

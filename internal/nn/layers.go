@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully-connected layer y = Wx + b. Layers are stateless: the
+// caller keeps the input around and passes it back to Backward, which makes
+// reuse across BPTT timesteps trivial.
+type Dense struct {
+	W, B     *Param
+	In, Outs int
+}
+
+// NewDense builds a Glorot-initialized dense layer.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{W: NewParam(name+".W", out, in), B: NewParam(name+".b", 1, out), In: in, Outs: out}
+	d.W.GlorotInit(rng)
+	return d
+}
+
+// Params implements Module.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward computes y = Wx + b.
+func (d *Dense) Forward(x []float64) []float64 {
+	y := make([]float64, d.Outs)
+	for i := 0; i < d.Outs; i++ {
+		row := d.W.Data[i*d.In : (i+1)*d.In]
+		s := d.B.Data[i]
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients for input x and output gradient
+// dy, and returns dx.
+func (d *Dense) Backward(x, dy []float64) []float64 {
+	dx := make([]float64, d.In)
+	for i := 0; i < d.Outs; i++ {
+		g := dy[i]
+		if g == 0 {
+			continue
+		}
+		row := d.W.Data[i*d.In : (i+1)*d.In]
+		grow := d.W.Grad[i*d.In : (i+1)*d.In]
+		d.B.Grad[i] += g
+		for j, xj := range x {
+			grow[j] += g * xj
+			dx[j] += row[j] * g
+		}
+	}
+	return dx
+}
+
+// LayerNorm normalizes its input to zero mean / unit variance and applies a
+// learned affine transform.
+type LayerNorm struct {
+	G, B *Param
+	N    int
+	Eps  float64
+}
+
+// NewLayerNorm builds a LayerNorm over n features (gain 1, bias 0).
+func NewLayerNorm(name string, n int) *LayerNorm {
+	ln := &LayerNorm{G: NewParam(name+".g", 1, n), B: NewParam(name+".b", 1, n), N: n, Eps: 1e-5}
+	ln.G.Fill(1)
+	return ln
+}
+
+// Params implements Module.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.G, ln.B} }
+
+// lnCache carries the normalization statistics Backward needs.
+type lnCache struct {
+	xhat []float64
+	std  float64
+}
+
+// Forward normalizes x; the returned cache must be passed to Backward.
+func (ln *LayerNorm) Forward(x []float64) ([]float64, *lnCache) {
+	n := float64(ln.N)
+	mu := 0.0
+	for _, v := range x {
+		mu += v
+	}
+	mu /= n
+	varr := 0.0
+	for _, v := range x {
+		d := v - mu
+		varr += d * d
+	}
+	varr /= n
+	std := math.Sqrt(varr + ln.Eps)
+	xhat := make([]float64, ln.N)
+	y := make([]float64, ln.N)
+	for i, v := range x {
+		xhat[i] = (v - mu) / std
+		y[i] = xhat[i]*ln.G.Data[i] + ln.B.Data[i]
+	}
+	return y, &lnCache{xhat: xhat, std: std}
+}
+
+// Backward accumulates gradients and returns dx.
+func (ln *LayerNorm) Backward(c *lnCache, dy []float64) []float64 {
+	n := float64(ln.N)
+	dxhat := make([]float64, ln.N)
+	sumDxhat := 0.0
+	sumDxhatX := 0.0
+	for i := range dy {
+		ln.G.Grad[i] += dy[i] * c.xhat[i]
+		ln.B.Grad[i] += dy[i]
+		dxhat[i] = dy[i] * ln.G.Data[i]
+		sumDxhat += dxhat[i]
+		sumDxhatX += dxhat[i] * c.xhat[i]
+	}
+	dx := make([]float64, ln.N)
+	for i := range dx {
+		dx[i] = (dxhat[i] - sumDxhat/n - c.xhat[i]*sumDxhatX/n) / c.std
+	}
+	return dx
+}
+
+// LeakyReLU applies max(x, alpha·x) elementwise.
+func LeakyReLU(x []float64, alpha float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if v >= 0 {
+			y[i] = v
+		} else {
+			y[i] = alpha * v
+		}
+	}
+	return y
+}
+
+// LeakyReLUBackward returns dx given the layer input and dy.
+func LeakyReLUBackward(x, dy []float64, alpha float64) []float64 {
+	dx := make([]float64, len(x))
+	for i, v := range x {
+		if v >= 0 {
+			dx[i] = dy[i]
+		} else {
+			dx[i] = alpha * dy[i]
+		}
+	}
+	return dx
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	return y
+}
+
+// TanhBackward returns dx given the layer *output* y and dy.
+func TanhBackward(y, dy []float64) []float64 {
+	dx := make([]float64, len(y))
+	for i := range y {
+		dx[i] = dy[i] * (1 - y[i]*y[i])
+	}
+	return dx
+}
+
+// Softmax returns the softmax of x (numerically stable).
+func Softmax(x []float64) []float64 {
+	m := x[0]
+	for _, v := range x {
+		if v > m {
+			m = v
+		}
+	}
+	s := 0.0
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v - m)
+		s += y[i]
+	}
+	for i := range y {
+		y[i] /= s
+	}
+	return y
+}
+
+// LogSumExp computes log Σ exp(x_i), numerically stable.
+func LogSumExp(x []float64) float64 {
+	m := x[0]
+	for _, v := range x {
+		if v > m {
+			m = v
+		}
+	}
+	s := 0.0
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}

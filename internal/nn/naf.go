@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NAFCritic is a Normalized-Advantage-Function critic (Gu et al. 2016) over
+// a scalar action:
+//
+//	Q(s, a) = V(s) − p(s)·(a − m(s))²,  p(s) = softplus(·) ≥ 0
+//
+// The quadratic form matters here beyond convenience: congestion-control
+// returns are confounded — in the pool, large positive window moves happen
+// while flows are still ramping (low reward) and large cuts happen at
+// saturation (high reward), so an unconstrained critic learns a spurious
+// global negative slope in the action. NAF has no linear-in-a shortcut: the
+// action enters only relative to the state-dependent maximizer m(s), which
+// is also the right inductive bias (too small a window starves, too large
+// bloats/loses).
+type NAFCritic struct {
+	Cfg  NAFConfig
+	Norm *Normalizer
+
+	l1, l2 *Dense
+	headV  *Dense // V(s)
+	headM  *Dense // pre-tanh maximizer
+	headP  *Dense // pre-softplus curvature
+}
+
+// NAFConfig sizes the critic.
+type NAFConfig struct {
+	InDim  int
+	Hidden int
+	// VMax bounds value estimates (targets are clamped to [0, VMax]) —
+	// rewards live in [0,1], so VMax ≈ 1/(1−γ) plays the role C51's
+	// bounded support plays for stability. Default 100.
+	VMax float64
+	// PMin floors the curvature p(s) so the quadratic never flattens into
+	// an unidentifiable m(s). Default 0.05.
+	PMin float64
+	Seed int64
+}
+
+// Fill applies defaults.
+func (c NAFConfig) Fill() NAFConfig {
+	if c.Hidden == 0 {
+		c.Hidden = 64
+	}
+	if c.VMax == 0 {
+		c.VMax = 100
+	}
+	if c.PMin == 0 {
+		c.PMin = 0.05
+	}
+	return c
+}
+
+// NewNAFCritic builds a freshly initialized critic.
+func NewNAFCritic(cfg NAFConfig) *NAFCritic {
+	cfg = cfg.Fill()
+	rng := rand.New(rand.NewSource(cfg.Seed + 29))
+	c := &NAFCritic{Cfg: cfg, Norm: &Normalizer{}}
+	c.l1 = NewDense("naf1", cfg.InDim, cfg.Hidden, rng)
+	c.l2 = NewDense("naf2", cfg.Hidden, cfg.Hidden, rng)
+	c.headV = NewDense("nafV", cfg.Hidden, 1, rng)
+	c.headM = NewDense("nafM", cfg.Hidden, 1, rng)
+	c.headP = NewDense("nafP", cfg.Hidden, 1, rng)
+	return c
+}
+
+// Params implements Module.
+func (c *NAFCritic) Params() []*Param {
+	var out []*Param
+	for _, m := range []*Dense{c.l1, c.l2, c.headV, c.headM, c.headP} {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// NAFCache holds forward intermediates.
+type NAFCache struct {
+	xn         []float64
+	h1pre, h1  []float64
+	h2pre, h2  []float64
+	v, mPre, m float64
+	pPre, p    float64
+	a, q       float64
+}
+
+func softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// forward evaluates Q(s, a) with a cache.
+func (c *NAFCritic) forward(state []float64, a float64) *NAFCache {
+	ca := &NAFCache{a: a}
+	ca.xn = c.Norm.Apply(state)
+	ca.h1pre = c.l1.Forward(ca.xn)
+	ca.h1 = LeakyReLU(ca.h1pre, lreluAlpha)
+	ca.h2pre = c.l2.Forward(ca.h1)
+	ca.h2 = LeakyReLU(ca.h2pre, lreluAlpha)
+	ca.v = c.headV.Forward(ca.h2)[0]
+	ca.mPre = c.headM.Forward(ca.h2)[0]
+	ca.m = math.Tanh(ca.mPre)
+	ca.pPre = c.headP.Forward(ca.h2)[0]
+	ca.p = softplus(ca.pPre) + c.Cfg.PMin
+	d := a - ca.m
+	ca.q = ca.v - ca.p*d*d
+	return ca
+}
+
+// Q returns the action value.
+func (c *NAFCritic) Q(state []float64, a float64) float64 { return c.forward(state, a).q }
+
+// Greedy returns the critic's maximizing action m(s) and the value V(s).
+func (c *NAFCritic) Greedy(state []float64) (m, v float64) {
+	ca := c.forward(state, 0)
+	return ca.m, ca.v
+}
+
+func sigmoidOf(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// TDBackward accumulates gradients of weight·½(Q(s,a) − y)² and returns the
+// unweighted squared error. The target y is clamped to [0, VMax].
+func (c *NAFCritic) TDBackward(state []float64, a, y, weight float64) float64 {
+	if y < 0 {
+		y = 0
+	}
+	if y > c.Cfg.VMax {
+		y = c.Cfg.VMax
+	}
+	ca := c.forward(state, a)
+	err := ca.q - y
+	dq := err * weight
+	d := a - ca.m
+	// Q = v − p·d²
+	dv := dq
+	dp := -dq * d * d
+	dm := dq * 2 * ca.p * d
+	// Head pre-activations.
+	dmPre := dm * (1 - ca.m*ca.m)
+	var dpPre float64
+	if ca.pPre > 30 {
+		dpPre = dp
+	} else {
+		dpPre = dp * sigmoidOf(ca.pPre) // d softplus/dx = σ(x)
+	}
+	dh2 := c.headV.Backward(ca.h2, []float64{dv})
+	dh2m := c.headM.Backward(ca.h2, []float64{dmPre})
+	dh2p := c.headP.Backward(ca.h2, []float64{dpPre})
+	for i := range dh2 {
+		dh2[i] += dh2m[i] + dh2p[i]
+	}
+	dh2pre := LeakyReLUBackward(ca.h2pre, dh2, lreluAlpha)
+	dh1 := c.l2.Backward(ca.h1, dh2pre)
+	dh1pre := LeakyReLUBackward(ca.h1pre, dh1, lreluAlpha)
+	c.l1.Backward(ca.xn, dh1pre)
+	return err * err
+}
+
+// CloneNAF returns a deep copy (target network).
+func CloneNAF(c *NAFCritic) *NAFCritic {
+	q := NewNAFCritic(c.Cfg)
+	q.Norm = c.Norm
+	CopyParams(q, c)
+	return q
+}

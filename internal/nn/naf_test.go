@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNAFGradients(t *testing.T) {
+	c := NewNAFCritic(NAFConfig{InDim: 4, Hidden: 8, Seed: 3})
+	state := []float64{1, -0.5, 2, 0.3}
+	a, y := 0.4, 1.7
+	loss := func() float64 {
+		q := c.Q(state, a)
+		return 0.5 * (q - y) * (q - y)
+	}
+	checkModuleGrads(t, c, loss, func() {
+		c.TDBackward(state, a, y, 1)
+	}, 1e-3)
+}
+
+func TestNAFQuadraticShape(t *testing.T) {
+	c := NewNAFCritic(NAFConfig{InDim: 2, Hidden: 8, Seed: 5})
+	s := []float64{0.5, -1}
+	m, v := c.Greedy(s)
+	if m < -1 || m > 1 {
+		t.Fatalf("maximizer %v outside tanh range", m)
+	}
+	// Q is maximized at m and concave.
+	qm := c.Q(s, m)
+	if qm > v+1e-9 {
+		t.Fatalf("Q(m)=%v exceeds V=%v", qm, v)
+	}
+	for _, d := range []float64{0.2, 0.5, 1} {
+		if c.Q(s, m+d) > qm+1e-12 || c.Q(s, m-d) > qm+1e-12 {
+			t.Fatalf("Q not maximized at m")
+		}
+		if c.Q(s, m+d) < c.Q(s, m+d/2)-1e-12 == false && c.Q(s, m+d) > c.Q(s, m+d/2) {
+			t.Fatalf("Q not concave away from m")
+		}
+	}
+}
+
+func TestNAFLearnsQuadratic(t *testing.T) {
+	// Fit Q(s,a) with true optimum depending on the state's sign:
+	// y = 4 − (a − 0.5·s₀)² (kept positive so the [0, VMax] target clamp
+	// stays inactive).
+	c := NewNAFCritic(NAFConfig{InDim: 1, Hidden: 16, Seed: 7})
+	opt := NewAdam(0.01)
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 3000; step++ {
+		s0 := float64(rng.Intn(2)*2 - 1) // ±1
+		a := rng.Float64()*2 - 1
+		y := 4 - (a-0.5*s0)*(a-0.5*s0)
+		c.TDBackward([]float64{s0}, a, y, 1)
+		if step%8 == 7 {
+			opt.Step(c)
+		}
+	}
+	mPos, _ := c.Greedy([]float64{1})
+	mNeg, _ := c.Greedy([]float64{-1})
+	if math.Abs(mPos-0.5) > 0.15 || math.Abs(mNeg+0.5) > 0.15 {
+		t.Fatalf("learned maximizers %v, %v; want ±0.5", mPos, mNeg)
+	}
+	if q := c.Q([]float64{1}, 0.5); math.Abs(q-4) > 0.3 {
+		t.Fatalf("Q at optimum %v, want ~4", q)
+	}
+}
+
+func TestCloneNAF(t *testing.T) {
+	c := NewNAFCritic(NAFConfig{InDim: 2, Hidden: 4, Seed: 1})
+	q := CloneNAF(c)
+	s := []float64{1, 2}
+	if c.Q(s, 0.3) != q.Q(s, 0.3) {
+		t.Fatal("clone diverges")
+	}
+}

@@ -1,0 +1,119 @@
+// Package nn is a small, dependency-free neural-network library sized for
+// the paper's architecture (Fig. 6): dense layers, LayerNorm, a GRU cell
+// trained with truncated BPTT, residual blocks, a Gaussian-mixture policy
+// head, a C51-style categorical value head, and the Adam optimizer. All
+// gradients are hand-derived; finite-difference tests in this package verify
+// every backward pass.
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a flat parameter tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	Rows int // output dimension (1 for vectors)
+	Cols int // input dimension (length for vectors)
+	Data []float64
+	Grad []float64
+}
+
+// NewParam allocates a rows×cols parameter initialized to zero.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		Rows: rows,
+		Cols: cols,
+		Data: make([]float64, rows*cols),
+		Grad: make([]float64, rows*cols),
+	}
+}
+
+// GlorotInit fills the parameter with Glorot-uniform values.
+func (p *Param) GlorotInit(rng *rand.Rand) {
+	limit := math.Sqrt(6 / float64(p.Rows+p.Cols))
+	for i := range p.Data {
+		p.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// Fill sets every element to v.
+func (p *Param) Fill(v float64) {
+	for i := range p.Data {
+		p.Data[i] = v
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Module is anything exposing trainable parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// ZeroGrads clears gradients of all parameters of a module.
+func ZeroGrads(m Module) {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// CopyParams copies src parameter data into dst (target-network sync).
+// The two modules must have identical shapes.
+func CopyParams(dst, src Module) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		copy(dp[i].Data, sp[i].Data)
+	}
+}
+
+// PolyakUpdate blends dst ← (1−tau)·dst + tau·src.
+func PolyakUpdate(dst, src Module, tau float64) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		for j := range dp[i].Data {
+			dp[i].Data[j] = (1-tau)*dp[i].Data[j] + tau*sp[i].Data[j]
+		}
+	}
+}
+
+// ParamCount returns the total number of scalars in a module.
+func ParamCount(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// GradNorm returns the L2 norm of all gradients of a module.
+func GradNorm(m Module) float64 {
+	s := 0.0
+	for _, p := range m.Params() {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrads scales gradients so their global norm is at most maxNorm.
+func ClipGrads(m Module, maxNorm float64) {
+	n := GradNorm(m)
+	if n <= maxNorm || n == 0 {
+		return
+	}
+	f := maxNorm / n
+	for _, p := range m.Params() {
+		for i := range p.Grad {
+			p.Grad[i] *= f
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// policyBlob is the on-disk form of a trained policy.
+type policyBlob struct {
+	Cfg    PolicyConfig
+	Norm   Normalizer
+	Params [][]float64
+}
+
+// SavePolicy writes the policy (architecture, normalizer, weights) to path
+// as gzipped gob.
+func SavePolicy(p *Policy, path string) error {
+	blob := policyBlob{Cfg: p.Cfg, Norm: *p.Norm}
+	for _, pr := range p.Params() {
+		blob.Params = append(blob.Params, append([]float64(nil), pr.Data...))
+	}
+	return writeGob(path, &blob)
+}
+
+// LoadPolicy reconstructs a policy written by SavePolicy.
+func LoadPolicy(path string) (*Policy, error) {
+	var blob policyBlob
+	if err := readGob(path, &blob); err != nil {
+		return nil, err
+	}
+	p := NewPolicy(blob.Cfg)
+	p.Norm = &blob.Norm
+	ps := p.Params()
+	if len(ps) != len(blob.Params) {
+		return nil, fmt.Errorf("nn: policy blob has %d tensors, want %d", len(blob.Params), len(ps))
+	}
+	for i, pr := range ps {
+		if len(pr.Data) != len(blob.Params[i]) {
+			return nil, fmt.Errorf("nn: tensor %d size mismatch", i)
+		}
+		copy(pr.Data, blob.Params[i])
+	}
+	return p, nil
+}
+
+// LastHidden returns the activation of the network's last hidden layer for a
+// forward cache — the embedding Fig. 16 visualizes with t-SNE.
+func (p *Policy) LastHidden(c *PolicyCache) []float64 { return c.resOut }
+
+// ClonePolicy returns a deep copy (used for target networks).
+func ClonePolicy(p *Policy) *Policy {
+	q := NewPolicy(p.Cfg)
+	q.Norm = p.Norm
+	CopyParams(q, p)
+	return q
+}
+
+// CloneCritic returns a deep copy (used for target networks).
+func CloneCritic(c *Critic) *Critic {
+	q := NewCritic(c.Cfg)
+	q.Norm = c.Norm
+	CopyParams(q, c)
+	return q
+}
+
+func writeGob(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(v); err != nil {
+		return fmt.Errorf("nn: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readGob(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("nn: gzip: %w", err)
+	}
+	if err := gob.NewDecoder(zr).Decode(v); err != nil {
+		return fmt.Errorf("nn: decode: %w", err)
+	}
+	return nil
+}

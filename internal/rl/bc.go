@@ -1,0 +1,77 @@
+package rl
+
+import (
+	"math/rand"
+
+	"sage/internal/nn"
+)
+
+// BCConfig tunes behavioral cloning: the same policy architecture as Sage,
+// trained purely by maximizing the data log-likelihood (the paper's BC,
+// BC-top, BC-top3 and BCv2 baselines differ only in the pool they see).
+type BCConfig struct {
+	Policy nn.PolicyConfig
+	Batch  int
+	SeqLen int
+	Steps  int
+	LR     float64
+	Seed   int64
+}
+
+// Fill applies defaults.
+func (c BCConfig) Fill() BCConfig {
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.SeqLen == 0 {
+		c.SeqLen = 8
+	}
+	if c.Steps == 0 {
+		c.Steps = 1000
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	return c
+}
+
+// TrainBC trains a policy by log-likelihood on the dataset and returns it.
+func TrainBC(ds *Dataset, cfg BCConfig, progress func(step int, nll float64)) *nn.Policy {
+	cfg = cfg.Fill()
+	cfg.Policy.InDim = ds.InDim()
+	cfg.Policy.Seed = cfg.Seed
+	pol := nn.NewPolicy(cfg.Policy)
+	pol.Norm = ds.Norm
+	opt := nn.NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed + 303))
+
+	for step := 1; step <= cfg.Steps; step++ {
+		nll := 0.0
+		for b := 0; b < cfg.Batch; b++ {
+			tr, start := ds.sampleSeq(rng, cfg.SeqLen)
+			h := pol.InitHidden()
+			heads := make([][]float64, cfg.SeqLen)
+			caches := make([]*nn.PolicyCache, cfg.SeqLen)
+			for i := 0; i < cfg.SeqLen; i++ {
+				heads[i], h, caches[i] = pol.Forward(tr.States[start+i], h)
+			}
+			var dHidden []float64
+			for i := cfg.SeqLen - 1; i >= 0; i-- {
+				a := tr.Actions[start+i]
+				logp, dp := pol.GMM.LogProbGrad(heads[i], a)
+				nll += -logp
+				w := -1.0 / float64(cfg.Batch*cfg.SeqLen)
+				for k := range dp {
+					dp[k] *= w
+				}
+				dHidden = pol.Backward(caches[i], dp, dHidden)
+			}
+		}
+		nn.ClipGrads(pol, 10)
+		opt.Step(pol)
+		if progress != nil {
+			progress(step, nll/float64(cfg.Batch*cfg.SeqLen))
+		}
+	}
+	return pol
+}

@@ -1,0 +1,123 @@
+package rl
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"sage/internal/nn"
+)
+
+// checkpointBlob serializes a learner mid-training: both online networks,
+// both targets, and the normalizer — enough to resume a long (paper-scale)
+// training run across process restarts. Optimizer moments are intentionally
+// not saved; Adam re-warms within a few hundred steps.
+type checkpointBlob struct {
+	Cfg        CRRConfig
+	Norm       nn.Normalizer
+	Policy     [][]float64
+	TargetPol  [][]float64
+	Critic     [][]float64
+	TargetCrit [][]float64
+	StepsDone  int
+}
+
+func dumpParams(m nn.Module) [][]float64 {
+	var out [][]float64
+	for _, p := range m.Params() {
+		out = append(out, append([]float64(nil), p.Data...))
+	}
+	return out
+}
+
+func loadParams(m nn.Module, data [][]float64) error {
+	ps := m.Params()
+	if len(ps) != len(data) {
+		return fmt.Errorf("rl: checkpoint has %d tensors, want %d", len(data), len(ps))
+	}
+	for i, p := range ps {
+		if len(p.Data) != len(data[i]) {
+			return fmt.Errorf("rl: tensor %d size mismatch", i)
+		}
+		copy(p.Data, data[i])
+	}
+	return nil
+}
+
+// SaveCheckpoint writes the learner's full training state to path.
+func (l *CRR) SaveCheckpoint(path string, stepsDone int) error {
+	blob := checkpointBlob{
+		Cfg:       l.Cfg,
+		Norm:      *l.Policy.Norm,
+		Policy:    dumpParams(l.Policy),
+		TargetPol: dumpParams(l.targetPolicy),
+		StepsDone: stepsDone,
+	}
+	if l.Critic != nil {
+		blob.Critic = dumpParams(l.Critic)
+		blob.TargetCrit = dumpParams(l.targetCritic)
+	} else {
+		blob.Critic = dumpParams(l.NAF)
+		blob.TargetCrit = dumpParams(l.targetNAF)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("rl: checkpoint: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(&blob); err != nil {
+		return fmt.Errorf("rl: checkpoint encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint reconstructs a learner from a checkpoint written by
+// SaveCheckpoint, returning it and the number of completed steps. The
+// dataset must be the same pool (or at least the same input layout) the
+// checkpoint was trained on.
+func LoadCheckpoint(path string, ds *Dataset) (*CRR, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rl: checkpoint: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rl: checkpoint gzip: %w", err)
+	}
+	var blob checkpointBlob
+	if err := gob.NewDecoder(zr).Decode(&blob); err != nil {
+		return nil, 0, fmt.Errorf("rl: checkpoint decode: %w", err)
+	}
+	l := NewCRR(ds, blob.Cfg)
+	l.Policy.Norm = &blob.Norm
+	if l.Critic != nil {
+		l.Critic.Norm = &blob.Norm
+	} else {
+		l.NAF.Norm = &blob.Norm
+	}
+	if err := loadParams(l.Policy, blob.Policy); err != nil {
+		return nil, 0, err
+	}
+	if err := loadParams(l.targetPolicy, blob.TargetPol); err != nil {
+		return nil, 0, err
+	}
+	var crit, tcrit nn.Module
+	if l.Critic != nil {
+		crit, tcrit = l.Critic, l.targetCritic
+	} else {
+		crit, tcrit = l.NAF, l.targetNAF
+	}
+	if err := loadParams(crit, blob.Critic); err != nil {
+		return nil, 0, err
+	}
+	if err := loadParams(tcrit, blob.TargetCrit); err != nil {
+		return nil, 0, err
+	}
+	return l, blob.StepsDone, nil
+}

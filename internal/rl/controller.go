@@ -1,0 +1,63 @@
+package rl
+
+import (
+	"math/rand"
+
+	"sage/internal/gr"
+	"sage/internal/nn"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// PolicyController drives a connection's cwnd from a policy network; it is
+// the trainer-side counterpart of the deployment agent in internal/core and
+// implements rollout.Controller.
+type PolicyController struct {
+	Policy     *nn.Policy
+	Mask       []int
+	Stochastic bool
+
+	hidden []float64
+	rng    *rand.Rand
+
+	// Recorded trajectory (for online learners).
+	Record  bool
+	States  [][]float64
+	Actions []float64
+}
+
+// NewPolicyController returns a controller with fresh recurrent state.
+func NewPolicyController(pol *nn.Policy, mask []int, stochastic bool, seed int64) *PolicyController {
+	if mask == nil {
+		mask = gr.MaskFull()
+	}
+	return &PolicyController{
+		Policy:     pol,
+		Mask:       mask,
+		Stochastic: stochastic,
+		hidden:     pol.InitHidden(),
+		rng:        rand.New(rand.NewSource(seed + 991)),
+	}
+}
+
+// Control implements rollout.Controller.
+func (pc *PolicyController) Control(now sim.Time, conn *tcp.Conn, state []float64) {
+	masked := gr.ApplyMask(state, pc.Mask)
+	head, h, _ := pc.Policy.Forward(masked, pc.hidden)
+	pc.hidden = h
+	var u float64
+	if pc.Stochastic {
+		u = clampU(pc.Policy.GMM.Sample(head, pc.rng))
+	} else {
+		u = clampU(pc.Policy.GMM.Mean(head))
+	}
+	if pc.Record {
+		pc.States = append(pc.States, masked)
+		pc.Actions = append(pc.Actions, u)
+	}
+	w := conn.Cwnd * UToRatio(u)
+	if w < 2 {
+		w = 2
+	}
+	conn.SetCwnd(w)
+}

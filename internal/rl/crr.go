@@ -1,0 +1,337 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"sage/internal/nn"
+)
+
+// CRRConfig tunes the Critic-Regularized-Regression learner (Wang et al.
+// 2020), the algorithm beneath Sage's Core Learning block.
+type CRRConfig struct {
+	Policy nn.PolicyConfig
+	Critic nn.CriticConfig // used when CriticKind is "c51"
+	NAF    nn.NAFConfig    // used when CriticKind is "naf"
+
+	// CriticKind selects the Q-function family: "naf" (default — the
+	// normalized-advantage quadratic critic, immune to the dataset's
+	// action/return confounding; see nn.NAFCritic) or "c51" (the
+	// categorical distributional critic of the paper's description).
+	CriticKind string
+
+	Gamma        float64 // discount (default 0.95)
+	Batch        int     // sequences per step (default 16)
+	SeqLen       int     // BPTT segment length (default 8)
+	Steps        int     // gradient steps
+	LRPolicy     float64 // default 1e-3
+	LRCritic     float64 // default 1e-3
+	TargetEvery  int     // hard target sync period (default 100)
+	ActionSample int     // π-samples for the advantage baseline (default 4)
+	Beta         float64 // advantage temperature for the "exp" filter (default 1)
+	FilterClip   float64 // cap on the "exp" filter (default 20)
+	// Filter selects the CRR action filter: "binary" (f = 1[A>0], the
+	// scale-free variant, default) or "exp" (f = exp(A/β) clipped).
+	Filter string
+	// NStep is the n-step return length for the distributional TD target
+	// (default 5): per-20 ms micro-actions need multi-step credit for the
+	// critic to see the consequences of sustained window moves.
+	NStep int
+	// EventFrac is the fraction of sampled sequences anchored around large
+	// window moves (default 0.5): backoffs are <1% of the pool but carry
+	// the congestion response the policy must learn.
+	EventFrac float64
+	// Workers shards each batch across goroutines with per-worker network
+	// clones (gradients are summed before the optimizer step) — the
+	// repository's analogue of the paper's general-purpose-cluster
+	// training. 0/1 = serial.
+	Workers int
+	Seed    int64
+}
+
+// Fill applies defaults.
+func (c CRRConfig) Fill() CRRConfig {
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.SeqLen == 0 {
+		c.SeqLen = 8
+	}
+	if c.Steps == 0 {
+		c.Steps = 1000
+	}
+	if c.LRPolicy == 0 {
+		c.LRPolicy = 1e-3
+	}
+	if c.LRCritic == 0 {
+		c.LRCritic = 1e-3
+	}
+	if c.TargetEvery == 0 {
+		c.TargetEvery = 100
+	}
+	if c.ActionSample == 0 {
+		c.ActionSample = 4
+	}
+	if c.Beta == 0 {
+		c.Beta = 1
+	}
+	if c.FilterClip == 0 {
+		c.FilterClip = 20
+	}
+	if c.Filter == "" {
+		c.Filter = "binary"
+	}
+	if c.NStep == 0 {
+		c.NStep = 5
+	}
+	if c.CriticKind == "" {
+		c.CriticKind = "naf"
+	}
+	if c.EventFrac == 0 {
+		c.EventFrac = 0.5
+	}
+	return c
+}
+
+// CRR holds the learner's networks.
+type CRR struct {
+	Cfg          CRRConfig
+	Policy       *nn.Policy
+	Critic       *nn.Critic    // c51 variant (nil under "naf")
+	NAF          *nn.NAFCritic // naf variant (nil under "c51")
+	targetPolicy *nn.Policy
+	targetCritic *nn.Critic
+	targetNAF    *nn.NAFCritic
+
+	rng       *rand.Rand
+	optPi     *nn.Adam
+	optQ      *nn.Adam
+	workerSet []*worker
+	// Diagnostics updated each Train step.
+	LastCriticLoss float64
+	LastPolicyLoss float64
+	LastMeanFilter float64
+}
+
+// NewCRR builds the learner for a dataset: network input sizes and
+// normalizers come from the data.
+func NewCRR(ds *Dataset, cfg CRRConfig) *CRR {
+	cfg = cfg.Fill()
+	cfg.Policy.InDim = ds.InDim()
+	cfg.Policy.Seed = cfg.Seed
+	cfg.Critic.InDim = ds.InDim()
+	cfg.Critic.Seed = cfg.Seed
+	cfg.NAF.InDim = ds.InDim()
+	cfg.NAF.Seed = cfg.Seed
+	l := &CRR{
+		Cfg:    cfg,
+		Policy: nn.NewPolicy(cfg.Policy),
+		rng:    rand.New(rand.NewSource(cfg.Seed + 101)),
+	}
+	l.Policy.Norm = ds.Norm
+	l.targetPolicy = nn.ClonePolicy(l.Policy)
+	if cfg.CriticKind == "c51" {
+		l.Critic = nn.NewCritic(cfg.Critic)
+		l.Critic.Norm = ds.Norm
+		l.targetCritic = nn.CloneCritic(l.Critic)
+	} else {
+		l.NAF = nn.NewNAFCritic(cfg.NAF)
+		l.NAF.Norm = ds.Norm
+		l.targetNAF = nn.CloneNAF(l.NAF)
+	}
+	l.optPi = nn.NewAdam(cfg.LRPolicy)
+	l.optQ = nn.NewAdam(cfg.LRCritic)
+	return l
+}
+
+// QValue evaluates the learner's Q function.
+func (l *CRR) QValue(s []float64, a float64) float64 {
+	if l.NAF != nil {
+		return l.NAF.Q(s, a)
+	}
+	return l.Critic.Q(s, a)
+}
+
+func (l *CRR) criticModule() nn.Module {
+	if l.NAF != nil {
+		return l.NAF
+	}
+	return l.Critic
+}
+
+// Train runs cfg.Steps gradient steps over the dataset. The progress
+// callback (optional) receives (step, criticLoss, policyLoss).
+func (l *CRR) Train(ds *Dataset, progress func(step int, criticLoss, policyLoss float64)) {
+	for step := 1; step <= l.Cfg.Steps; step++ {
+		cl, pl := l.step(ds)
+		if progress != nil {
+			progress(step, cl, pl)
+		}
+		if step%l.Cfg.TargetEvery == 0 {
+			nn.CopyParams(l.targetPolicy, l.Policy)
+			if l.Critic != nil {
+				nn.CopyParams(l.targetCritic, l.Critic)
+			}
+			if l.NAF != nil {
+				nn.CopyParams(l.targetNAF, l.NAF)
+			}
+		}
+	}
+}
+
+// netSet is one worker's view of the trainable networks (the targets are
+// shared and only read).
+type netSet struct {
+	policy *nn.Policy
+	critic *nn.Critic
+	naf    *nn.NAFCritic
+}
+
+func (n netSet) qValue(s []float64, a float64) float64 {
+	if n.naf != nil {
+		return n.naf.Q(s, a)
+	}
+	return n.critic.Q(s, a)
+}
+
+func (n netSet) criticModule() nn.Module {
+	if n.naf != nil {
+		return n.naf
+	}
+	return n.critic
+}
+
+// step performs one combined policy-evaluation + policy-improvement update
+// on a batch of sampled subsequences.
+func (l *CRR) step(ds *Dataset) (criticLoss, policyLoss float64) {
+	cfg := l.Cfg
+	if cfg.Workers > 1 {
+		return l.stepParallel(ds)
+	}
+	nets := netSet{policy: l.Policy, critic: l.Critic, naf: l.NAF}
+	cLoss, pLoss, fSum, fCnt := l.processSeqs(nets, ds, l.rng, cfg.Batch)
+	l.finishStep(cLoss, pLoss, fSum, fCnt)
+	return l.LastCriticLoss, l.LastPolicyLoss
+}
+
+// processSeqs runs nSeqs sampled subsequences through policy evaluation and
+// improvement, accumulating gradients into nets.
+func (l *CRR) processSeqs(nets netSet, ds *Dataset, rng *rand.Rand, nSeqs int) (cLoss, pLoss, fSum float64, fCnt int) {
+	cfg := l.Cfg
+	for b := 0; b < nSeqs; b++ {
+		tr, start := ds.sampleSeqPrioritized(rng, cfg.SeqLen, cfg.EventFrac)
+
+		// --- Forward the online policy over the segment (for logπ grads) and
+		// the target policy over the segment plus the n-step lookahead
+		// (for TD target actions at s_{t+n}).
+		h := nets.policy.InitHidden()
+		ht := l.targetPolicy.InitHidden()
+		heads := make([][]float64, cfg.SeqLen)
+		caches := make([]*nn.PolicyCache, cfg.SeqLen)
+		horizon := cfg.SeqLen + cfg.NStep
+		if start+horizon > len(tr.States)-1 {
+			horizon = len(tr.States) - 1 - start
+		}
+		tHead := make([][]float64, horizon+1) // target head at s_{start+j}
+		for j := 0; j <= horizon; j++ {
+			tHead[j], ht, _ = l.targetPolicy.Forward(tr.States[start+j], ht)
+		}
+		for i := 0; i < cfg.SeqLen; i++ {
+			heads[i], h, caches[i] = nets.policy.Forward(tr.States[start+i], h)
+		}
+
+		// --- Policy evaluation (Eq. 5): distributional n-step TD.
+		for i := 0; i < cfg.SeqLen; i++ {
+			idx := start + i
+			n := cfg.NStep
+			if i+n > horizon {
+				n = horizon - i
+			}
+			if n < 1 {
+				continue
+			}
+			s, a := tr.States[idx], tr.Actions[idx]
+			// n-step discounted reward sum.
+			rSum, g := 0.0, 1.0
+			for k := 0; k < n; k++ {
+				rSum += g * tr.Rewards[idx+k]
+				g *= cfg.Gamma
+			}
+			aNext := clampU(l.targetPolicy.GMM.Sample(tHead[i+n], rng))
+			w := 1 / float64(cfg.Batch*cfg.SeqLen)
+			if nets.naf != nil {
+				y := rSum + g*l.targetNAF.Q(tr.States[idx+n], aNext)
+				cLoss += nets.naf.TDBackward(s, a, y, w)
+			} else {
+				nextProbs, _ := l.targetCritic.Dist(tr.States[idx+n], aNext)
+				m := nets.critic.Project(rSum, g, nextProbs)
+				probs, cache := nets.critic.Dist(s, a)
+				cLoss += nn.CELoss(probs, m)
+				nets.critic.BackwardCE(cache, m, w)
+			}
+		}
+
+		// --- Policy improvement (Eq. 6): advantage-filtered regression.
+		dHidden := []float64(nil)
+		for i := cfg.SeqLen - 1; i >= 0; i-- {
+			idx := start + i
+			s, a := tr.States[idx], tr.Actions[idx]
+			q := nets.qValue(s, a)
+			baseline := 0.0
+			for j := 0; j < cfg.ActionSample; j++ {
+				aj := clampU(nets.policy.GMM.Sample(heads[i], rng))
+				baseline += nets.qValue(s, aj)
+			}
+			baseline /= float64(cfg.ActionSample)
+			adv := q - baseline
+			var f float64
+			if cfg.Filter == "exp" {
+				f = math.Exp(adv / cfg.Beta)
+				if f > cfg.FilterClip {
+					f = cfg.FilterClip
+				}
+			} else if adv > 0 {
+				f = 1 // binary CRR: regress only onto better-than-policy actions
+			}
+			fSum += f
+			fCnt++
+			logp, dp := nets.policy.GMM.LogProbGrad(heads[i], a)
+			pLoss += -f * logp
+			w := -f / float64(cfg.Batch*cfg.SeqLen)
+			for k := range dp {
+				dp[k] *= w
+			}
+			dHidden = nets.policy.Backward(caches[i], dp, dHidden)
+		}
+	}
+	return cLoss, pLoss, fSum, fCnt
+}
+
+// finishStep clips, applies the optimizer, and updates diagnostics.
+func (l *CRR) finishStep(cLoss, pLoss, fSum float64, fCnt int) {
+	cfg := l.Cfg
+	nn.ClipGrads(l.criticModule(), 10)
+	nn.ClipGrads(l.Policy, 10)
+	l.optQ.Step(l.criticModule())
+	l.optPi.Step(l.Policy)
+
+	n := float64(cfg.Batch * cfg.SeqLen)
+	l.LastCriticLoss = cLoss / n
+	l.LastPolicyLoss = pLoss / n
+	if fCnt > 0 {
+		l.LastMeanFilter = fSum / float64(fCnt)
+	}
+}
+
+func clampU(u float64) float64 {
+	if u > 1 {
+		return 1
+	}
+	if u < -1 {
+		return -1
+	}
+	return u
+}

@@ -1,0 +1,154 @@
+package rl
+
+import (
+	"math/rand"
+
+	"sage/internal/cc"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/nn"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// IndigoConfig tunes the Indigo baseline (Yan et al., ATC 2018): imitation
+// learning from congestion-control oracles. The oracle's ideal window is the
+// environment's BDP (or the fair-share BDP in multi-flow scenarios) — known
+// here because training runs under emulation, exactly the assumption Indigo
+// needs and the reason it cannot generalize beyond it (Section 6.2).
+type IndigoConfig struct {
+	Policy      nn.PolicyConfig
+	GR          gr.Config
+	Scenarios   []netem.Scenario // include multi-flow ones for Indigov2
+	DaggerIters int              // DAgger outer iterations (default 3)
+	StepsPer    int              // supervised steps per iteration (default 200)
+	Batch       int
+	SeqLen      int
+	LR          float64
+	Mask        []int
+	Seed        int64
+}
+
+func (c IndigoConfig) fill() IndigoConfig {
+	if c.DaggerIters == 0 {
+		c.DaggerIters = 3
+	}
+	if c.StepsPer == 0 {
+		c.StepsPer = 200
+	}
+	if c.Batch == 0 {
+		c.Batch = 8
+	}
+	if c.SeqLen == 0 {
+		c.SeqLen = 8
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Mask == nil {
+		c.Mask = gr.MaskFull()
+	}
+	return c
+}
+
+// oracleController labels every visited state with the expert action while
+// letting either the oracle itself or the learner pick the executed action
+// (DAgger's mixing).
+type oracleController struct {
+	sc      netem.Scenario
+	learner *PolicyController // nil = pure oracle rollout
+	mask    []int
+
+	states  [][]float64
+	targets []float64
+}
+
+func (o *oracleController) oracleU(conn *tcp.Conn, now sim.Time) float64 {
+	capacity := o.sc.Rate.At(now)
+	if o.sc.CubicFlows > 0 {
+		capacity /= float64(o.sc.CubicFlows + 1)
+	}
+	ideal := capacity / 8 * o.sc.MinRTT.Seconds() / float64(conn.MSS())
+	if ideal < 2 {
+		ideal = 2
+	}
+	return ActionToU(ideal / conn.Cwnd)
+}
+
+// Control implements rollout.Controller.
+func (o *oracleController) Control(now sim.Time, conn *tcp.Conn, state []float64) {
+	u := o.oracleU(conn, now)
+	o.states = append(o.states, gr.ApplyMask(state, o.mask))
+	o.targets = append(o.targets, u)
+	if o.learner != nil {
+		o.learner.Control(now, conn, state)
+		return
+	}
+	conn.SetCwnd(conn.Cwnd * UToRatio(u))
+}
+
+// TrainIndigo runs DAgger-style imitation of the oracle and returns the
+// policy.
+func TrainIndigo(cfg IndigoConfig) *nn.Policy {
+	cfg = cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed + 888))
+	cfg.Policy.InDim = len(cfg.Mask)
+	cfg.Policy.Seed = cfg.Seed
+	pol := nn.NewPolicy(cfg.Policy)
+	opt := nn.NewAdam(cfg.LR)
+
+	ds := &Dataset{Mask: cfg.Mask}
+	for iter := 0; iter < cfg.DaggerIters; iter++ {
+		// Collect labeled rollouts: first iteration from the oracle, later
+		// iterations from the current policy (DAgger aggregation).
+		for _, sc := range cfg.Scenarios {
+			oc := &oracleController{sc: sc, mask: cfg.Mask}
+			if iter > 0 {
+				oc.learner = NewPolicyController(pol, cfg.Mask, false, cfg.Seed+int64(iter))
+			}
+			rollout.Run(sc, cc.MustNew("pure"), rollout.Options{GR: cfg.GR, Controller: oc})
+			if len(oc.states) > 1 {
+				ds.Trajs = append(ds.Trajs, Traj{
+					Scheme:  "oracle",
+					Env:     sc.Name,
+					States:  oc.states,
+					Actions: oc.targets,
+					Rewards: make([]float64, len(oc.states)),
+				})
+			}
+		}
+		if ds.Norm == nil {
+			var sample [][]float64
+			for _, t := range ds.Trajs {
+				sample = append(sample, t.States...)
+			}
+			ds.Norm = nn.FitNormalizer(sample)
+			pol.Norm = ds.Norm
+		}
+		// Supervised regression on the aggregated dataset.
+		for step := 0; step < cfg.StepsPer; step++ {
+			for b := 0; b < cfg.Batch; b++ {
+				tr, start := ds.sampleSeq(rng, cfg.SeqLen)
+				h := pol.InitHidden()
+				heads := make([][]float64, cfg.SeqLen)
+				caches := make([]*nn.PolicyCache, cfg.SeqLen)
+				for i := 0; i < cfg.SeqLen; i++ {
+					heads[i], h, caches[i] = pol.Forward(tr.States[start+i], h)
+				}
+				var dHidden []float64
+				for i := cfg.SeqLen - 1; i >= 0; i-- {
+					_, dp := pol.GMM.LogProbGrad(heads[i], tr.Actions[start+i])
+					w := -1.0 / float64(cfg.Batch*cfg.SeqLen)
+					for k := range dp {
+						dp[k] *= w
+					}
+					dHidden = pol.Backward(caches[i], dp, dHidden)
+				}
+			}
+			nn.ClipGrads(pol, 10)
+			opt.Step(pol)
+		}
+	}
+	return pol
+}

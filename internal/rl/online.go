@@ -1,0 +1,108 @@
+package rl
+
+import (
+	"math/rand"
+
+	"sage/internal/cc"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/nn"
+	"sage/internal/rollout"
+)
+
+// OnlineRLConfig tunes the online off-policy actor-critic baseline
+// ("OnlineRL" in Fig. 9) and its hybrid variants (Orca, Orcav2, DeepCC):
+// the same networks and update rule as Sage, but the data is collected by
+// the agent itself, iteratively, from live environments — exactly the
+// paradigm whose scaling trouble Section 6.2 demonstrates.
+type OnlineRLConfig struct {
+	CRR        CRRConfig
+	GR         gr.Config
+	Scenarios  []netem.Scenario
+	Rounds     int    // environment interactions
+	StepsPer   int    // gradient steps after each rollout
+	Underlying string // "pure" for clean-slate, "cubic" for hybrid (Orca/DeepCC)
+	Mask       []int
+	Seed       int64
+}
+
+func (c OnlineRLConfig) fill() OnlineRLConfig {
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.StepsPer == 0 {
+		c.StepsPer = 50
+	}
+	if c.Underlying == "" {
+		c.Underlying = "pure"
+	}
+	if c.Mask == nil {
+		c.Mask = gr.MaskFull()
+	}
+	return c
+}
+
+// TrainOnlineRL runs the online loop: rollout the current (stochastic)
+// policy on a random training environment, append the experience to the
+// replay data, and take gradient steps. It returns the trained policy.
+func TrainOnlineRL(cfg OnlineRLConfig) *nn.Policy {
+	cfg = cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed + 555))
+
+	ds := &Dataset{Mask: cfg.Mask}
+	crrCfg := cfg.CRR
+	crrCfg.Seed = cfg.Seed
+
+	// Bootstrap replay with one random-ish rollout per round-robin env so
+	// the normalizer has data.
+	var learner *CRR
+	for round := 0; round < cfg.Rounds; round++ {
+		sc := cfg.Scenarios[rng.Intn(len(cfg.Scenarios))]
+		var ctl *PolicyController
+		if learner != nil {
+			ctl = NewPolicyController(learner.Policy, cfg.Mask, true, cfg.Seed+int64(round))
+		} else {
+			// Before the first update the policy does not exist yet: run the
+			// underlying scheme alone to seed the buffer.
+			ctl = nil
+		}
+		opt := rollout.Options{GR: cfg.GR, CollectSteps: true}
+		if ctl != nil {
+			opt.Controller = ctl
+		}
+		res := rollout.Run(sc, cc.MustNew(cfg.Underlying), opt)
+		tr := Traj{Scheme: "online", Env: sc.Name}
+		for _, s := range res.Steps {
+			tr.States = append(tr.States, gr.ApplyMask(s.State, cfg.Mask))
+			tr.Actions = append(tr.Actions, ActionToU(s.Action))
+			tr.Rewards = append(tr.Rewards, s.Reward)
+		}
+		if len(tr.States) > 1 {
+			ds.Trajs = append(ds.Trajs, tr)
+		}
+		if learner == nil {
+			if len(ds.Trajs) == 0 {
+				continue
+			}
+			// Fit the normalizer on the seed data and build the learner.
+			var sample [][]float64
+			for _, t := range ds.Trajs {
+				sample = append(sample, t.States...)
+			}
+			ds.Norm = nn.FitNormalizer(sample)
+			learner = NewCRR(ds, crrCfg)
+		}
+		steps := cfg.StepsPer
+		saved := learner.Cfg.Steps
+		learner.Cfg.Steps = steps
+		learner.Train(ds, nil)
+		learner.Cfg.Steps = saved
+	}
+	if learner == nil {
+		// Degenerate config; return an untrained policy of the right shape.
+		pc := crrCfg.Fill().Policy
+		pc.InDim = len(cfg.Mask)
+		return nn.NewPolicy(pc)
+	}
+	return learner.Policy
+}

@@ -1,0 +1,105 @@
+package rl
+
+import (
+	"math/rand"
+	"sync"
+
+	"sage/internal/nn"
+)
+
+// worker holds one goroutine's network clones for data-parallel training.
+type worker struct {
+	nets netSet
+	rng  *rand.Rand
+}
+
+func (l *CRR) workers() []*worker {
+	if l.workerSet != nil {
+		return l.workerSet
+	}
+	ws := make([]*worker, l.Cfg.Workers)
+	for i := range ws {
+		w := &worker{rng: rand.New(rand.NewSource(l.Cfg.Seed + int64(i)*7907 + 11))}
+		w.nets.policy = nn.ClonePolicy(l.Policy)
+		if l.Critic != nil {
+			w.nets.critic = nn.CloneCritic(l.Critic)
+		}
+		if l.NAF != nil {
+			w.nets.naf = nn.CloneNAF(l.NAF)
+		}
+		ws[i] = w
+	}
+	l.workerSet = ws
+	return ws
+}
+
+// stepParallel shards the batch across Workers goroutines, each computing
+// gradients on its own clone of the networks; the gradients are summed into
+// the main networks before the optimizer step. This is synchronous
+// data-parallel SGD — the general-purpose-cluster analogue the paper's
+// training phase leans on, scaled to cores.
+func (l *CRR) stepParallel(ds *Dataset) (criticLoss, policyLoss float64) {
+	cfg := l.Cfg
+	ds.buildEventIndex() // before fan-out: the lazy index must not race
+	ws := l.workers()
+	// Refresh worker parameters and clear their gradients.
+	for _, w := range ws {
+		nn.CopyParams(w.nets.policy, l.Policy)
+		nn.ZeroGrads(w.nets.policy)
+		if w.nets.critic != nil {
+			nn.CopyParams(w.nets.critic, l.Critic)
+			nn.ZeroGrads(w.nets.critic)
+		}
+		if w.nets.naf != nil {
+			nn.CopyParams(w.nets.naf, l.NAF)
+			nn.ZeroGrads(w.nets.naf)
+		}
+	}
+	// Shard the batch (first workers get the remainder).
+	type share struct {
+		cLoss, pLoss, fSum float64
+		fCnt               int
+	}
+	shares := make([]share, len(ws))
+	var wg sync.WaitGroup
+	per := cfg.Batch / len(ws)
+	extra := cfg.Batch % len(ws)
+	for i, w := range ws {
+		n := per
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, w *worker, n int) {
+			defer wg.Done()
+			c, p, f, fc := l.processSeqs(w.nets, ds, w.rng, n)
+			shares[i] = share{c, p, f, fc}
+		}(i, w, n)
+	}
+	wg.Wait()
+
+	// Reduce gradients into the main networks.
+	addGrads := func(dst, src nn.Module) {
+		dp, sp := dst.Params(), src.Params()
+		for i := range dp {
+			for j := range dp[i].Grad {
+				dp[i].Grad[j] += sp[i].Grad[j]
+			}
+		}
+	}
+	var cLoss, pLoss, fSum float64
+	var fCnt int
+	for i, w := range ws {
+		addGrads(l.Policy, w.nets.policy)
+		addGrads(l.criticModule(), w.nets.criticModule())
+		cLoss += shares[i].cLoss
+		pLoss += shares[i].pLoss
+		fSum += shares[i].fSum
+		fCnt += shares[i].fCnt
+	}
+	l.finishStep(cLoss, pLoss, fSum, fCnt)
+	return l.LastCriticLoss, l.LastPolicyLoss
+}

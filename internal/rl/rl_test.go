@@ -1,0 +1,312 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sage/internal/cc"
+	"sage/internal/collector"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/nn"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+)
+
+func tinyScenarios() []netem.Scenario {
+	return netem.SetI(netem.SetIOptions{Level: netem.GridTiny, Duration: 3 * sim.Second})[:3]
+}
+
+func tinyPool(t *testing.T) *collector.Pool {
+	t.Helper()
+	return collector.Collect([]string{"cubic", "vegas"}, tinyScenarios(), collector.Options{})
+}
+
+func tinyPolicyCfg() nn.PolicyConfig {
+	return nn.PolicyConfig{Enc: 12, Hidden: 6, ResBlocks: 1, K: 2}
+}
+
+func TestBuildDatasetMasksAndTransforms(t *testing.T) {
+	pool := tinyPool(t)
+	mask := gr.MaskNoMinMax()
+	ds := BuildDataset(pool, mask)
+	if ds.InDim() != len(mask) {
+		t.Fatalf("dim %d", ds.InDim())
+	}
+	if ds.Transitions() == 0 {
+		t.Fatal("empty dataset")
+	}
+	for _, tr := range ds.Trajs {
+		if len(tr.States[0]) != len(mask) {
+			t.Fatal("mask not applied")
+		}
+		for _, a := range tr.Actions {
+			if a < -1 || a > 1 {
+				t.Fatalf("u-action %v out of range", a)
+			}
+		}
+	}
+	if ds.Norm == nil || len(ds.Norm.Mean) != len(mask) {
+		t.Fatal("normalizer not fitted")
+	}
+}
+
+func TestBCConvergesOnConstantPolicy(t *testing.T) {
+	// A synthetic dataset where the expert always emits u=0.5 in a fixed
+	// state: BC must converge its GMM mean toward 0.5.
+	ds := &Dataset{Mask: []int{0, 1}}
+	tr := Traj{Scheme: "const", Env: "synthetic"}
+	for i := 0; i < 100; i++ {
+		tr.States = append(tr.States, []float64{1, -1})
+		tr.Actions = append(tr.Actions, 0.5)
+		tr.Rewards = append(tr.Rewards, 1)
+	}
+	ds.Trajs = []Traj{tr}
+	ds.Norm = nn.FitNormalizer(tr.States)
+	pol := TrainBC(ds, BCConfig{Policy: nn.PolicyConfig{Enc: 8, Hidden: 4, ResBlocks: 1, K: 2}, Steps: 250, Batch: 4, SeqLen: 4}, nil)
+	head, _, _ := pol.Forward([]float64{1, -1}, pol.InitHidden())
+	if got := pol.GMM.Mean(head); math.Abs(got-0.5) > 0.15 {
+		t.Fatalf("BC mean action %v, want ~0.5", got)
+	}
+}
+
+func TestCRRPrefersHighRewardActions(t *testing.T) {
+	// Synthetic bandit-ish dataset: in the same state, action +0.5 earns
+	// reward 1 and action −0.5 earns 0. CRR's advantage filter must tilt
+	// the policy toward +0.5 while BC would sit at the average (0).
+	ds := &Dataset{Mask: []int{0, 1}}
+	good := Traj{Scheme: "good", Env: "synthetic"}
+	bad := Traj{Scheme: "bad", Env: "synthetic"}
+	for i := 0; i < 120; i++ {
+		good.States = append(good.States, []float64{1, -1})
+		good.Actions = append(good.Actions, 0.5)
+		good.Rewards = append(good.Rewards, 1)
+		bad.States = append(bad.States, []float64{1, -1})
+		bad.Actions = append(bad.Actions, -0.5)
+		bad.Rewards = append(bad.Rewards, 0)
+	}
+	ds.Trajs = []Traj{good, bad}
+	ds.Norm = nn.FitNormalizer(good.States)
+	learner := NewCRR(ds, CRRConfig{
+		Policy: nn.PolicyConfig{Enc: 8, Hidden: 4, ResBlocks: 1, K: 2},
+		Critic: nn.CriticConfig{Hidden: 16, Atoms: 11},
+		Steps:  400, Batch: 8, SeqLen: 2, Seed: 3,
+	})
+	learner.Train(ds, nil)
+	// The critic must rank the good action above the bad one.
+	s := []float64{1, -1}
+	if qGood, qBad := learner.QValue(s, 0.5), learner.QValue(s, -0.5); qGood <= qBad {
+		t.Fatalf("critic ranking wrong: Q(+0.5)=%v <= Q(-0.5)=%v", qGood, qBad)
+	}
+	head, _, _ := learner.Policy.Forward(s, learner.Policy.InitHidden())
+	if got := learner.Policy.GMM.Mean(head); got < 0.1 {
+		t.Fatalf("CRR mean action %v, want tilted toward +0.5", got)
+	}
+}
+
+func TestPolicyControllerDrivesFlow(t *testing.T) {
+	pol := nn.NewPolicy(nn.PolicyConfig{InDim: gr.StateDim, Enc: 8, Hidden: 4, K: 2, Seed: 1})
+	sc := tinyScenarios()[0]
+	ctl := NewPolicyController(pol, nil, true, 7)
+	ctl.Record = true
+	res := rollout.Run(sc, cc.MustNew("pure"), rollout.Options{Controller: ctl})
+	if res.ThroughputBps <= 0 {
+		t.Fatal("no traffic")
+	}
+	if len(ctl.States) == 0 || len(ctl.Actions) != len(ctl.States) {
+		t.Fatalf("recording broken: %d states, %d actions", len(ctl.States), len(ctl.Actions))
+	}
+	for _, u := range ctl.Actions {
+		if u < -1 || u > 1 {
+			t.Fatalf("action %v out of range", u)
+		}
+	}
+}
+
+func TestTrainOnlineRLProducesUsablePolicy(t *testing.T) {
+	pol := TrainOnlineRL(OnlineRLConfig{
+		CRR: CRRConfig{
+			Policy: tinyPolicyCfg(),
+			Critic: nn.CriticConfig{Hidden: 12, Atoms: 11},
+			Batch:  4, SeqLen: 4,
+		},
+		Scenarios: tinyScenarios(),
+		Rounds:    3,
+		StepsPer:  10,
+		Seed:      2,
+	})
+	if pol == nil {
+		t.Fatal("nil policy")
+	}
+	sc := tinyScenarios()[0]
+	ctl := NewPolicyController(pol, nil, false, 1)
+	res := rollout.Run(sc, cc.MustNew("pure"), rollout.Options{Controller: ctl})
+	if res.ThroughputBps <= 0 {
+		t.Fatal("online policy moved no traffic")
+	}
+}
+
+func TestTrainAuroraAndGenet(t *testing.T) {
+	for _, curriculum := range []bool{false, true} {
+		pol := TrainAurora(AuroraConfig{
+			Policy:     tinyPolicyCfg(),
+			Scenarios:  tinyScenarios(),
+			Episodes:   4,
+			Curriculum: curriculum,
+			Seed:       5,
+		})
+		if pol == nil {
+			t.Fatal("nil policy")
+		}
+		if pol.Cfg.NoGRU != true {
+			t.Fatal("Aurora must be feed-forward")
+		}
+		ctl := NewPolicyController(pol, nil, false, 1)
+		res := rollout.Run(tinyScenarios()[0], cc.MustNew("pure"), rollout.Options{Controller: ctl})
+		if res.ThroughputBps <= 0 {
+			t.Fatalf("aurora(curriculum=%v) moved no traffic", curriculum)
+		}
+	}
+}
+
+func TestTrainIndigoImitatesOracle(t *testing.T) {
+	scens := tinyScenarios()[:2]
+	pol := TrainIndigo(IndigoConfig{
+		Policy:      tinyPolicyCfg(),
+		Scenarios:   scens,
+		DaggerIters: 2,
+		StepsPer:    60,
+		Seed:        4,
+	})
+	ctl := NewPolicyController(pol, nil, false, 1)
+	res := rollout.Run(scens[0], cc.MustNew("pure"), rollout.Options{Controller: ctl})
+	if res.ThroughputBps <= 0 {
+		t.Fatal("indigo moved no traffic")
+	}
+	// The oracle holds cwnd near the BDP: decent utilization, bounded delay.
+	util := res.ThroughputBps / scens[0].Rate.At(0)
+	if util < 0.2 {
+		t.Fatalf("indigo utilization %.2f", util)
+	}
+}
+
+func TestDifficultyOrdering(t *testing.T) {
+	small := netem.Scenario{Name: "flat-a", Rate: netem.FlatRate(netem.Mbps(12)), MinRTT: 10 * sim.Millisecond}
+	big := netem.Scenario{Name: "flat-b", Rate: netem.FlatRate(netem.Mbps(192)), MinRTT: 160 * sim.Millisecond}
+	step := netem.Scenario{Name: "step-x", Rate: netem.FlatRate(netem.Mbps(12)), MinRTT: 10 * sim.Millisecond}
+	if difficulty(small) >= difficulty(big) {
+		t.Fatal("BDP ordering")
+	}
+	if difficulty(step) <= difficulty(small) {
+		t.Fatal("step scenarios must rank harder")
+	}
+}
+
+func TestSampleSeqBounds(t *testing.T) {
+	ds := &Dataset{Mask: []int{0}}
+	ds.Trajs = []Traj{{States: [][]float64{{1}, {2}, {3}}, Actions: []float64{0, 0, 0}, Rewards: []float64{0, 0, 0}}}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		tr, start := ds.sampleSeq(rng, 2)
+		if start+2 >= len(tr.States)+1 {
+			t.Fatalf("start %d overruns", start)
+		}
+	}
+	// Sequence longer than any trajectory falls back gracefully.
+	tr, start := ds.sampleSeq(rng, 10)
+	if tr == nil || start != 0 {
+		t.Fatal("fallback failed")
+	}
+}
+
+func TestParallelTrainingMatchesShapes(t *testing.T) {
+	pool := tinyPool(t)
+	ds := BuildDataset(pool, nil)
+	cfg := CRRConfig{
+		Policy: tinyPolicyCfg(),
+		Steps:  20, Batch: 8, SeqLen: 4, Workers: 4, Seed: 9,
+	}
+	learner := NewCRR(ds, cfg)
+	learner.Train(ds, nil)
+	if learner.LastCriticLoss != learner.LastCriticLoss { // NaN guard
+		t.Fatal("NaN critic loss under parallel training")
+	}
+	// The trained policy must produce finite in-range actions.
+	h := learner.Policy.InitHidden()
+	head, _, _ := learner.Policy.Forward(ds.Trajs[0].States[0], h)
+	u := learner.Policy.GMM.Mean(head)
+	if u != u {
+		t.Fatal("NaN action after parallel training")
+	}
+	// Workers are cached across steps.
+	if len(learner.workerSet) != 4 {
+		t.Fatalf("workers = %d", len(learner.workerSet))
+	}
+}
+
+func TestParallelAndSerialBothLearnBandit(t *testing.T) {
+	// The synthetic good/bad-action dataset from the serial test, trained
+	// with 4 workers: the same qualitative outcome must hold.
+	ds := &Dataset{Mask: []int{0, 1}}
+	good := Traj{Scheme: "good", Env: "synthetic"}
+	bad := Traj{Scheme: "bad", Env: "synthetic"}
+	for i := 0; i < 120; i++ {
+		good.States = append(good.States, []float64{1, -1})
+		good.Actions = append(good.Actions, 0.5)
+		good.Rewards = append(good.Rewards, 1)
+		bad.States = append(bad.States, []float64{1, -1})
+		bad.Actions = append(bad.Actions, -0.5)
+		bad.Rewards = append(bad.Rewards, 0)
+	}
+	ds.Trajs = []Traj{good, bad}
+	ds.Norm = nn.FitNormalizer(good.States)
+	learner := NewCRR(ds, CRRConfig{
+		Policy: nn.PolicyConfig{Enc: 8, Hidden: 4, ResBlocks: 1, K: 2},
+		Steps:  400, Batch: 8, SeqLen: 2, Workers: 4, Seed: 3,
+	})
+	learner.Train(ds, nil)
+	s := []float64{1, -1}
+	if qG, qB := learner.QValue(s, 0.5), learner.QValue(s, -0.5); qG <= qB {
+		t.Fatalf("parallel critic ranking wrong: %v <= %v", qG, qB)
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	pool := tinyPool(t)
+	ds := BuildDataset(pool, nil)
+	cfg := CRRConfig{Policy: tinyPolicyCfg(), Steps: 20, Batch: 4, SeqLen: 4, Seed: 6}
+	learner := NewCRR(ds, cfg)
+	learner.Train(ds, nil)
+
+	path := t.TempDir() + "/ckpt.gob.gz"
+	if err := learner.SaveCheckpoint(path, 20); err != nil {
+		t.Fatal(err)
+	}
+	resumed, steps, err := LoadCheckpoint(path, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 20 {
+		t.Fatalf("steps = %d", steps)
+	}
+	// Restored policy behaves identically.
+	s := ds.Trajs[0].States[0]
+	h1, _, _ := learner.Policy.Forward(s, learner.Policy.InitHidden())
+	h2, _, _ := resumed.Policy.Forward(s, resumed.Policy.InitHidden())
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("restored policy diverges")
+		}
+	}
+	// Restored Q function behaves identically.
+	if learner.QValue(s, 0.3) != resumed.QValue(s, 0.3) {
+		t.Fatal("restored critic diverges")
+	}
+	// And training can continue.
+	resumed.Cfg.Steps = 5
+	resumed.Train(ds, nil)
+	if _, _, err := LoadCheckpoint(t.TempDir()+"/missing", ds); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}

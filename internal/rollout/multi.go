@@ -1,0 +1,129 @@
+package rollout
+
+import (
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// FlowSpec describes one flow of a multi-flow run: its congestion control
+// (or controller over TCP Pure), when it joins, and when it leaves
+// (0 = runs to the end).
+type FlowSpec struct {
+	Name       string
+	CC         tcp.CongestionControl
+	Controller Controller // optional; requires a GR monitor per flow
+	Start      sim.Time
+	Stop       sim.Time
+}
+
+// FlowResult reports one flow's outcome.
+type FlowResult struct {
+	Name          string
+	ThroughputBps float64 // over the flow's own active window
+	AvgOWD        sim.Time
+	Series        []Sample // per SamplePeriod, throughput over the period
+}
+
+// MultiOptions tunes a multi-flow run.
+type MultiOptions struct {
+	GR           gr.Config
+	SamplePeriod sim.Time
+	TCP          tcp.Options
+}
+
+// RunMulti runs an arbitrary set of flows over one scenario's bottleneck —
+// the harness behind the fairness (Fig. 18/27) and TCP-friendliness
+// (Fig. 19/28) experiments, where several flows join and leave on a
+// schedule and each flow's throughput trajectory matters.
+func RunMulti(sc netem.Scenario, flows []FlowSpec, opt MultiOptions) []FlowResult {
+	opt.GR = opt.GR.Fill()
+	loop := sim.NewLoop()
+	n := sc.Build(loop)
+
+	type state struct {
+		spec    FlowSpec
+		flow    *tcp.Flow
+		mon     *gr.Monitor
+		prevRx  int64
+		prevAt  sim.Time
+		started bool
+	}
+	states := make([]*state, len(flows))
+	for i, spec := range flows {
+		fl := tcp.NewFlow(loop, n, i+1, spec.CC, opt.TCP)
+		st := &state{spec: spec, flow: fl}
+		if spec.Controller != nil {
+			st.mon = gr.NewMonitor(opt.GR, fl.Conn, gr.RewardContext{
+				Kind:     gr.RewardSingleFlow,
+				Capacity: sc.Rate.At,
+				MinRTT:   sc.MinRTT,
+			})
+		}
+		states[i] = st
+		start := spec.Start
+		loop.At(start, func(t sim.Time) {
+			st.flow.Conn.Start(t)
+			st.started = true
+			st.prevAt = t
+		})
+		if spec.Stop > 0 {
+			loop.At(spec.Stop, func(t sim.Time) { st.flow.Conn.Stop() })
+		}
+	}
+
+	interval := opt.GR.Interval
+	nextSample := opt.SamplePeriod
+	results := make([]FlowResult, len(flows))
+	for i := range results {
+		results[i].Name = flows[i].Name
+	}
+	for now := interval; now <= sc.Duration; now += interval {
+		loop.RunUntil(now)
+		for _, st := range states {
+			if !st.started || (st.spec.Stop > 0 && now > st.spec.Stop) {
+				continue
+			}
+			if st.mon != nil {
+				step := st.mon.Tick(now)
+				st.spec.Controller.Control(now, st.flow.Conn, step.State)
+				st.flow.Conn.Kick(now)
+			}
+		}
+		if opt.SamplePeriod > 0 && now >= nextSample {
+			for i, st := range states {
+				rx, _, _ := st.flow.Sink.Totals()
+				span := (now - st.prevAt).Seconds()
+				thr := 0.0
+				if span > 0 {
+					thr = float64(rx-st.prevRx) * 8 / span
+				}
+				results[i].Series = append(results[i].Series, Sample{
+					At:     now,
+					ThrBps: thr,
+					Cwnd:   st.flow.Conn.Cwnd,
+					OWD:    st.flow.Sink.OWDAvg(),
+					SRTT:   st.flow.Conn.SRTT(),
+				})
+				st.prevRx, st.prevAt = rx, now
+			}
+			nextSample += opt.SamplePeriod
+		}
+	}
+	for i, st := range states {
+		stop := st.spec.Stop
+		if stop == 0 || stop > sc.Duration {
+			stop = sc.Duration
+		}
+		window := (stop - st.spec.Start).Seconds()
+		rx, pkts, owdSum := st.flow.Sink.Totals()
+		if window > 0 {
+			results[i].ThroughputBps = float64(rx) * 8 / window
+		}
+		if pkts > 0 {
+			results[i].AvgOWD = owdSum / sim.Time(pkts)
+		}
+	}
+	return results
+}

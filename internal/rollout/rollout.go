@@ -1,0 +1,199 @@
+// Package rollout runs one flow-under-test through a netem scenario —
+// optionally against competing Cubic background flows — and gathers
+// everything downstream consumers need: GR trajectories for the Policy
+// Collector, interval scores for the leagues, and sampled time series for
+// the behaviour figures.
+package rollout
+
+import (
+	"sage/internal/cc"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// Controller is a periodic cwnd/pacing controller: the deployment-side
+// counterpart of a kernel CC module. It is invoked every GR interval with
+// the freshly computed state vector (Sage's TCP Pure execution block, and
+// the rate-based ML baselines, act through this hook).
+type Controller interface {
+	Control(now sim.Time, conn *tcp.Conn, state []float64)
+}
+
+// IntervalStats scores one quarter of the test window (Appendix D computes
+// per-interval scores so transient behaviour is not smoothed away).
+type IntervalStats struct {
+	ThroughputBps float64
+	AvgRTT        sim.Time // 2× the receiver-side mean one-way delay
+	LossPkts      int64
+}
+
+// Sample is one point of the recorded time series (for Figs. 17–19, 24, 25).
+type Sample struct {
+	At          sim.Time
+	Cwnd        float64
+	SendRateBps float64
+	ThrBps      float64
+	OWD         sim.Time
+	SRTT        sim.Time
+}
+
+// Result aggregates one rollout.
+type Result struct {
+	Scheme        string
+	ScenarioName  string
+	ThroughputBps float64 // receiver throughput over the test window
+	AvgRTT        sim.Time
+	AvgOWD        sim.Time
+	LossRate      float64 // lost / sent
+	FairShareBps  float64
+	Intervals     []IntervalStats
+	Steps         []gr.Step // GR trajectory (when GR collection is on)
+	Series        []Sample  // sampled dynamics (when SamplePeriod > 0)
+	BgThroughput  []float64 // per-background-flow receiver throughput (bps)
+}
+
+// Options tunes a rollout.
+type Options struct {
+	GR           gr.Config     // GR sampling config (always filled)
+	CollectSteps bool          // record the GR trajectory
+	Controller   Controller    // optional periodic controller for the test flow
+	SamplePeriod sim.Time      // 0 = no time series
+	Intervals    int           // score intervals (default 4)
+	RewardKind   gr.RewardKind // reward override (with ForceReward set)
+	ForceReward  bool          // use RewardKind instead of deriving from the scenario
+	TCP          tcp.Options
+}
+
+// Run executes the scenario with the flow under test using ccUnderTest.
+func Run(sc netem.Scenario, ccUnderTest tcp.CongestionControl, opt Options) Result {
+	opt.GR = opt.GR.Fill()
+	if opt.Intervals == 0 {
+		opt.Intervals = 4
+	}
+	loop := sim.NewLoop()
+	n := sc.Build(loop)
+
+	// Background Cubic flows join first (Appendix C.2), slightly staggered
+	// so they do not move in lockstep.
+	bg := make([]*tcp.Flow, sc.CubicFlows)
+	for i := range bg {
+		f := tcp.NewFlow(loop, n, 100+i, cc.MustNew("cubic"), opt.TCP)
+		stagger := sim.Time(i) * 50 * sim.Millisecond
+		loop.At(stagger, func(t sim.Time) { f.Conn.Start(t) })
+		bg[i] = f
+	}
+
+	ut := tcp.NewFlow(loop, n, 1, ccUnderTest, opt.TCP)
+
+	kind := gr.RewardSingleFlow
+	if sc.CubicFlows > 0 {
+		kind = gr.RewardFriendly
+	}
+	if opt.ForceReward {
+		kind = opt.RewardKind
+	}
+	mon := gr.NewMonitor(opt.GR, ut.Conn, gr.RewardContext{
+		Kind:      kind,
+		Capacity:  sc.Rate.At,
+		MinRTT:    sc.MinRTT,
+		FairShare: sc.FairShare(),
+	})
+
+	res := Result{
+		Scheme:       ccUnderTest.Name(),
+		ScenarioName: sc.Name,
+		FairShareBps: sc.FairShare(),
+	}
+
+	// Warm up the background traffic before the test flow joins.
+	start := sc.TestStart
+	loop.RunUntil(start)
+	ut.Conn.Start(loop.Now())
+
+	var (
+		prevSent    int64
+		prevRx      int64
+		prevSampleT = start
+	)
+	interval := opt.GR.Interval
+	nextSample := start + opt.SamplePeriod
+
+	type snap struct {
+		rxBytes int64
+		rxPkts  int64
+		owdSum  sim.Time
+		lost    int64
+	}
+	takeSnap := func() snap {
+		b, p, s := ut.Sink.Totals()
+		return snap{rxBytes: b, rxPkts: p, owdSum: s, lost: ut.Conn.LostPkts()}
+	}
+	window := sc.Duration - start
+	boundaries := make([]sim.Time, opt.Intervals)
+	for i := range boundaries {
+		boundaries[i] = start + window*sim.Time(i+1)/sim.Time(opt.Intervals)
+	}
+	lastSnap := takeSnap()
+	lastBoundary := start
+	bi := 0
+
+	for now := start + interval; now <= sc.Duration; now += interval {
+		loop.RunUntil(now)
+		step := mon.Tick(now)
+		if opt.Controller != nil {
+			opt.Controller.Control(now, ut.Conn, step.State)
+			ut.Conn.Kick(now)
+		}
+		if opt.CollectSteps {
+			res.Steps = append(res.Steps, step)
+		}
+		if opt.SamplePeriod > 0 && now >= nextSample {
+			sent := ut.Conn.SentPkts()
+			rx, _, _ := ut.Sink.Totals()
+			span := (now - prevSampleT).Seconds()
+			s := Sample{
+				At:          now,
+				Cwnd:        ut.Conn.Cwnd,
+				SendRateBps: float64(sent-prevSent) * float64(ut.Conn.MSS()) * 8 / span,
+				ThrBps:      float64(rx-prevRx) * 8 / span,
+				OWD:         ut.Sink.OWDAvg(),
+				SRTT:        ut.Conn.SRTT(),
+			}
+			res.Series = append(res.Series, s)
+			prevSent, prevRx, prevSampleT = sent, rx, now
+			nextSample += opt.SamplePeriod
+		}
+		for bi < len(boundaries) && now >= boundaries[bi] {
+			cur := takeSnap()
+			span := (boundaries[bi] - lastBoundary).Seconds()
+			st := IntervalStats{
+				ThroughputBps: float64(cur.rxBytes-lastSnap.rxBytes) * 8 / span,
+				LossPkts:      cur.lost - lastSnap.lost,
+			}
+			if dp := cur.rxPkts - lastSnap.rxPkts; dp > 0 {
+				st.AvgRTT = 2 * (cur.owdSum - lastSnap.owdSum) / sim.Time(dp)
+			}
+			res.Intervals = append(res.Intervals, st)
+			lastSnap = cur
+			lastBoundary = boundaries[bi]
+			bi++
+		}
+	}
+
+	// Whole-window aggregates.
+	rxBytes, rxPkts, owdSum := ut.Sink.Totals()
+	res.ThroughputBps = float64(rxBytes) * 8 / window.Seconds()
+	if rxPkts > 0 {
+		res.AvgOWD = owdSum / sim.Time(rxPkts)
+		res.AvgRTT = 2 * res.AvgOWD
+	}
+	if sent := ut.Conn.SentPkts(); sent > 0 {
+		res.LossRate = float64(ut.Conn.LostPkts()) / float64(sent)
+	}
+	for _, f := range bg {
+		res.BgThroughput = append(res.BgThroughput, float64(f.Sink.RxBytes)*8/sc.Duration.Seconds())
+	}
+	return res
+}

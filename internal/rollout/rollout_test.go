@@ -1,0 +1,102 @@
+package rollout
+
+import (
+	"testing"
+
+	"sage/internal/cc"
+	"sage/internal/netem"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func flatScenario(bwMbps, rttMs float64, bdp float64, dur sim.Time) netem.Scenario {
+	rate := netem.FlatRate(netem.Mbps(bwMbps))
+	mrtt := sim.FromMillis(rttMs)
+	return netem.Scenario{
+		Name:       "test-flat",
+		Rate:       rate,
+		MinRTT:     mrtt,
+		QueueBytes: int(float64(netem.BDPBytes(rate.At(0), mrtt)) * bdp),
+		Duration:   dur,
+	}
+}
+
+func TestRunSingleFlow(t *testing.T) {
+	sc := flatScenario(24, 20, 2, 8*sim.Second)
+	res := Run(sc, cc.MustNew("cubic"), Options{CollectSteps: true})
+	if res.Scheme != "cubic" || res.ScenarioName != "test-flat" {
+		t.Fatalf("labels: %+v", res)
+	}
+	if res.ThroughputBps < 0.7*24e6 {
+		t.Fatalf("throughput %.2f Mb/s", res.ThroughputBps/1e6)
+	}
+	if len(res.Intervals) != 4 {
+		t.Fatalf("intervals = %d", len(res.Intervals))
+	}
+	for i, iv := range res.Intervals {
+		if iv.ThroughputBps <= 0 || iv.AvgRTT <= 0 {
+			t.Fatalf("interval %d empty: %+v", i, iv)
+		}
+	}
+	if len(res.Steps) < 300 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	if res.AvgRTT < 20*sim.Millisecond {
+		t.Fatalf("avg rtt %v below propagation", res.AvgRTT)
+	}
+}
+
+func TestRunMultiFlowFairShare(t *testing.T) {
+	sc := flatScenario(24, 40, 2, 30*sim.Second)
+	sc.CubicFlows = 1
+	sc.TestStart = 3 * sim.Second
+	res := Run(sc, cc.MustNew("cubic"), Options{})
+	if res.FairShareBps != netem.Mbps(12) {
+		t.Fatalf("fair share %.2f", res.FairShareBps/1e6)
+	}
+	if len(res.BgThroughput) != 1 {
+		t.Fatalf("background flows = %d", len(res.BgThroughput))
+	}
+	// Both flows should be active; combined near capacity.
+	total := res.ThroughputBps + res.BgThroughput[0]
+	if total < 0.7*24e6 {
+		t.Fatalf("aggregate %.2f Mb/s", total/1e6)
+	}
+	if res.ThroughputBps < 0.2*12e6 {
+		t.Fatalf("test flow starved: %.2f Mb/s", res.ThroughputBps/1e6)
+	}
+}
+
+// ctrlHalf is a controller that pins cwnd to a constant, proving the
+// Controller hook overrides the underlying scheme.
+type ctrlHalf struct{ w float64 }
+
+func (c *ctrlHalf) Control(now sim.Time, conn *tcp.Conn, state []float64) {
+	conn.SetCwnd(c.w)
+}
+
+func TestControllerHookDrivesCwnd(t *testing.T) {
+	sc := flatScenario(24, 20, 4, 6*sim.Second)
+	res := Run(sc, cc.MustNew("pure"), Options{Controller: &ctrlHalf{w: 4}})
+	// With cwnd pinned to 4 packets on a 40-packet BDP, throughput must be
+	// roughly 4/40 of capacity — far below what cubic alone would reach.
+	if res.ThroughputBps > 0.25*24e6 {
+		t.Fatalf("controller ignored: %.2f Mb/s", res.ThroughputBps/1e6)
+	}
+	if res.ThroughputBps < 0.04*24e6 {
+		t.Fatalf("flow collapsed: %.2f Mb/s", res.ThroughputBps/1e6)
+	}
+}
+
+func TestSeriesSampling(t *testing.T) {
+	sc := flatScenario(24, 20, 2, 5*sim.Second)
+	res := Run(sc, cc.MustNew("cubic"), Options{SamplePeriod: 100 * sim.Millisecond})
+	if len(res.Series) < 40 {
+		t.Fatalf("series = %d samples", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.Cwnd <= 0 || s.At <= 0 {
+			t.Fatalf("bad sample %+v", s)
+		}
+	}
+}

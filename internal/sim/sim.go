@@ -1,0 +1,197 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in integer microseconds (Time). Events scheduled for the
+// same instant fire in the order they were scheduled, which together with
+// seeded random sources makes every simulation in this repository
+// reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp in microseconds since the start of the run.
+type Time int64
+
+// Common durations, in simulated microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * 1000
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis converts floating-point milliseconds to a Time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// String renders the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a callback scheduled to run at a simulated instant.
+type Event func(now Time)
+
+type scheduled struct {
+	at    Time
+	seq   uint64 // tie-breaker: schedule order
+	fn    Event
+	index int
+	dead  bool
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*scheduled)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *scheduled }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.index >= 0 }
+
+// Loop is a single-threaded discrete-event loop.
+// The zero value is not usable; use NewLoop.
+type Loop struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	ran    uint64
+}
+
+// NewLoop returns an empty event loop positioned at time zero.
+func NewLoop() *Loop {
+	l := &Loop{}
+	heap.Init(&l.events)
+	return l
+}
+
+// Now returns the current simulated time.
+func (l *Loop) Now() Time { return l.now }
+
+// Processed returns the number of events executed so far.
+func (l *Loop) Processed() uint64 { return l.ran }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// panics: it indicates a logic error in the caller.
+func (l *Loop) At(at Time, fn Event) Handle {
+	if at < l.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, l.now))
+	}
+	e := &scheduled{at: at, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, e)
+	return Handle{ev: e}
+}
+
+// After schedules fn to run d after the current time.
+func (l *Loop) After(d Time, fn Event) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now+d, fn)
+}
+
+// Step executes the next pending event, if any, and reports whether one ran.
+func (l *Loop) Step() bool {
+	for l.events.Len() > 0 {
+		e := heap.Pop(&l.events).(*scheduled)
+		e.index = -1
+		if e.dead {
+			continue
+		}
+		l.now = e.at
+		l.ran++
+		e.fn(l.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is later than deadline. The loop's clock is left at the time of the
+// last executed event, or advanced to deadline if that is later.
+func (l *Loop) RunUntil(deadline Time) {
+	for l.events.Len() > 0 {
+		next := l.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		l.Step()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+}
+
+// Run executes events until none remain.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+func (l *Loop) peek() *scheduled {
+	for l.events.Len() > 0 {
+		e := l.events[0]
+		if e.dead {
+			heap.Pop(&l.events)
+			e.index = -1
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// PendingEvents returns the number of live events in the queue.
+func (l *Loop) PendingEvents() int {
+	n := 0
+	for _, e := range l.events {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", got)
+	}
+	if got := FromMillis(2.5); got != 2500 {
+		t.Fatalf("FromMillis(2.5) = %v", got)
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if got := (250 * Millisecond).Millis(); got != 250 {
+		t.Fatalf("Millis = %v", got)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.500000s" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLoopOrdering(t *testing.T) {
+	l := NewLoop()
+	var order []int
+	l.At(30, func(Time) { order = append(order, 3) })
+	l.At(10, func(Time) { order = append(order, 1) })
+	l.At(20, func(Time) { order = append(order, 2) })
+	l.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if l.Now() != 30 {
+		t.Fatalf("Now = %v", l.Now())
+	}
+	if l.Processed() != 3 {
+		t.Fatalf("Processed = %d", l.Processed())
+	}
+}
+
+func TestLoopSameInstantFIFO(t *testing.T) {
+	l := NewLoop()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(5, func(Time) { order = append(order, i) })
+	}
+	l.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestLoopCancel(t *testing.T) {
+	l := NewLoop()
+	fired := false
+	h := l.At(10, func(Time) { fired = true })
+	if !h.Pending() {
+		t.Fatal("expected pending")
+	}
+	h.Cancel()
+	if h.Pending() {
+		t.Fatal("expected not pending after cancel")
+	}
+	l.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	h.Cancel() // double-cancel is a no-op
+}
+
+func TestLoopRunUntil(t *testing.T) {
+	l := NewLoop()
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		l.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	l.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if l.Now() != 20 {
+		t.Fatalf("Now = %v, want clock advanced to deadline", l.Now())
+	}
+	l.RunUntil(30)
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestLoopAfterAndNestedScheduling(t *testing.T) {
+	l := NewLoop()
+	var ticks []Time
+	var tick Event
+	tick = func(now Time) {
+		ticks = append(ticks, now)
+		if now < 50*Millisecond {
+			l.After(10*Millisecond, tick)
+		}
+	}
+	l.After(10*Millisecond, tick)
+	l.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	if ticks[4] != 50*Millisecond {
+		t.Fatalf("last tick = %v", ticks[4])
+	}
+}
+
+func TestLoopPastSchedulingPanics(t *testing.T) {
+	l := NewLoop()
+	l.At(10, func(Time) {})
+	l.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	l.At(5, func(Time) {})
+}
+
+func TestPendingEvents(t *testing.T) {
+	l := NewLoop()
+	h1 := l.At(1, func(Time) {})
+	l.At(2, func(Time) {})
+	if got := l.PendingEvents(); got != 2 {
+		t.Fatalf("PendingEvents = %d", got)
+	}
+	h1.Cancel()
+	if got := l.PendingEvents(); got != 1 {
+		t.Fatalf("PendingEvents after cancel = %d", got)
+	}
+}
+
+// Property: for any set of event times, execution is sorted by time.
+func TestLoopSortedExecutionProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		l := NewLoop()
+		var fired []Time
+		for _, u := range times {
+			at := Time(u)
+			l.At(at, func(now Time) { fired = append(fired, now) })
+		}
+		l.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i-1] > fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package tcp implements the transport datapath the paper's kernel provides:
+// a window-based sender with per-packet acknowledgments, RFC 6298 RTT
+// estimation, RACK-style time-based loss detection, RTO with backoff,
+// BBR-style delivery-rate sampling, and optional pacing. Congestion-control
+// algorithms plug in through the CongestionControl interface, which mirrors
+// the hook surface of Linux's tcp_congestion_ops.
+package tcp
+
+import "sage/internal/sim"
+
+// CAState is the sender's congestion-avoidance machine state, mirroring the
+// Linux socket's ca_state (the GR unit records it as input signal #4).
+type CAState int
+
+// Congestion-avoidance states.
+const (
+	StateOpen CAState = iota
+	StateRecovery
+	StateLoss
+)
+
+// String names the state like the kernel does.
+func (s CAState) String() string {
+	switch s {
+	case StateOpen:
+		return "Open"
+	case StateRecovery:
+		return "Recovery"
+	case StateLoss:
+		return "Loss"
+	}
+	return "unknown"
+}
+
+// AckEvent describes one processed acknowledgment, handed to the
+// congestion-control module.
+type AckEvent struct {
+	Now          sim.Time
+	AckedPkts    int      // packets newly acknowledged by this ACK (>=1)
+	RTT          sim.Time // raw RTT sample carried by this ACK
+	SRTT         sim.Time
+	MinRTT       sim.Time
+	DeliveryRate float64 // latest delivery-rate sample, bytes/second
+	Inflight     int     // packets in flight after this ACK
+	State        CAState
+	ECE          bool // this ACK echoed an ECN congestion-experienced mark
+}
+
+// CongestionControl is the pluggable congestion controller. Implementations
+// mutate the connection's Cwnd/Ssthresh/PacingRate through the *Conn they
+// are handed, exactly as kernel modules mutate the tcp_sock.
+type CongestionControl interface {
+	// Name returns the scheme's name as used in the paper's figures.
+	Name() string
+	// Init is called once when the connection starts.
+	Init(c *Conn)
+	// OnAck is called for every processed acknowledgment.
+	OnAck(c *Conn, e AckEvent)
+	// OnLoss is called once when the connection enters fast recovery
+	// (the kernel's ssthresh event). lostPkts is the number of packets
+	// declared lost so far in this episode.
+	OnLoss(c *Conn, lostPkts int, now sim.Time)
+	// OnRTO is called when the retransmission timer fires.
+	OnRTO(c *Conn, now sim.Time)
+}

@@ -1,0 +1,525 @@
+package tcp
+
+import (
+	"math"
+
+	"sage/internal/netem"
+	"sage/internal/sim"
+)
+
+// Options tunes a connection's datapath constants.
+type Options struct {
+	MSS        int      // packet size in bytes (default netem.MTU)
+	InitCwnd   float64  // initial congestion window in packets (default 10)
+	MinRTO     sim.Time // lower bound on the retransmission timer (default 200 ms)
+	MaxCwnd    float64  // safety cap on cwnd in packets (default 20000)
+	ReorderWnd sim.Time // RACK reordering window floor (default 1 ms)
+	DelAck     bool     // delayed acknowledgments at the receiver
+}
+
+func (o *Options) fill() {
+	if o.MSS == 0 {
+		o.MSS = netem.MTU
+	}
+	if o.InitCwnd == 0 {
+		o.InitCwnd = 10
+	}
+	if o.MinRTO == 0 {
+		o.MinRTO = 200 * sim.Millisecond
+	}
+	if o.MaxCwnd == 0 {
+		o.MaxCwnd = 20000
+	}
+	if o.ReorderWnd == 0 {
+		o.ReorderWnd = sim.Millisecond
+	}
+}
+
+// txRecord tracks one in-flight packet.
+type txRecord struct {
+	seq             int64
+	sentAt          sim.Time
+	size            int
+	deliveredAtSend int64 // connection's delivered bytes when this was sent
+	acked           bool
+	lost            bool
+}
+
+func (r *txRecord) resolved() bool { return r.acked || r.lost }
+
+// ackItem acknowledges one data packet.
+type ackItem struct {
+	Seq    int64
+	SentAt sim.Time
+	ECE    bool // congestion-experienced echo (ECN)
+}
+
+// ackInfo is the payload the Sink returns on the reverse path. With delayed
+// ACKs enabled a single ACK packet acknowledges several data packets — the
+// "Ack accumulation" the paper's emulation captures.
+type ackInfo struct {
+	Items []ackItem
+}
+
+// Conn is a backlogged ("iperf-style") sender: it always has data and sends
+// whenever the congestion window (and pacing, if enabled) permits.
+type Conn struct {
+	ID   int
+	loop *sim.Loop
+	net  *netem.Network
+	cc   CongestionControl
+	opt  Options
+
+	// Congestion state, mutated by the CC module.
+	Cwnd       float64 // packets
+	Ssthresh   float64 // packets
+	PacingRate float64 // bytes/second; 0 disables pacing
+
+	nextSeq     int64
+	pending     map[int64]*txRecord
+	order       []*txRecord // send order; head advances past resolved records
+	head        int
+	inflightCnt int
+
+	srtt, rttvar     sim.Time
+	lastRTT          sim.Time
+	minRTTFilter     *WindowedFilter
+	baseRTT          sim.Time // all-time minimum
+	rto              sim.Time
+	rtoBackoff       int
+	rtoTimer         sim.Handle
+	rackTimer        sim.Handle
+	lastAckedSentAt  sim.Time
+	rackRTT          sim.Time
+	delivered        int64 // bytes acknowledged
+	deliveredPkts    int64
+	sentPkts         int64
+	lostPkts         int64
+	spurious         int64
+	deliveryRate     float64 // latest sample, bytes/second
+	maxRateFilter    *WindowedFilter
+	state            CAState
+	recoveryEnd      int64 // recovery ends when every seq <= recoveryEnd resolves
+	lossEpisodeLoss  int
+	nextSendAt       sim.Time
+	paceTimer        sim.Handle
+	running          bool
+	stopped          bool
+	enterRecoveryCnt int64
+	rtoCount         int64
+	ecnEnabled       bool
+	ecePkts          int64
+}
+
+// NewConn builds a connection for flow id over n, controlled by cc.
+// Call Start to begin transmission; the caller must also attach a Sink for
+// the flow's data path (see Attach helpers in this package).
+func NewConn(loop *sim.Loop, n *netem.Network, id int, cc CongestionControl, opt Options) *Conn {
+	opt.fill()
+	c := &Conn{
+		ID:            id,
+		loop:          loop,
+		net:           n,
+		cc:            cc,
+		opt:           opt,
+		Cwnd:          opt.InitCwnd,
+		Ssthresh:      math.Inf(1),
+		pending:       make(map[int64]*txRecord),
+		minRTTFilter:  NewMinFilter(10 * sim.Second),
+		maxRateFilter: NewMaxFilter(10 * sim.Second),
+		rto:           sim.Second,
+	}
+	return c
+}
+
+// Start begins transmission at the loop's next opportunity.
+func (c *Conn) Start(now sim.Time) {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.cc.Init(c)
+	c.trySend(now)
+}
+
+// Stop halts transmission and cancels timers.
+func (c *Conn) Stop() {
+	c.stopped = true
+	c.rtoTimer.Cancel()
+	c.rackTimer.Cancel()
+	c.paceTimer.Cancel()
+}
+
+// CC returns the connection's congestion-control module.
+func (c *Conn) CC() CongestionControl { return c.cc }
+
+// MSS returns the packet size in bytes.
+func (c *Conn) MSS() int { return c.opt.MSS }
+
+// SRTT returns the smoothed RTT estimate.
+func (c *Conn) SRTT() sim.Time { return c.srtt }
+
+// RTTVar returns the RTT variance estimate.
+func (c *Conn) RTTVar() sim.Time { return c.rttvar }
+
+// LastRTT returns the most recent raw RTT sample.
+func (c *Conn) LastRTT() sim.Time { return c.lastRTT }
+
+// MinRTT returns the windowed (10 s) minimum RTT.
+func (c *Conn) MinRTT() sim.Time { return sim.Time(c.minRTTFilter.Get()) }
+
+// BaseRTT returns the all-time minimum RTT.
+func (c *Conn) BaseRTT() sim.Time { return c.baseRTT }
+
+// Delivered returns cumulative acknowledged bytes.
+func (c *Conn) Delivered() int64 { return c.delivered }
+
+// DeliveredPkts returns cumulative acknowledged packets.
+func (c *Conn) DeliveredPkts() int64 { return c.deliveredPkts }
+
+// SentPkts returns cumulative transmitted packets.
+func (c *Conn) SentPkts() int64 { return c.sentPkts }
+
+// LostPkts returns cumulative packets declared lost.
+func (c *Conn) LostPkts() int64 { return c.lostPkts }
+
+// SpuriousRetrans returns packets declared lost whose ACK later arrived.
+func (c *Conn) SpuriousRetrans() int64 { return c.spurious }
+
+// DeliveryRate returns the most recent delivery-rate sample in bytes/second.
+func (c *Conn) DeliveryRate() float64 { return c.deliveryRate }
+
+// MaxDeliveryRate returns the windowed (10 s) maximum delivery rate.
+func (c *Conn) MaxDeliveryRate() float64 { return c.maxRateFilter.Get() }
+
+// InflightPkts returns the number of unresolved packets in flight.
+func (c *Conn) InflightPkts() int { return c.inflightCnt }
+
+// InflightBytes returns the bytes in flight.
+func (c *Conn) InflightBytes() int { return c.inflightCnt * c.opt.MSS }
+
+// State returns the congestion-avoidance machine state.
+func (c *Conn) State() CAState { return c.state }
+
+// RecoveryEpisodes returns how many times fast recovery was entered.
+func (c *Conn) RecoveryEpisodes() int64 { return c.enterRecoveryCnt }
+
+// RTOCount returns how many retransmission timeouts fired.
+func (c *Conn) RTOCount() int64 { return c.rtoCount }
+
+// EnableECN makes the sender mark its packets ECN-capable, so marking AQMs
+// signal congestion without dropping. CC modules (DCTCP) call this in Init.
+func (c *Conn) EnableECN() { c.ecnEnabled = true }
+
+// ECEPkts returns the cumulative count of congestion-experienced echoes.
+func (c *Conn) ECEPkts() int64 { return c.ecePkts }
+
+// SetCwnd clamps and applies a new congestion window.
+func (c *Conn) SetCwnd(w float64) {
+	if w < 1 {
+		w = 1
+	}
+	if w > c.opt.MaxCwnd {
+		w = c.opt.MaxCwnd
+	}
+	c.Cwnd = w
+}
+
+// Kick re-evaluates the send gate; CC modules call it after raising cwnd or
+// the pacing rate outside an ACK context.
+func (c *Conn) Kick(now sim.Time) { c.trySend(now) }
+
+// Receive implements netem.Receiver for the reverse (ACK) path.
+func (c *Conn) Receive(p *netem.Packet, now sim.Time) {
+	ai, ok := p.Payload.(*ackInfo)
+	if !ok || c.stopped {
+		return
+	}
+	c.handleAck(ai, now)
+}
+
+func (c *Conn) handleAck(ai *ackInfo, now sim.Time) {
+	var newest *txRecord
+	acked := 0
+	ece := false
+	for _, it := range ai.Items {
+		rec, ok := c.pending[it.Seq]
+		if !ok {
+			continue
+		}
+		delete(c.pending, it.Seq)
+		if rec.lost {
+			// The packet was declared lost but arrived after all: spurious.
+			c.spurious++
+			rec.acked = true
+			c.delivered += int64(rec.size)
+			c.deliveredPkts++
+			continue
+		}
+		rec.acked = true
+		c.inflightCnt--
+		c.delivered += int64(rec.size)
+		c.deliveredPkts++
+		acked++
+		if it.ECE {
+			c.ecePkts++
+			ece = true
+		}
+		if newest == nil || rec.sentAt > newest.sentAt {
+			newest = rec
+		}
+	}
+	if newest == nil {
+		return
+	}
+	rec := newest
+	rtt := now - rec.sentAt
+	c.updateRTT(rtt)
+	c.rtoBackoff = 0
+
+	// Delivery-rate sample (BBR-style: bytes delivered since this packet
+	// left, over the time it spent in flight).
+	if elapsed := now - rec.sentAt; elapsed > 0 {
+		c.deliveryRate = float64(c.delivered-rec.deliveredAtSend) / elapsed.Seconds()
+		c.maxRateFilter.Update(now, c.deliveryRate)
+	}
+	if rec.sentAt > c.lastAckedSentAt {
+		c.lastAckedSentAt = rec.sentAt
+		c.rackRTT = rtt
+	}
+
+	newLost := c.rackDetect(now)
+	c.advanceHead()
+	c.maybeExitRecovery()
+	if newLost > 0 && c.state == StateOpen {
+		c.enterRecovery(now, newLost)
+	}
+
+	ev := AckEvent{
+		Now:          now,
+		AckedPkts:    acked,
+		RTT:          rtt,
+		SRTT:         c.srtt,
+		MinRTT:       c.MinRTT(),
+		DeliveryRate: c.deliveryRate,
+		Inflight:     c.inflightCnt,
+		State:        c.state,
+		ECE:          ece,
+	}
+	if acked > 0 {
+		c.cc.OnAck(c, ev)
+	}
+	c.resetRTO(now)
+	c.trySend(now)
+}
+
+func (c *Conn) updateRTT(rtt sim.Time) {
+	if rtt <= 0 {
+		return
+	}
+	c.lastRTT = rtt
+	c.minRTTFilter.Update(c.loop.Now(), float64(rtt))
+	if c.baseRTT == 0 || rtt < c.baseRTT {
+		c.baseRTT = rtt
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		diff := c.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.opt.MinRTO {
+		c.rto = c.opt.MinRTO
+	}
+	if c.rto > 60*sim.Second {
+		c.rto = 60 * sim.Second
+	}
+}
+
+// reorderWnd returns the RACK reordering window.
+func (c *Conn) reorderWnd() sim.Time {
+	w := c.MinRTT() / 4
+	if w < c.opt.ReorderWnd {
+		w = c.opt.ReorderWnd
+	}
+	return w
+}
+
+// rackDetect marks as lost every unresolved packet sent before the most
+// recently delivered one whose RACK deadline has passed, and arms a timer
+// for the earliest pending deadline. It returns how many packets it marked.
+func (c *Conn) rackDetect(now sim.Time) int {
+	if c.lastAckedSentAt == 0 {
+		return 0
+	}
+	reorder := c.reorderWnd()
+	marked := 0
+	var earliest sim.Time
+	for i := c.head; i < len(c.order); i++ {
+		r := c.order[i]
+		if r.resolved() {
+			continue
+		}
+		if r.sentAt >= c.lastAckedSentAt {
+			break // sent after the newest delivered packet: not suspect
+		}
+		deadline := r.sentAt + c.rackRTT + reorder
+		if now >= deadline {
+			c.markLost(r)
+			marked++
+		} else if earliest == 0 || deadline < earliest {
+			earliest = deadline
+		}
+	}
+	c.rackTimer.Cancel()
+	if earliest > 0 {
+		c.rackTimer = c.loop.At(earliest, c.onRackTimer)
+	}
+	return marked
+}
+
+func (c *Conn) onRackTimer(now sim.Time) {
+	if c.stopped {
+		return
+	}
+	newLost := c.rackDetect(now)
+	c.advanceHead()
+	c.maybeExitRecovery()
+	if newLost > 0 && c.state == StateOpen {
+		c.enterRecovery(now, newLost)
+	}
+	if newLost > 0 {
+		c.trySend(now)
+	}
+}
+
+func (c *Conn) markLost(r *txRecord) {
+	r.lost = true
+	c.lostPkts++
+	c.inflightCnt--
+	c.lossEpisodeLoss++
+}
+
+func (c *Conn) advanceHead() {
+	for c.head < len(c.order) && c.order[c.head].resolved() {
+		c.order[c.head] = nil
+		c.head++
+	}
+	// Periodically compact so the slice doesn't grow without bound.
+	if c.head > 4096 && c.head > len(c.order)/2 {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+}
+
+func (c *Conn) enterRecovery(now sim.Time, lost int) {
+	c.state = StateRecovery
+	c.recoveryEnd = c.nextSeq - 1
+	c.enterRecoveryCnt++
+	c.lossEpisodeLoss = lost
+	c.cc.OnLoss(c, lost, now)
+}
+
+func (c *Conn) maybeExitRecovery() {
+	if c.state == StateOpen {
+		return
+	}
+	if c.head < len(c.order) && c.order[c.head].seq <= c.recoveryEnd {
+		return // still packets from the loss episode outstanding
+	}
+	c.state = StateOpen
+	c.lossEpisodeLoss = 0
+}
+
+func (c *Conn) resetRTO(now sim.Time) {
+	c.rtoTimer.Cancel()
+	if c.inflightCnt == 0 || c.stopped {
+		return
+	}
+	d := c.rto << c.rtoBackoff
+	if d > 60*sim.Second {
+		d = 60 * sim.Second
+	}
+	c.rtoTimer = c.loop.At(now+d, c.onRTO)
+}
+
+func (c *Conn) onRTO(now sim.Time) {
+	if c.stopped || c.inflightCnt == 0 {
+		return
+	}
+	c.rtoCount++
+	c.state = StateLoss
+	c.recoveryEnd = c.nextSeq - 1
+	// Everything in flight is presumed lost.
+	lost := 0
+	for i := c.head; i < len(c.order); i++ {
+		r := c.order[i]
+		if !r.resolved() {
+			c.markLost(r)
+			lost++
+		}
+	}
+	c.advanceHead()
+	c.rtoBackoff++
+	if c.rtoBackoff > 8 {
+		c.rtoBackoff = 8
+	}
+	c.cc.OnRTO(c, now)
+	if c.Cwnd < 1 {
+		c.Cwnd = 1
+	}
+	c.resetRTO(now)
+	c.trySend(now)
+}
+
+// trySend transmits as long as the window (and pacing schedule) allows.
+func (c *Conn) trySend(now sim.Time) {
+	if !c.running || c.stopped {
+		return
+	}
+	for float64(c.inflightCnt) < c.Cwnd {
+		if c.PacingRate > 0 && now < c.nextSendAt {
+			if !c.paceTimer.Pending() {
+				c.paceTimer = c.loop.At(c.nextSendAt, func(t sim.Time) { c.trySend(t) })
+			}
+			return
+		}
+		c.sendPacket(now)
+		if c.PacingRate > 0 {
+			gap := sim.Time(float64(c.opt.MSS) / c.PacingRate * float64(sim.Second))
+			if gap < 1 {
+				gap = 1
+			}
+			if c.nextSendAt < now {
+				c.nextSendAt = now
+			}
+			c.nextSendAt += gap
+		}
+	}
+}
+
+func (c *Conn) sendPacket(now sim.Time) {
+	seq := c.nextSeq
+	c.nextSeq++
+	rec := &txRecord{
+		seq:             seq,
+		sentAt:          now,
+		size:            c.opt.MSS,
+		deliveredAtSend: c.delivered,
+	}
+	c.pending[seq] = rec
+	c.order = append(c.order, rec)
+	c.inflightCnt++
+	c.sentPkts++
+	p := &netem.Packet{FlowID: c.ID, Seq: seq, Size: c.opt.MSS, Sent: now, ECT: c.ecnEnabled}
+	c.net.SendData(p, now)
+	if !c.rtoTimer.Pending() {
+		c.resetRTO(now)
+	}
+}

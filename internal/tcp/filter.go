@@ -1,0 +1,72 @@
+package tcp
+
+import "sage/internal/sim"
+
+// WindowedFilter tracks the extremum of a time series over a sliding window,
+// in the style of the kernel's windowed min/max filter used by BBR
+// (lib/win_minmax.c): three best-so-far samples whose timestamps partition
+// the window.
+type WindowedFilter struct {
+	Window sim.Time
+	isMax  bool
+	s      [3]filterSample
+}
+
+type filterSample struct {
+	t sim.Time
+	v float64
+	// set reports whether the slot holds a real sample.
+	set bool
+}
+
+// NewMaxFilter returns a windowed maximum filter.
+func NewMaxFilter(window sim.Time) *WindowedFilter {
+	return &WindowedFilter{Window: window, isMax: true}
+}
+
+// NewMinFilter returns a windowed minimum filter.
+func NewMinFilter(window sim.Time) *WindowedFilter {
+	return &WindowedFilter{Window: window}
+}
+
+func (f *WindowedFilter) better(a, b float64) bool {
+	if f.isMax {
+		return a >= b
+	}
+	return a <= b
+}
+
+// Update inserts a sample and returns the current windowed extremum.
+func (f *WindowedFilter) Update(now sim.Time, v float64) float64 {
+	ns := filterSample{t: now, v: v, set: true}
+	if !f.s[0].set || f.better(v, f.s[0].v) || now-f.s[2].t > f.Window {
+		f.s[0], f.s[1], f.s[2] = ns, ns, ns
+		return v
+	}
+	if f.better(v, f.s[1].v) {
+		f.s[1], f.s[2] = ns, ns
+	} else if f.better(v, f.s[2].v) {
+		f.s[2] = ns
+	}
+	// Expire the best if it has aged out of the window.
+	if now-f.s[0].t > f.Window {
+		f.s[0], f.s[1] = f.s[1], f.s[2]
+		f.s[2] = ns
+		if now-f.s[0].t > f.Window {
+			f.s[0] = f.s[1]
+			f.s[1] = f.s[2]
+		}
+	}
+	return f.s[0].v
+}
+
+// Get returns the current extremum (0 if no samples yet).
+func (f *WindowedFilter) Get() float64 {
+	if !f.s[0].set {
+		return 0
+	}
+	return f.s[0].v
+}
+
+// Reset clears all samples.
+func (f *WindowedFilter) Reset() { f.s = [3]filterSample{} }

@@ -1,0 +1,125 @@
+package tcp
+
+import (
+	"sage/internal/netem"
+	"sage/internal/sim"
+)
+
+// Sink is the receiver endpoint: it acknowledges data packets and keeps the
+// receiver-side statistics the evaluation harness consumes (throughput
+// measured at the receiver, one-way packet delay). With delayed ACKs
+// enabled it coalesces up to two data packets per ACK, flushing after
+// DelAckTimeout — the kernel behaviour behind the paper's "Ack
+// accumulation" remark.
+type Sink struct {
+	net  *netem.Network
+	loop *sim.Loop
+
+	// DelAck enables RFC 1122-style delayed acknowledgments.
+	DelAck bool
+	// DelAckTimeout flushes a lone pending ACK (default 40 ms).
+	DelAckTimeout sim.Time
+
+	RxBytes int64
+	RxPkts  int64
+	owdSum  sim.Time
+	owdMax  sim.Time
+	AcksTx  int64
+
+	pending  []ackItem
+	pendID   int
+	delTimer sim.Handle
+}
+
+// NewSink returns a sink that acknowledges over n.
+func NewSink(n *netem.Network) *Sink { return &Sink{net: n, DelAckTimeout: 40 * sim.Millisecond} }
+
+// NewDelAckSink returns a sink with delayed acknowledgments enabled; it
+// needs the loop for the flush timer.
+func NewDelAckSink(loop *sim.Loop, n *netem.Network) *Sink {
+	s := NewSink(n)
+	s.loop = loop
+	s.DelAck = true
+	return s
+}
+
+// Receive implements netem.Receiver for the data path.
+func (s *Sink) Receive(p *netem.Packet, now sim.Time) {
+	s.RxBytes += int64(p.Size)
+	s.RxPkts++
+	owd := now - p.Sent
+	s.owdSum += owd
+	if owd > s.owdMax {
+		s.owdMax = owd
+	}
+	item := ackItem{Seq: p.Seq, SentAt: p.Sent, ECE: p.ECE}
+	if !s.DelAck || s.loop == nil {
+		s.send(p.FlowID, now, []ackItem{item})
+		return
+	}
+	s.pending = append(s.pending, item)
+	s.pendID = p.FlowID
+	if len(s.pending) >= 2 || p.ECE {
+		// ECN marks must be echoed promptly (RFC 3168 §6.1.3).
+		s.flush(now)
+		return
+	}
+	if !s.delTimer.Pending() {
+		s.delTimer = s.loop.After(s.DelAckTimeout, s.flush)
+	}
+}
+
+func (s *Sink) flush(now sim.Time) {
+	if len(s.pending) == 0 {
+		return
+	}
+	s.delTimer.Cancel()
+	items := s.pending
+	s.pending = nil
+	s.send(s.pendID, now, items)
+}
+
+func (s *Sink) send(flowID int, now sim.Time, items []ackItem) {
+	s.AcksTx++
+	ack := &netem.Packet{FlowID: flowID, Seq: items[len(items)-1].Seq, Size: 40,
+		Ack: true, Sent: now, Payload: &ackInfo{Items: items}}
+	s.net.SendAck(ack, now)
+}
+
+// OWDAvg returns the mean one-way delay of received packets.
+func (s *Sink) OWDAvg() sim.Time {
+	if s.RxPkts == 0 {
+		return 0
+	}
+	return s.owdSum / sim.Time(s.RxPkts)
+}
+
+// OWDMax returns the maximum observed one-way delay.
+func (s *Sink) OWDMax() sim.Time { return s.owdMax }
+
+// Totals returns the cumulative received bytes, packets, and the sum of
+// one-way delays — the counters interval scoring snapshots.
+func (s *Sink) Totals() (bytes, pkts int64, owdSum sim.Time) {
+	return s.RxBytes, s.RxPkts, s.owdSum
+}
+
+// Flow bundles a connection with its sink, attached to a network.
+type Flow struct {
+	Conn *Conn
+	Sink *Sink
+}
+
+// NewFlow creates a connection+sink pair for flow id and attaches both
+// endpoints to n. Call Flow.Conn.Start to begin. Set opt.DelAck for
+// delayed acknowledgments at the receiver.
+func NewFlow(loop *sim.Loop, n *netem.Network, id int, cc CongestionControl, opt Options) *Flow {
+	conn := NewConn(loop, n, id, cc, opt)
+	var sink *Sink
+	if opt.DelAck {
+		sink = NewDelAckSink(loop, n)
+	} else {
+		sink = NewSink(n)
+	}
+	n.Attach(id, netem.Endpoints{Data: sink, Ack: conn})
+	return &Flow{Conn: conn, Sink: sink}
+}

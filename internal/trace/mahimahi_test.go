@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sage/internal/sim"
+)
+
+func TestParseMahimahi(t *testing.T) {
+	in := "0\n1\n# comment\n\n5\n3\n"
+	ops, err := ParseMahimahi(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 3, 5} // sorted
+	if len(ops) != 4 {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i, v := range want {
+		if ops[i] != v {
+			t.Fatalf("ops = %v", ops)
+		}
+	}
+	if _, err := ParseMahimahi(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseMahimahi(strings.NewReader("-1\n")); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if _, err := ParseMahimahi(strings.NewReader("")); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestMahimahiToSchedule(t *testing.T) {
+	// 10 opportunities in the first 100 ms bin -> 10 * 12000 bits / 0.1 s
+	// = 1.2 Mb/s; nothing in the second; 5 in the third.
+	var ops []int64
+	for i := 0; i < 10; i++ {
+		ops = append(ops, int64(i*10))
+	}
+	for i := 0; i < 5; i++ {
+		ops = append(ops, int64(200+i*20))
+	}
+	s, err := MahimahiToSchedule(ops, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(50 * sim.Millisecond); math.Abs(got-1.2e6) > 1 {
+		t.Fatalf("bin 0 rate = %v", got)
+	}
+	if got := s.At(150 * sim.Millisecond); got != 0 {
+		t.Fatalf("bin 1 rate = %v", got)
+	}
+	if got := s.At(250 * sim.Millisecond); math.Abs(got-0.6e6) > 1 {
+		t.Fatalf("bin 2 rate = %v", got)
+	}
+}
+
+func TestMahimahiRoundTrip(t *testing.T) {
+	// Export a synthetic cellular trace and load it back: the reloaded
+	// schedule's mean rate should track the original's.
+	orig := Cellular(5, 20*sim.Second)
+	var buf bytes.Buffer
+	if err := WriteMahimahi(&buf, orig, 20*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := ParseMahimahi(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := MahimahiToSchedule(ops, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := orig.MeanRateUntil(20 * sim.Second)
+	m2 := re.MeanRateUntil(20 * sim.Second)
+	if math.Abs(m1-m2)/m1 > 0.15 {
+		t.Fatalf("round trip mean: %.2f vs %.2f Mb/s", m1/1e6, m2/1e6)
+	}
+}
+
+func TestLoadMahimahiFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := os.WriteFile(path, []byte("0\n1\n2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadMahimahi(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0) <= 0 {
+		t.Fatal("zero rate")
+	}
+	if _, err := LoadMahimahi(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

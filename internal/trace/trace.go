@@ -1,0 +1,132 @@
+// Package trace builds the synthetic stand-ins for the paper's real-world
+// evaluation substrate (Section 6.1): Markov-modulated cellular traces in
+// place of the 23 recorded LTE traces, and intra-/inter-continental path
+// models in place of the GENI/AWS server pairs. The substitution preserves
+// what Fig. 8 measures — the three regimes differ in RTT scale, rate
+// variability, and stochastic loss, which is exactly what these models
+// control.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sage/internal/netem"
+	"sage/internal/sim"
+)
+
+// Cellular returns a Markov-modulated rate schedule emulating a cellular
+// link: the log-rate follows a mean-reverting random walk between ~0.5 and
+// ~50 Mb/s with occasional short outages, resampled every 100 ms — the
+// variability profile of the paper's walking/driving LTE traces.
+func Cellular(id int, dur sim.Time) *netem.RateSchedule {
+	rng := rand.New(rand.NewSource(int64(id)*7919 + 12345))
+	const seg = 100 * sim.Millisecond
+	n := int(dur/seg) + 2
+	times := make([]sim.Time, 0, n)
+	bps := make([]float64, 0, n)
+	logRate := math.Log(4e6 + rng.Float64()*16e6) // start 4-20 Mb/s
+	mean := logRate
+	outage := 0
+	for i := 0; i < n; i++ {
+		times = append(times, sim.Time(i)*seg)
+		if outage > 0 {
+			outage--
+			bps = append(bps, 0)
+			continue
+		}
+		if rng.Float64() < 0.01 {
+			outage = 1 + rng.Intn(3) // 100-400 ms outage
+			bps = append(bps, 0)
+			continue
+		}
+		logRate += 0.3*(mean-logRate) + rng.NormFloat64()*0.35
+		r := math.Exp(logRate)
+		if r < 0.5e6 {
+			r = 0.5e6
+		}
+		if r > 50e6 {
+			r = 50e6
+		}
+		bps = append(bps, r)
+	}
+	// Final segment must be positive so the link never stalls forever.
+	if bps[len(bps)-1] == 0 {
+		bps[len(bps)-1] = 2e6
+	}
+	s, err := netem.NewRateSchedule(times, bps)
+	if err != nil {
+		panic("trace: " + err.Error()) // construction is by-definition valid
+	}
+	return s
+}
+
+// CellularScenarios builds n highly-variable-link scenarios (Fig. 8c):
+// cellular rate traces, 40 ms propagation RTT, generous buffers (cellular
+// base stations are deep-buffered).
+func CellularScenarios(n int, dur sim.Time) []netem.Scenario {
+	out := make([]netem.Scenario, n)
+	for i := range out {
+		rate := Cellular(i, dur)
+		mrtt := 40 * sim.Millisecond
+		out[i] = netem.Scenario{
+			Name:       fmt.Sprintf("cellular-%02d", i),
+			Rate:       rate,
+			MinRTT:     mrtt,
+			QueueBytes: 8 * netem.BDPBytes(20e6, mrtt), // deep cellular buffer
+			Duration:   dur,
+			Seed:       int64(i) + 900,
+		}
+	}
+	return out
+}
+
+// IntraContinental builds n scenarios modeled on the paper's 16 US paths
+// (Fig. 8a): short RTTs (7–60 ms), high stable rates, light jitter,
+// negligible random loss.
+func IntraContinental(n int, dur sim.Time) []netem.Scenario {
+	rng := rand.New(rand.NewSource(4242))
+	out := make([]netem.Scenario, n)
+	for i := range out {
+		rttMs := 7 + rng.Float64()*53
+		bw := 20 + rng.Float64()*130 // Mb/s
+		mrtt := sim.FromMillis(rttMs)
+		out[i] = netem.Scenario{
+			Name:       fmt.Sprintf("intra-%02d-%.0fms-%.0fmbps", i, rttMs, bw),
+			Rate:       netem.FlatRate(netem.Mbps(bw)),
+			MinRTT:     mrtt,
+			QueueBytes: 2 * netem.BDPBytes(netem.Mbps(bw), mrtt),
+			Duration:   dur,
+			Jitter:     sim.FromMillis(0.5),
+			LossProb:   0.00005,
+			Seed:       int64(i) + 700,
+		}
+	}
+	return out
+}
+
+// InterContinental builds n scenarios modeled on the paper's 13 global
+// paths (Fig. 8b): long RTTs (80–237 ms), moderate rates, more jitter and
+// a small stochastic loss rate — the regime where loss-blind delay-based
+// schemes starve.
+func InterContinental(n int, dur sim.Time) []netem.Scenario {
+	rng := rand.New(rand.NewSource(1717))
+	out := make([]netem.Scenario, n)
+	for i := range out {
+		rttMs := 80 + rng.Float64()*157
+		bw := 10 + rng.Float64()*90 // Mb/s
+		mrtt := sim.FromMillis(rttMs)
+		out[i] = netem.Scenario{
+			Name:       fmt.Sprintf("inter-%02d-%.0fms-%.0fmbps", i, rttMs, bw),
+			Rate:       netem.FlatRate(netem.Mbps(bw)),
+			MinRTT:     mrtt,
+			QueueBytes: netem.BDPBytes(netem.Mbps(bw), mrtt),
+			Duration:   dur,
+			Jitter:     sim.FromMillis(2),
+			LossProb:   0.0005,
+			Seed:       int64(i) + 800,
+		}
+	}
+	return out
+}

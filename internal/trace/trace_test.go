@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"testing"
+
+	"sage/internal/cc"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+)
+
+func TestCellularTraceProperties(t *testing.T) {
+	s := Cellular(3, 30*sim.Second)
+	if s.MaxRate() > 50e6 || s.MaxRate() < 0.5e6 {
+		t.Fatalf("max rate %v", s.MaxRate())
+	}
+	// Variability: the mean over the run must be well below the max.
+	mean := s.MeanRateUntil(30 * sim.Second)
+	if mean >= s.MaxRate() {
+		t.Fatal("trace is not variable")
+	}
+	if mean <= 0 {
+		t.Fatal("trace is dead")
+	}
+	// Determinism per id, distinct across ids.
+	again := Cellular(3, 30*sim.Second)
+	if again.At(5*sim.Second) != s.At(5*sim.Second) {
+		t.Fatal("trace not deterministic")
+	}
+	other := Cellular(4, 30*sim.Second)
+	same := true
+	for ts := sim.Time(0); ts < 10*sim.Second; ts += sim.Second {
+		if other.At(ts) != s.At(ts) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different ids produced identical traces")
+	}
+}
+
+func TestScenarioGenerators(t *testing.T) {
+	intra := IntraContinental(4, 5*sim.Second)
+	inter := InterContinental(4, 5*sim.Second)
+	cell := CellularScenarios(3, 5*sim.Second)
+	if len(intra) != 4 || len(inter) != 4 || len(cell) != 3 {
+		t.Fatal("counts")
+	}
+	for _, sc := range intra {
+		if sc.MinRTT > 60*sim.Millisecond {
+			t.Fatalf("intra RTT %v", sc.MinRTT)
+		}
+	}
+	for _, sc := range inter {
+		if sc.MinRTT < 80*sim.Millisecond {
+			t.Fatalf("inter RTT %v", sc.MinRTT)
+		}
+		if sc.LossProb <= 0 {
+			t.Fatal("inter must have stochastic loss")
+		}
+	}
+}
+
+func TestCubicRunsOverCellular(t *testing.T) {
+	sc := CellularScenarios(1, 10*sim.Second)[0]
+	res := rollout.Run(sc, cc.MustNew("cubic"), rollout.Options{})
+	if res.ThroughputBps <= 0 {
+		t.Fatal("no traffic over cellular trace")
+	}
+	// Outages and variability must not wedge the connection.
+	if res.ThroughputBps < 0.2e6 {
+		t.Fatalf("throughput %.2f Mb/s suspiciously low", res.ThroughputBps/1e6)
+	}
+}
+
+func TestDelayVsLossOverInterContinental(t *testing.T) {
+	// Stochastic loss on long paths: Vegas backs off on noise, Cubic pushes
+	// through — the regime distinction Fig. 8b relies on.
+	sc := InterContinental(1, 15*sim.Second)[0]
+	cub := rollout.Run(sc, cc.MustNew("cubic"), rollout.Options{})
+	veg := rollout.Run(sc, cc.MustNew("vegas"), rollout.Options{})
+	if cub.ThroughputBps <= veg.ThroughputBps {
+		t.Fatalf("cubic %.2f <= vegas %.2f Mb/s on lossy long path",
+			cub.ThroughputBps/1e6, veg.ThroughputBps/1e6)
+	}
+}

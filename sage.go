@@ -1,0 +1,99 @@
+// Package sage is a from-scratch Go reproduction of "Computers Can Learn
+// from the Heuristic Designs and Master Internet Congestion Control"
+// (Yen, Abbasloo, Chao — ACM SIGCOMM 2023): the first purely data-driven
+// (offline-RL) Internet congestion-control scheme.
+//
+// The root package is a façade over the internal packages; the typical
+// pipeline is:
+//
+//	scens := append(sage.SetI(sage.GridSmall, 10*sage.Second),
+//	                sage.SetII(sage.GridSmall, 30*sage.Second)...)
+//	pool  := sage.Collect(sage.PoolSchemes(), scens)       // phase 1
+//	model := sage.Train(pool, sage.TrainConfig{})          // phase 2 (offline)
+//	res   := sage.Deploy(model, scens[0])                  // phase 3
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record; `go test -bench .` and cmd/sage-bench
+// regenerate every table and figure of the paper's evaluation.
+package sage
+
+import (
+	"sage/internal/cc"
+	"sage/internal/collector"
+	"sage/internal/core"
+	"sage/internal/eval"
+	"sage/internal/netem"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+)
+
+// Time is a simulated timestamp/duration in microseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// GridLevel selects scenario-grid density.
+type GridLevel = netem.GridLevel
+
+// Grid densities.
+const (
+	GridTiny  = netem.GridTiny
+	GridSmall = netem.GridSmall
+	GridFull  = netem.GridFull
+)
+
+// Scenario is one emulated network environment.
+type Scenario = netem.Scenario
+
+// Pool is a collected pool of policies.
+type Pool = collector.Pool
+
+// Model is a trained Sage policy.
+type Model = core.Model
+
+// TrainConfig configures offline training.
+type TrainConfig = core.Config
+
+// Result summarizes one deployment run.
+type Result = rollout.Result
+
+// PoolSchemes returns the paper's 13-scheme pool of kernel heuristics.
+func PoolSchemes() []string { return cc.PoolNames() }
+
+// SetI generates the single-flow scenario set (flat + step links).
+func SetI(level GridLevel, duration Time) []Scenario {
+	return netem.SetI(netem.SetIOptions{Level: level, Duration: duration})
+}
+
+// SetII generates the multi-flow (TCP-friendliness) scenario set.
+func SetII(level GridLevel, duration Time) []Scenario {
+	return netem.SetII(netem.SetIIOptions{Level: level, Duration: duration})
+}
+
+// Collect runs the Policy Collector: every scheme through every scenario.
+func Collect(schemes []string, scenarios []Scenario) *Pool {
+	return collector.Collect(schemes, scenarios, collector.Options{})
+}
+
+// Train runs the offline CRR learner on the pool.
+func Train(pool *Pool, cfg TrainConfig) *Model {
+	return core.Train(pool, cfg, nil)
+}
+
+// LoadModel reads a model saved with Model.Save.
+func LoadModel(path string) (*Model, error) { return core.LoadModel(path) }
+
+// Deploy runs the model's policy (over TCP Pure) through a scenario.
+func Deploy(model *Model, sc Scenario) Result {
+	ent := eval.ControllerEntrant("sage", func() rollout.Controller { return model.NewAgent(0) })
+	return ent.Run(sc, rollout.Options{})
+}
+
+// RunScheme runs a named kernel heuristic through a scenario.
+func RunScheme(name string, sc Scenario) Result {
+	return eval.SchemeEntrant(name).Run(sc, rollout.Options{})
+}

@@ -1,0 +1,35 @@
+package sage
+
+import "testing"
+
+// The façade test walks the public API end to end at toy scale.
+func TestPublicPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	scens := append(SetI(GridTiny, 3*Second), SetII(GridTiny, 6*Second)...)
+	if len(scens) == 0 {
+		t.Fatal("no scenarios")
+	}
+	pool := Collect([]string{"cubic", "vegas"}, scens[:6])
+	if pool.Transitions() == 0 {
+		t.Fatal("empty pool")
+	}
+	cfg := TrainConfig{}
+	cfg.CRR.Steps = 30
+	cfg.CRR.Policy.Enc = 12
+	cfg.CRR.Policy.Hidden = 6
+	cfg.CRR.Policy.K = 2
+	model := Train(pool, cfg)
+	res := Deploy(model, scens[0])
+	if res.ThroughputBps <= 0 {
+		t.Fatal("deployed model moved no traffic")
+	}
+	ref := RunScheme("cubic", scens[0])
+	if ref.ThroughputBps <= 0 {
+		t.Fatal("reference scheme moved no traffic")
+	}
+	if len(PoolSchemes()) != 13 {
+		t.Fatalf("pool schemes = %d", len(PoolSchemes()))
+	}
+}
