@@ -19,7 +19,12 @@ import (
 	"sync"
 	"testing"
 
+	"sage/internal/cc"
 	"sage/internal/exp"
+	"sage/internal/netem"
+	"sage/internal/rollout"
+	"sage/internal/sim"
+	"sage/internal/telemetry"
 )
 
 var (
@@ -80,3 +85,42 @@ func BenchmarkFig23AQM(b *testing.B)                   { runExp(b, "fig23") }
 func BenchmarkFig24Fig25Dynamics(b *testing.B)         { runExp(b, "fig24_25") }
 func BenchmarkFig27Fig28Others(b *testing.B)           { runExp(b, "fig27_28") }
 func BenchmarkTable2Table3AlphaThree(b *testing.B)     { runExp(b, "table2_3") }
+
+// telemetryScenario is the small fixed rollout behind the telemetry
+// on/off comparison: 24 Mb/s, 20 ms, 2 BDP, 4 simulated seconds.
+func telemetryScenario() netem.Scenario {
+	rate := netem.FlatRate(netem.Mbps(24))
+	mrtt := sim.FromMillis(20)
+	return netem.Scenario{
+		Name:       "bench-flat",
+		Rate:       rate,
+		MinRTT:     mrtt,
+		QueueBytes: 2 * netem.BDPBytes(rate.At(0), mrtt),
+		Duration:   4 * sim.Second,
+	}
+}
+
+// BenchmarkRolloutTelemetryOff/On bracket the cost of datapath tracing:
+// the same rollout with Options.Trace nil versus a live FlowTrace
+// recording every GR tick. The delta is the per-run price of -trace.
+// Unlike the figure benchmarks these are real ns/op measurements — run
+// with a normal -benchtime.
+func BenchmarkRolloutTelemetryOff(b *testing.B) {
+	sc := telemetryScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rollout.Run(sc, cc.MustNew("cubic"), rollout.Options{CollectSteps: true})
+	}
+}
+
+func BenchmarkRolloutTelemetryOn(b *testing.B) {
+	sc := telemetryScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := telemetry.NewFlowTrace(0)
+		rollout.Run(sc, cc.MustNew("cubic"), rollout.Options{CollectSteps: true, Trace: tr})
+		if tr.Len() == 0 {
+			b.Fatal("trace recorded nothing")
+		}
+	}
+}

@@ -18,17 +18,38 @@ import (
 	"time"
 
 	"sage/internal/exp"
+	"sage/internal/telemetry"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		sizing   = flag.String("sizing", "quick", "experiment scale: quick|paper")
-		parallel = flag.Int("parallel", 0, "rollout workers (0 = NumCPU)")
-		seed     = flag.Int64("seed", 1, "global seed")
-		list     = flag.Bool("list", false, "list experiments and exit")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		sizing    = flag.String("sizing", "quick", "experiment scale: quick|paper")
+		parallel  = flag.Int("parallel", 0, "rollout workers (0 = NumCPU)")
+		seed      = flag.Int64("seed", 1, "global seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		metrics   = flag.String("metrics", "", "write per-experiment wall-time records as JSONL to this file")
+		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	var emit *telemetry.JSONL
+	if *metrics != "" {
+		var err error
+		emit, err = telemetry.CreateJSONL(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer emit.Close()
+	}
 
 	if *list {
 		for _, e := range exp.Suite() {
@@ -68,6 +89,14 @@ func main() {
 		start := time.Now()
 		fmt.Printf("\n### %s — %s\n", e.ID, e.About)
 		exp.RunAndPrint(e, a, os.Stdout)
-		fmt.Printf("[%s done in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("[%s done in %s]\n", e.ID, elapsed.Round(time.Millisecond))
+		emit.Emit(struct {
+			Exp      string  `json:"exp"`
+			About    string  `json:"about"`
+			Seconds  float64 `json:"seconds"`
+			Sizing   string  `json:"sizing"`
+			Parallel int     `json:"parallel"`
+		}{e.ID, e.About, elapsed.Seconds(), *sizing, *parallel})
 	}
 }

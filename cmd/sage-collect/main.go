@@ -6,6 +6,12 @@
 // Usage:
 //
 //	sage-collect -out pool.gob.gz -level small -seti-dur 10s -setii-dur 30s
+//	sage-collect -level small -progress -metrics pool.jsonl -pprof :6060
+//
+// With -progress, a rollouts done/total line with transitions/sec and ETA
+// is printed as workers finish; with -metrics, one JSON line per collected
+// trajectory (scheme, env, steps, score) is written; with -pprof, the Go
+// profiling endpoints are served for the run.
 package main
 
 import (
@@ -20,20 +26,41 @@ import (
 	"sage/internal/gr"
 	"sage/internal/netem"
 	"sage/internal/sim"
+	"sage/internal/telemetry"
 )
+
+// trajRecord is the JSONL schema of -metrics: one line per trajectory.
+type trajRecord struct {
+	Scheme    string  `json:"scheme"`
+	Env       string  `json:"env"`
+	MultiFlow bool    `json:"multi_flow"`
+	Steps     int     `json:"steps"`
+	Score     float64 `json:"score"`
+}
 
 func main() {
 	var (
-		out      = flag.String("out", "pool.gob.gz", "output pool file")
-		level    = flag.String("level", "tiny", "grid density: tiny|small|full")
-		setIDur  = flag.Duration("seti-dur", 10*time.Second, "Set I scenario duration")
-		setIIDur = flag.Duration("setii-dur", 30*time.Second, "Set II scenario duration")
-		schemes  = flag.String("schemes", "", "comma-separated schemes (default: the 13-scheme pool)")
-		window   = flag.Int("window", 0, "uniform observation window (0 = the default 10/200/1000)")
-		parallel = flag.Int("parallel", 0, "workers (0 = NumCPU)")
-		seed     = flag.Int64("seed", 1, "seed")
+		out       = flag.String("out", "pool.gob.gz", "output pool file")
+		level     = flag.String("level", "tiny", "grid density: tiny|small|full")
+		setIDur   = flag.Duration("seti-dur", 10*time.Second, "Set I scenario duration")
+		setIIDur  = flag.Duration("setii-dur", 30*time.Second, "Set II scenario duration")
+		schemes   = flag.String("schemes", "", "comma-separated schemes (default: the 13-scheme pool)")
+		window    = flag.Int("window", 0, "uniform observation window (0 = the default 10/200/1000)")
+		parallel  = flag.Int("parallel", 0, "workers (0 = NumCPU)")
+		seed      = flag.Int64("seed", 1, "seed")
+		metrics   = flag.String("metrics", "", "write per-trajectory records as JSONL to this file")
+		progress  = flag.Bool("progress", false, "print a live rollouts/transitions progress line with ETA")
+		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	lvl, err := parseLevel(*level)
 	if err != nil {
@@ -48,15 +75,43 @@ func main() {
 	if *window > 0 {
 		grCfg = grCfg.WithUniformWindow(*window)
 	}
+	// Open the metrics sink before the (possibly long) collection so a
+	// bad path fails in milliseconds, not after the run.
+	var emit *telemetry.JSONL
+	if *metrics != "" {
+		emit, err = telemetry.CreateJSONL(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	scens := append(
 		netem.SetI(netem.SetIOptions{Level: lvl, Duration: sim.FromSeconds(setIDur.Seconds()), Seed: *seed}),
 		netem.SetII(netem.SetIIOptions{Level: lvl, Duration: sim.FromSeconds(setIIDur.Seconds()), Seed: *seed})...)
 
 	fmt.Printf("collecting %d schemes x %d environments...\n", len(names), len(scens))
+	var meter *telemetry.Progress
+	if *progress {
+		meter = telemetry.NewProgress(os.Stdout, "rollouts", int64(len(names)*len(scens)), time.Second).ExtraLabel("transitions")
+	}
 	start := time.Now()
-	pool := collector.Collect(names, scens, collector.Options{GR: grCfg, Parallel: *parallel})
+	pool := collector.Collect(names, scens, collector.Options{GR: grCfg, Parallel: *parallel, Progress: meter})
+	meter.Finish()
 	fmt.Printf("pool: %d trajectories, %d transitions (%s)\n",
 		len(pool.Trajs), pool.Transitions(), time.Since(start).Round(time.Second))
+
+	if emit != nil {
+		for _, tr := range pool.Trajs {
+			emit.Emit(trajRecord{
+				Scheme: tr.Scheme, Env: tr.Env, MultiFlow: tr.MultiFlow,
+				Steps: len(tr.Steps), Score: tr.Score,
+			})
+		}
+		if err := emit.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if err := pool.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -6,12 +6,21 @@
 //
 //	sage-eval -model sage.model                 # league vs the 13 heuristics
 //	sage-eval -model sage.model -scenario flat-24mbps-20ms-1bdp
+//	sage-eval -model sage.model -scenario flat-24mbps-20ms-1bdp -trace flow.jsonl
+//	sage-eval -model sage.model -metrics league.jsonl -pprof :6060
+//
+// With -trace (single-scenario mode), every GR tick of the flow under test
+// is exported — cwnd, srtt, inflight, delivery rate, losses, queue
+// occupancy — as JSONL (or CSV when the path ends in .csv): the raw series
+// behind the paper's Figs. 17–19/24/25. With -metrics (league mode), one
+// JSON line per scheme records its Set I / Set II winning rates.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"sage/internal/cc"
@@ -20,6 +29,7 @@ import (
 	"sage/internal/netem"
 	"sage/internal/rollout"
 	"sage/internal/sim"
+	"sage/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +43,24 @@ func main() {
 		alpha     = flag.Float64("alpha", 2, "power-score exponent")
 		parallel  = flag.Int("parallel", 0, "workers (0 = NumCPU)")
 		seed      = flag.Int64("seed", 1, "seed")
+		tracePath = flag.String("trace", "", "single-scenario mode: write the per-tick flow trace to this file (.csv for CSV, else JSONL)")
+		traceStep = flag.Duration("trace-period", 0, "decimate the flow trace to one sample per period (0 = every GR tick)")
+		metrics   = flag.String("metrics", "", "league mode: write per-scheme winning rates as JSONL to this file")
+		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *tracePath != "" && *scenario == "" {
+		fmt.Fprintln(os.Stderr, "-trace requires -scenario (per-flow traces are a single-rollout export)")
+		os.Exit(2)
+	}
 
 	model, err := core.LoadModel(*modelPath)
 	if err != nil {
@@ -52,9 +78,20 @@ func main() {
 			if sc.Name != *scenario {
 				continue
 			}
-			res := sage.Run(sc, rollout.Options{})
+			var trace *telemetry.FlowTrace
+			if *tracePath != "" {
+				trace = telemetry.NewFlowTrace(sim.FromSeconds(traceStep.Seconds()))
+			}
+			res := sage.Run(sc, rollout.Options{Trace: trace})
 			fmt.Printf("%s: thr %.2f Mb/s, avg RTT %.1f ms, loss %.3f%%, fair share %.2f Mb/s\n",
 				sc.Name, res.ThroughputBps/1e6, res.AvgRTT.Millis(), res.LossRate*100, res.FairShareBps/1e6)
+			if trace != nil {
+				if err := writeTrace(trace, *tracePath); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s (%d samples)\n", *tracePath, trace.Len())
+			}
 			return
 		}
 		fmt.Fprintf(os.Stderr, "scenario %q not found\n", *scenario)
@@ -69,7 +106,40 @@ func main() {
 		Margin: *margin, Alpha: *alpha, Parallel: *parallel,
 	})
 	fmt.Printf("%-12s %12s %12s\n", "scheme", "setI", "setII")
+	var emit *telemetry.JSONL
+	if *metrics != "" {
+		emit, err = telemetry.CreateJSONL(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	for _, n := range res.RankingSingle() {
 		fmt.Printf("%-12s %11.1f%% %11.1f%%\n", n, res.RateSingle[n]*100, res.RateMulti[n]*100)
+		emit.Emit(struct {
+			Scheme   string  `json:"scheme"`
+			RateSetI float64 `json:"rate_set1"`
+			RateSet2 float64 `json:"rate_set2"`
+		}{n, res.RateSingle[n], res.RateMulti[n]})
 	}
+	if err := emit.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func writeTrace(tr *telemetry.FlowTrace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = tr.WriteCSV(f)
+	} else {
+		err = tr.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	sage-train -pool pool.gob.gz -out sage.model -steps 20000 -enc 128 -gru 128
+//	sage-train -pool pool.gob.gz -metrics train.jsonl -progress -pprof :6060
+//
+// With -metrics, every gradient step emits one JSON line (step, losses,
+// filter acceptance, advantage stats, gradient norms, steps/sec); with
+// -progress, a throttled progress/ETA line is printed; with -pprof, the
+// Go profiling endpoints and /debug/vars are served for the run.
 package main
 
 import (
@@ -17,7 +23,26 @@ import (
 	"sage/internal/gr"
 	"sage/internal/nn"
 	"sage/internal/rl"
+	"sage/internal/telemetry"
 )
+
+// stepRecord is the JSONL schema of -metrics (documented in README's
+// Observability section).
+type stepRecord struct {
+	Step         int     `json:"step"`
+	CriticLoss   float64 `json:"critic_loss"`
+	PolicyLoss   float64 `json:"policy_loss"`
+	MeanFilter   float64 `json:"mean_filter"`
+	FilterAccept float64 `json:"filter_accept"`
+	AdvMean      float64 `json:"adv_mean"`
+	AdvStd       float64 `json:"adv_std"`
+	GradNormPi   float64 `json:"grad_norm_pi"`
+	GradNormQ    float64 `json:"grad_norm_q"`
+	Workers      int     `json:"workers"`
+	WorkerUtil   float64 `json:"worker_util,omitempty"` // mean busy / slowest busy
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	ElapsedSec   float64 `json:"elapsed_s"`
+}
 
 func main() {
 	var (
@@ -34,8 +59,32 @@ func main() {
 		logEvery  = flag.Int("log-every", 100, "progress period in steps")
 		ckpt      = flag.String("checkpoint", "", "checkpoint file (written every checkpoint-every steps; resumed from if present)")
 		ckptEvery = flag.Int("checkpoint-every", 1000, "checkpoint period in steps")
+		metrics   = flag.String("metrics", "", "write per-step training metrics as JSONL to this file")
+		progress  = flag.Bool("progress", false, "print a live progress/ETA line")
+		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	reg := telemetry.NewRegistry()
+	reg.PublishExpvar("sage-train")
+
+	var emit *telemetry.JSONL
+	if *metrics != "" {
+		var err error
+		emit, err = telemetry.CreateJSONL(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer emit.Close()
+	}
 
 	pool, err := collector.Load(*poolPath)
 	if err != nil {
@@ -90,9 +139,62 @@ func main() {
 		remaining = 0
 	}
 	learner.Cfg.Steps = remaining
+
+	var meter *telemetry.Progress
+	if *progress {
+		meter = telemetry.NewProgress(os.Stdout, "train", int64(remaining), time.Second)
+	}
+	stepCtr := reg.Counter("steps")
+	criticG := reg.Gauge("critic_loss")
+	policyG := reg.Gauge("policy_loss")
+	stepHist := reg.Histogram("step_seconds")
+	lastStep := start
+	learner.OnStep = func(s rl.TrainStats) {
+		now := time.Now()
+		stepHist.Observe(now.Sub(lastStep).Seconds())
+		lastStep = now
+		stepCtr.Inc()
+		criticG.Set(s.CriticLoss)
+		policyG.Set(s.PolicyLoss)
+		meter.Add(1)
+		if emit == nil {
+			return
+		}
+		elapsed := now.Sub(start).Seconds()
+		rec := stepRecord{
+			Step:         done + s.Step,
+			CriticLoss:   s.CriticLoss,
+			PolicyLoss:   s.PolicyLoss,
+			MeanFilter:   s.MeanFilter,
+			FilterAccept: s.FilterAccept,
+			AdvMean:      s.AdvMean,
+			AdvStd:       s.AdvStd,
+			GradNormPi:   s.GradNormPi,
+			GradNormQ:    s.GradNormQ,
+			Workers:      s.Workers,
+			StepsPerSec:  float64(s.Step) / elapsed,
+			ElapsedSec:   elapsed,
+		}
+		if len(s.WorkerBusy) > 0 {
+			sum, slowest := 0.0, 0.0
+			for _, b := range s.WorkerBusy {
+				sum += b
+				if b > slowest {
+					slowest = b
+				}
+			}
+			if slowest > 0 {
+				rec.WorkerUtil = sum / (float64(len(s.WorkerBusy)) * slowest)
+			}
+		}
+		if err := emit.Emit(rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+
 	learner.Train(ds, func(step int, cl, pl float64) {
 		abs := done + step
-		if abs%*logEvery == 0 {
+		if abs%*logEvery == 0 && !*progress {
 			fmt.Printf("step %6d  critic %.4f  policy %.4f  (%s)\n",
 				abs, cl, pl, time.Since(start).Round(time.Second))
 		}
@@ -102,6 +204,12 @@ func main() {
 			}
 		}
 	})
+	meter.Finish()
+	if emit != nil {
+		if err := emit.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 	model := &core.Model{Policy: learner.Policy, Mask: cfg.Mask, GR: cfg.GR.Fill()}
 	if model.Mask == nil {
 		model.Mask = gr.MaskFull()

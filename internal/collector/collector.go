@@ -18,6 +18,7 @@ import (
 	"sage/internal/gr"
 	"sage/internal/netem"
 	"sage/internal/rollout"
+	"sage/internal/telemetry"
 )
 
 // Trajectory is one (scheme, environment) rollout in the pool.
@@ -65,6 +66,10 @@ func (p *Pool) Schemes() []string {
 type Options struct {
 	GR       gr.Config
 	Parallel int // worker goroutines (default NumCPU)
+	// Progress, when non-nil, is advanced by one per completed rollout
+	// (with transitions as the extra unit), giving sage-collect its
+	// live done/total, transitions/sec, and ETA line. Nil costs nothing.
+	Progress *telemetry.Progress
 }
 
 // Collect builds a pool by running each scheme through each scenario.
@@ -95,6 +100,10 @@ func Collect(schemes []string, scenarios []netem.Scenario, opt Options) *Pool {
 					Steps:     res.Steps,
 					Score:     meanReward(res.Steps),
 				}
+				if n := len(res.Steps); n > 1 {
+					opt.Progress.AddExtra(int64(n - 1))
+				}
+				opt.Progress.Add(1)
 			}
 		}()
 	}
@@ -120,15 +129,24 @@ func meanReward(steps []gr.Step) float64 {
 }
 
 // Merge combines pools collected separately (e.g. Set I and Set II).
-func Merge(pools ...*Pool) *Pool {
+// Every pool must have been collected under the same GR configuration —
+// trajectories sampled at different intervals or window sizes are not
+// comparable training data, so a mismatch is an error rather than a
+// silently mixed pool. Configs are compared after Fill, so an unset
+// field and its explicit default are the same config.
+func Merge(pools ...*Pool) (*Pool, error) {
 	if len(pools) == 0 {
-		return &Pool{}
+		return &Pool{}, nil
 	}
 	out := &Pool{GR: pools[0].GR}
-	for _, p := range pools {
+	want := pools[0].GR.Fill()
+	for i, p := range pools {
+		if got := p.GR.Fill(); got != want {
+			return nil, fmt.Errorf("collector: merge: pool %d GR config %+v differs from pool 0 %+v", i, got, want)
+		}
 		out.Trajs = append(out.Trajs, p.Trajs...)
 	}
-	return out
+	return out, nil
 }
 
 // FilterSchemes keeps only trajectories from the named schemes (the
@@ -216,21 +234,27 @@ func (p *Pool) TopSchemes(k int) []string {
 	return out
 }
 
-// Save writes the pool as gzipped gob.
+// Save writes the pool as gzipped gob. The file is closed exactly once,
+// and close errors surface (a deferred second Close on a closed *os.File
+// would both double-close and swallow write-back failures).
 func (p *Pool) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("collector: save: %w", err)
 	}
-	defer f.Close()
 	zw := gzip.NewWriter(f)
 	if err := gob.NewEncoder(zw).Encode(p); err != nil {
+		f.Close()
 		return fmt.Errorf("collector: encode: %w", err)
 	}
 	if err := zw.Close(); err != nil {
-		return err
+		f.Close()
+		return fmt.Errorf("collector: save: %w", err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("collector: save: %w", err)
+	}
+	return nil
 }
 
 // Load reads a pool written by Save.

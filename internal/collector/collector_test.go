@@ -1,12 +1,16 @@
 package collector
 
 import (
+	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"sage/internal/gr"
 	"sage/internal/netem"
 	"sage/internal/sim"
+	"sage/internal/telemetry"
 )
 
 func tinyScenarios() []netem.Scenario {
@@ -99,12 +103,77 @@ func TestPoolSaveLoadRoundTrip(t *testing.T) {
 func TestMerge(t *testing.T) {
 	a := Collect([]string{"cubic"}, tinyScenarios()[:1], Options{Parallel: 2})
 	b := Collect([]string{"vegas"}, tinyScenarios()[1:2], Options{Parallel: 2})
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(m.Trajs) != 2 {
 		t.Fatalf("merged = %d", len(m.Trajs))
 	}
-	if Merge().Transitions() != 0 {
+	empty, err := Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Transitions() != 0 {
 		t.Fatal("empty merge")
+	}
+}
+
+func TestMergeGRMismatch(t *testing.T) {
+	sc := tinyScenarios()[:1]
+	a := Collect([]string{"cubic"}, sc, Options{Parallel: 2})
+	b := Collect([]string{"cubic"}, sc, Options{Parallel: 2, GR: gr.Config{}.WithUniformWindow(5)})
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("GR config mismatch silently merged")
+	}
+	// An unset config and its explicit defaults are the same config.
+	c := &Pool{GR: gr.Config{}}
+	d := &Pool{GR: gr.Config{}.Fill()}
+	if _, err := Merge(c, d); err != nil {
+		t.Fatalf("default-equivalent configs rejected: %v", err)
+	}
+}
+
+func TestDegeneratePools(t *testing.T) {
+	var empty Pool
+	if empty.Transitions() != 0 {
+		t.Fatal("empty pool has transitions")
+	}
+	if s := empty.Schemes(); len(s) != 0 {
+		t.Fatalf("empty pool schemes = %v", s)
+	}
+	// Trajectories with 0 or 1 steps contribute no transitions but do
+	// contribute scheme names.
+	p := Pool{Trajs: []Trajectory{
+		{Scheme: "cubic"},
+		{Scheme: "vegas", Steps: make([]gr.Step, 1)},
+		{Scheme: "cubic", Steps: make([]gr.Step, 3)},
+	}}
+	if got := p.Transitions(); got != 2 {
+		t.Fatalf("transitions = %d, want 2", got)
+	}
+	if got := p.Schemes(); len(got) != 2 || got[0] != "cubic" || got[1] != "vegas" {
+		t.Fatalf("schemes = %v", got)
+	}
+	if w := p.WinnersPerEnv(); len(w.Trajs) != 1 {
+		t.Fatalf("winners of degenerate pool = %d", len(w.Trajs))
+	}
+}
+
+func TestCollectProgress(t *testing.T) {
+	var buf bytes.Buffer
+	total := int64(2 * len(tinyScenarios()))
+	p := telemetry.NewProgress(&buf, "rollouts", total, time.Nanosecond)
+	pool := Collect([]string{"cubic", "vegas"}, tinyScenarios(), Options{Parallel: 4, Progress: p})
+	p.Finish()
+	if p.Done() != total {
+		t.Fatalf("progress done = %d, want %d", p.Done(), total)
+	}
+	if got := p.Extra(); got != int64(pool.Transitions()) {
+		t.Fatalf("progress transitions = %d, want %d", got, pool.Transitions())
+	}
+	if !strings.Contains(buf.String(), "rollouts: 8/8") {
+		t.Fatalf("progress output = %q", buf.String())
 	}
 }
 

@@ -61,19 +61,26 @@ func (l *CRR) SaveCheckpoint(path string, stepsDone int) error {
 		blob.Critic = dumpParams(l.NAF)
 		blob.TargetCrit = dumpParams(l.targetNAF)
 	}
+	// Close the file exactly once: the previous defer f.Close() +
+	// return f.Close() pattern closed it twice, and the deferred close
+	// swallowed write-back errors on the success path.
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("rl: checkpoint: %w", err)
 	}
-	defer f.Close()
 	zw := gzip.NewWriter(f)
 	if err := gob.NewEncoder(zw).Encode(&blob); err != nil {
+		f.Close()
 		return fmt.Errorf("rl: checkpoint encode: %w", err)
 	}
 	if err := zw.Close(); err != nil {
-		return err
+		f.Close()
+		return fmt.Errorf("rl: checkpoint: %w", err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("rl: checkpoint: %w", err)
+	}
+	return nil
 }
 
 // LoadCheckpoint reconstructs a learner from a checkpoint written by

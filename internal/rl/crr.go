@@ -110,10 +110,54 @@ type CRR struct {
 	optPi     *nn.Adam
 	optQ      *nn.Adam
 	workerSet []*worker
+	stepIdx   int
 	// Diagnostics updated each Train step.
 	LastCriticLoss float64
 	LastPolicyLoss float64
 	LastMeanFilter float64
+	// LastStats is the full diagnostic record of the most recent step.
+	LastStats TrainStats
+	// OnStep, when set, receives every step's TrainStats — the training
+	// telemetry hook (sage-train wires it to the -metrics JSONL stream).
+	// It runs on the training goroutine after the optimizer step;
+	// mutating the learner from it is not supported.
+	OnStep func(TrainStats)
+}
+
+// TrainStats is the per-gradient-step diagnostic record: losses, the
+// CRR filter acceptance rate, the advantage distribution the filter saw,
+// pre-clip gradient norms, and (under Workers>1) per-worker busy time
+// for utilization accounting.
+type TrainStats struct {
+	Step         int     // 1-based step index within this learner
+	CriticLoss   float64 // mean TD/CE loss per transition
+	PolicyLoss   float64 // mean filtered −logπ per transition
+	MeanFilter   float64 // mean CRR filter weight f
+	FilterAccept float64 // fraction of transitions with f > 0
+	AdvMean      float64 // mean advantage Q(s,a) − V̂(s)
+	AdvStd       float64 // advantage standard deviation
+	GradNormPi   float64 // policy gradient L2 norm, before clipping
+	GradNormQ    float64 // critic gradient L2 norm, before clipping
+	Workers      int     // goroutines that produced the gradients (≥1)
+	WorkerBusy   []float64 // per-worker busy seconds (nil when serial)
+}
+
+// shardStats accumulates one batch shard's raw sums; shards from
+// parallel workers add element-wise before finishStep normalizes them.
+type shardStats struct {
+	cLoss, pLoss           float64
+	fSum, advSum, advSqSum float64
+	fCnt, accepted         int
+}
+
+func (a *shardStats) add(b shardStats) {
+	a.cLoss += b.cLoss
+	a.pLoss += b.pLoss
+	a.fSum += b.fSum
+	a.advSum += b.advSum
+	a.advSqSum += b.advSqSum
+	a.fCnt += b.fCnt
+	a.accepted += b.accepted
 }
 
 // NewCRR builds the learner for a dataset: network input sizes and
@@ -212,14 +256,14 @@ func (l *CRR) step(ds *Dataset) (criticLoss, policyLoss float64) {
 		return l.stepParallel(ds)
 	}
 	nets := netSet{policy: l.Policy, critic: l.Critic, naf: l.NAF}
-	cLoss, pLoss, fSum, fCnt := l.processSeqs(nets, ds, l.rng, cfg.Batch)
-	l.finishStep(cLoss, pLoss, fSum, fCnt)
+	st := l.processSeqs(nets, ds, l.rng, cfg.Batch)
+	l.finishStep(st, nil)
 	return l.LastCriticLoss, l.LastPolicyLoss
 }
 
 // processSeqs runs nSeqs sampled subsequences through policy evaluation and
 // improvement, accumulating gradients into nets.
-func (l *CRR) processSeqs(nets netSet, ds *Dataset, rng *rand.Rand, nSeqs int) (cLoss, pLoss, fSum float64, fCnt int) {
+func (l *CRR) processSeqs(nets netSet, ds *Dataset, rng *rand.Rand, nSeqs int) (st shardStats) {
 	cfg := l.Cfg
 	for b := 0; b < nSeqs; b++ {
 		tr, start := ds.sampleSeqPrioritized(rng, cfg.SeqLen, cfg.EventFrac)
@@ -264,12 +308,12 @@ func (l *CRR) processSeqs(nets netSet, ds *Dataset, rng *rand.Rand, nSeqs int) (
 			w := 1 / float64(cfg.Batch*cfg.SeqLen)
 			if nets.naf != nil {
 				y := rSum + g*l.targetNAF.Q(tr.States[idx+n], aNext)
-				cLoss += nets.naf.TDBackward(s, a, y, w)
+				st.cLoss += nets.naf.TDBackward(s, a, y, w)
 			} else {
 				nextProbs, _ := l.targetCritic.Dist(tr.States[idx+n], aNext)
 				m := nets.critic.Project(rSum, g, nextProbs)
 				probs, cache := nets.critic.Dist(s, a)
-				cLoss += nn.CELoss(probs, m)
+				st.cLoss += nn.CELoss(probs, m)
 				nets.critic.BackwardCE(cache, m, w)
 			}
 		}
@@ -296,10 +340,15 @@ func (l *CRR) processSeqs(nets netSet, ds *Dataset, rng *rand.Rand, nSeqs int) (
 			} else if adv > 0 {
 				f = 1 // binary CRR: regress only onto better-than-policy actions
 			}
-			fSum += f
-			fCnt++
+			st.fSum += f
+			st.fCnt++
+			st.advSum += adv
+			st.advSqSum += adv * adv
+			if f > 0 {
+				st.accepted++
+			}
 			logp, dp := nets.policy.GMM.LogProbGrad(heads[i], a)
-			pLoss += -f * logp
+			st.pLoss += -f * logp
 			w := -f / float64(cfg.Batch*cfg.SeqLen)
 			for k := range dp {
 				dp[k] *= w
@@ -307,22 +356,52 @@ func (l *CRR) processSeqs(nets netSet, ds *Dataset, rng *rand.Rand, nSeqs int) (
 			dHidden = nets.policy.Backward(caches[i], dp, dHidden)
 		}
 	}
-	return cLoss, pLoss, fSum, fCnt
+	return st
 }
 
 // finishStep clips, applies the optimizer, and updates diagnostics.
-func (l *CRR) finishStep(cLoss, pLoss, fSum float64, fCnt int) {
+// workerBusy carries per-worker busy seconds under parallel training.
+func (l *CRR) finishStep(st shardStats, workerBusy []float64) {
 	cfg := l.Cfg
+	gradQ := nn.GradNorm(l.criticModule())
+	gradPi := nn.GradNorm(l.Policy)
 	nn.ClipGrads(l.criticModule(), 10)
 	nn.ClipGrads(l.Policy, 10)
 	l.optQ.Step(l.criticModule())
 	l.optPi.Step(l.Policy)
 
 	n := float64(cfg.Batch * cfg.SeqLen)
-	l.LastCriticLoss = cLoss / n
-	l.LastPolicyLoss = pLoss / n
-	if fCnt > 0 {
-		l.LastMeanFilter = fSum / float64(fCnt)
+	l.LastCriticLoss = st.cLoss / n
+	l.LastPolicyLoss = st.pLoss / n
+	if st.fCnt > 0 {
+		l.LastMeanFilter = st.fSum / float64(st.fCnt)
+	}
+	l.stepIdx++
+	stats := TrainStats{
+		Step:       l.stepIdx,
+		CriticLoss: l.LastCriticLoss,
+		PolicyLoss: l.LastPolicyLoss,
+		MeanFilter: l.LastMeanFilter,
+		GradNormPi: gradPi,
+		GradNormQ:  gradQ,
+		Workers:    1,
+		WorkerBusy: workerBusy,
+	}
+	if cfg.Workers > 1 {
+		stats.Workers = cfg.Workers
+	}
+	if st.fCnt > 0 {
+		fn := float64(st.fCnt)
+		stats.FilterAccept = float64(st.accepted) / fn
+		stats.AdvMean = st.advSum / fn
+		variance := st.advSqSum/fn - stats.AdvMean*stats.AdvMean
+		if variance > 0 {
+			stats.AdvStd = math.Sqrt(variance)
+		}
+	}
+	l.LastStats = stats
+	if l.OnStep != nil {
+		l.OnStep(stats)
 	}
 }
 

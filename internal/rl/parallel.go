@@ -3,6 +3,7 @@ package rl
 import (
 	"math/rand"
 	"sync"
+	"time"
 
 	"sage/internal/nn"
 )
@@ -55,12 +56,11 @@ func (l *CRR) stepParallel(ds *Dataset) (criticLoss, policyLoss float64) {
 			nn.ZeroGrads(w.nets.naf)
 		}
 	}
-	// Shard the batch (first workers get the remainder).
-	type share struct {
-		cLoss, pLoss, fSum float64
-		fCnt               int
-	}
-	shares := make([]share, len(ws))
+	// Shard the batch (first workers get the remainder). Each worker's
+	// busy time is clocked so telemetry can report utilization: with an
+	// even shard split, busy-time spread directly exposes stragglers.
+	shares := make([]shardStats, len(ws))
+	busy := make([]float64, len(ws))
 	var wg sync.WaitGroup
 	per := cfg.Batch / len(ws)
 	extra := cfg.Batch % len(ws)
@@ -75,8 +75,9 @@ func (l *CRR) stepParallel(ds *Dataset) (criticLoss, policyLoss float64) {
 		wg.Add(1)
 		go func(i int, w *worker, n int) {
 			defer wg.Done()
-			c, p, f, fc := l.processSeqs(w.nets, ds, w.rng, n)
-			shares[i] = share{c, p, f, fc}
+			start := time.Now()
+			shares[i] = l.processSeqs(w.nets, ds, w.rng, n)
+			busy[i] = time.Since(start).Seconds()
 		}(i, w, n)
 	}
 	wg.Wait()
@@ -90,16 +91,12 @@ func (l *CRR) stepParallel(ds *Dataset) (criticLoss, policyLoss float64) {
 			}
 		}
 	}
-	var cLoss, pLoss, fSum float64
-	var fCnt int
+	var st shardStats
 	for i, w := range ws {
 		addGrads(l.Policy, w.nets.policy)
 		addGrads(l.criticModule(), w.nets.criticModule())
-		cLoss += shares[i].cLoss
-		pLoss += shares[i].pLoss
-		fSum += shares[i].fSum
-		fCnt += shares[i].fCnt
+		st.add(shares[i])
 	}
-	l.finishStep(cLoss, pLoss, fSum, fCnt)
+	l.finishStep(st, busy)
 	return l.LastCriticLoss, l.LastPolicyLoss
 }

@@ -272,6 +272,76 @@ func TestParallelAndSerialBothLearnBandit(t *testing.T) {
 	}
 }
 
+func TestTrainStatsTelemetry(t *testing.T) {
+	pool := tinyPool(t)
+	ds := BuildDataset(pool, nil)
+	for _, workers := range []int{1, 3} {
+		learner := NewCRR(ds, CRRConfig{
+			Policy: tinyPolicyCfg(),
+			Steps:  10, Batch: 6, SeqLen: 4, Workers: workers, Seed: 5,
+		})
+		var got []TrainStats
+		learner.OnStep = func(s TrainStats) { got = append(got, s) }
+		learner.Train(ds, nil)
+		if len(got) != 10 {
+			t.Fatalf("workers=%d: %d stats records, want 10", workers, len(got))
+		}
+		for i, s := range got {
+			if s.Step != i+1 {
+				t.Fatalf("workers=%d: step %d at index %d", workers, s.Step, i)
+			}
+			if s.CriticLoss != s.CriticLoss || s.PolicyLoss != s.PolicyLoss {
+				t.Fatalf("workers=%d step %d: NaN loss", workers, s.Step)
+			}
+			if s.GradNormQ <= 0 {
+				t.Fatalf("workers=%d step %d: critic grad norm %v", workers, s.Step, s.GradNormQ)
+			}
+			if s.FilterAccept < 0 || s.FilterAccept > 1 {
+				t.Fatalf("filter accept %v", s.FilterAccept)
+			}
+			if s.AdvStd < 0 {
+				t.Fatalf("adv std %v", s.AdvStd)
+			}
+			if s.Workers != workers {
+				t.Fatalf("workers = %d, want %d", s.Workers, workers)
+			}
+			if workers > 1 {
+				if len(s.WorkerBusy) != workers {
+					t.Fatalf("worker busy = %v", s.WorkerBusy)
+				}
+			} else if s.WorkerBusy != nil {
+				t.Fatal("serial step reported worker busy times")
+			}
+		}
+		if learner.LastStats.Step != 10 {
+			t.Fatalf("LastStats.Step = %d", learner.LastStats.Step)
+		}
+	}
+}
+
+// TestStatsHookDoesNotPerturbTraining proves the telemetry hook is
+// observational: identical seeds with and without OnStep produce
+// bitwise-identical loss sequences.
+func TestStatsHookDoesNotPerturbTraining(t *testing.T) {
+	pool := tinyPool(t)
+	ds := BuildDataset(pool, nil)
+	run := func(hook bool) []float64 {
+		learner := NewCRR(ds, CRRConfig{Policy: tinyPolicyCfg(), Steps: 8, Batch: 4, SeqLen: 4, Seed: 11})
+		if hook {
+			learner.OnStep = func(TrainStats) {}
+		}
+		var losses []float64
+		learner.Train(ds, func(step int, cl, pl float64) { losses = append(losses, cl, pl) })
+		return losses
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loss %d differs with stats hook on: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestCheckpointResume(t *testing.T) {
 	pool := tinyPool(t)
 	ds := BuildDataset(pool, nil)

@@ -11,6 +11,7 @@ import (
 	"sage/internal/netem"
 	"sage/internal/sim"
 	"sage/internal/tcp"
+	"sage/internal/telemetry"
 )
 
 // Controller is a periodic cwnd/pacing controller: the deployment-side
@@ -64,6 +65,11 @@ type Options struct {
 	RewardKind   gr.RewardKind // reward override (with ForceReward set)
 	ForceReward  bool          // use RewardKind instead of deriving from the scenario
 	TCP          tcp.Options
+	// Trace, when non-nil, receives one telemetry.FlowSample per GR tick
+	// for the flow under test — sender datapath state plus bottleneck
+	// queue occupancy. Recording reads snapshots only; it cannot perturb
+	// the simulation.
+	Trace *telemetry.FlowTrace
 }
 
 // Run executes the scenario with the flow under test using ccUnderTest.
@@ -148,6 +154,26 @@ func Run(sc netem.Scenario, ccUnderTest tcp.CongestionControl, opt Options) Resu
 		}
 		if opt.CollectSteps {
 			res.Steps = append(res.Steps, step)
+		}
+		if opt.Trace != nil {
+			st := ut.Conn.Stats()
+			q := n.Link.Queue()
+			opt.Trace.Record(telemetry.FlowSample{
+				AtUs:         int64(now),
+				Flow:         ut.Conn.ID,
+				Cwnd:         st.Cwnd,
+				SRTTMs:       st.SRTT.Millis(),
+				RTTVarMs:     st.RTTVar.Millis(),
+				InflightPkts: st.InflightPkts,
+				DeliveryBps:  st.DeliveryRate * 8,
+				LostPkts:     st.LostPkts,
+				Retrans:      st.RTOs,
+				Recoveries:   st.Recoveries,
+				QueuePkts:    q.Len(),
+				QueueBytes:   q.Bytes(),
+				Action:       step.Action,
+				Reward:       step.Reward,
+			})
 		}
 		if opt.SamplePeriod > 0 && now >= nextSample {
 			sent := ut.Conn.SentPkts()

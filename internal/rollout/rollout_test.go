@@ -7,6 +7,7 @@ import (
 	"sage/internal/netem"
 	"sage/internal/sim"
 	"sage/internal/tcp"
+	"sage/internal/telemetry"
 )
 
 func flatScenario(bwMbps, rttMs float64, bdp float64, dur sim.Time) netem.Scenario {
@@ -85,6 +86,62 @@ func TestControllerHookDrivesCwnd(t *testing.T) {
 	}
 	if res.ThroughputBps < 0.04*24e6 {
 		t.Fatalf("flow collapsed: %.2f Mb/s", res.ThroughputBps/1e6)
+	}
+}
+
+func TestFlowTraceRecordsDatapath(t *testing.T) {
+	sc := flatScenario(24, 20, 2, 5*sim.Second)
+	tr := telemetry.NewFlowTrace(0)
+	res := Run(sc, cc.MustNew("cubic"), Options{CollectSteps: true, Trace: tr})
+	if tr.Len() != len(res.Steps) {
+		t.Fatalf("trace %d samples, %d GR steps", tr.Len(), len(res.Steps))
+	}
+	samples := tr.Samples()
+	sawQueue, sawSRTT := false, false
+	for i, s := range samples {
+		if s.Cwnd <= 0 || s.AtUs <= 0 || s.Flow != 1 {
+			t.Fatalf("bad sample %d: %+v", i, s)
+		}
+		if i > 0 && s.AtUs <= samples[i-1].AtUs {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+		if s.QueuePkts > 0 {
+			sawQueue = true
+		}
+		if s.SRTTMs > 0 {
+			sawSRTT = true
+		}
+		if s.Action != res.Steps[i].Action || s.Reward != res.Steps[i].Reward {
+			t.Fatalf("sample %d action/reward diverges from GR step", i)
+		}
+	}
+	if !sawQueue {
+		t.Fatal("queue occupancy never observed on a 2-BDP buffer")
+	}
+	if !sawSRTT {
+		t.Fatal("srtt never observed")
+	}
+	// A decimated trace keeps strictly fewer samples.
+	dec := telemetry.NewFlowTrace(200 * sim.Millisecond)
+	Run(sc, cc.MustNew("cubic"), Options{Trace: dec})
+	if dec.Len() == 0 || dec.Len() >= tr.Len() {
+		t.Fatalf("decimated trace = %d (full %d)", dec.Len(), tr.Len())
+	}
+}
+
+// TestTraceDoesNotPerturb proves telemetry is observational: the same
+// seed with and without a trace must produce identical trajectories.
+func TestTraceDoesNotPerturb(t *testing.T) {
+	sc := flatScenario(24, 20, 2, 3*sim.Second)
+	plain := Run(sc, cc.MustNew("cubic"), Options{CollectSteps: true})
+	traced := Run(sc, cc.MustNew("cubic"), Options{CollectSteps: true, Trace: telemetry.NewFlowTrace(0)})
+	if len(plain.Steps) != len(traced.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(plain.Steps), len(traced.Steps))
+	}
+	for i := range plain.Steps {
+		if plain.Steps[i].Action != traced.Steps[i].Action || plain.Steps[i].Reward != traced.Steps[i].Reward {
+			t.Fatalf("step %d differs with tracing on", i)
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package tcp
+
+import "sage/internal/sim"
+
+// ConnStats is a point-in-time snapshot of a connection's datapath
+// state — the per-flow probe surface the telemetry layer samples each
+// GR tick. Taking a snapshot reads plain fields and existing filters;
+// it never mutates the connection, so probing cannot perturb a
+// deterministic simulation.
+type ConnStats struct {
+	Cwnd       float64 // congestion window, packets
+	Ssthresh   float64 // slow-start threshold, packets (+Inf until first loss)
+	PacingRate float64 // bytes/second (0 = pacing off)
+
+	SRTT   sim.Time
+	RTTVar sim.Time
+	MinRTT sim.Time // windowed (10 s) minimum
+
+	InflightPkts int
+	SentPkts     int64
+	DeliveredB   int64 // cumulative acknowledged bytes
+	LostPkts     int64
+	Spurious     int64 // lost-then-ACKed packets
+	RTOs         int64 // retransmission timeouts fired
+	Recoveries   int64 // fast-recovery entries
+	ECEPkts      int64
+
+	DeliveryRate float64 // latest sample, bytes/second
+	State        CAState
+}
+
+// Stats snapshots the connection.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{
+		Cwnd:         c.Cwnd,
+		Ssthresh:     c.Ssthresh,
+		PacingRate:   c.PacingRate,
+		SRTT:         c.srtt,
+		RTTVar:       c.rttvar,
+		MinRTT:       c.MinRTT(),
+		InflightPkts: c.inflightCnt,
+		SentPkts:     c.sentPkts,
+		DeliveredB:   c.delivered,
+		LostPkts:     c.lostPkts,
+		Spurious:     c.spurious,
+		RTOs:         c.rtoCount,
+		Recoveries:   c.enterRecoveryCnt,
+		ECEPkts:      c.ecePkts,
+		DeliveryRate: c.deliveryRate,
+		State:        c.state,
+	}
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an HTTP server on addr exposing the Go profiling
+// endpoints (/debug/pprof/...) and expvar (/debug/vars) — the profiling
+// hook behind the cmd tools' -pprof flag. It uses a private mux, so
+// nothing leaks onto http.DefaultServeMux. The listener is bound
+// synchronously (so a bad addr fails fast) and served in a background
+// goroutine; the returned server can be Closed by the caller, or simply
+// abandoned for process-lifetime profiling.
+func ServeDebug(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. Safe for concurrent use;
+// a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float64. Safe for concurrent use; a nil *Gauge
+// no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for nil; the zero bit pattern
+// decodes to 0.0, so an unset gauge also reads 0).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of log2 buckets: bucket i counts values in
+// [2^(i+histMinExp), 2^(i+1+histMinExp)), spanning ~1e-9 .. ~1e9 with
+// one bucket per octave. Values outside the span clamp to the end
+// buckets; zero and negative values land in bucket 0.
+const (
+	histBuckets = 64
+	histMinExp  = -30 // 2^-30 ≈ 1e-9
+)
+
+// Histogram is a log2-bucketed distribution with exact count/sum/min/max.
+// Observe is lock-free (atomics only); Summary is approximate at bucket
+// resolution (≤2× relative error on quantiles). A nil *Histogram no-ops.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+func bucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	e := int(math.Floor(math.Log2(v))) - histMinExp
+	if e < 0 {
+		return 0
+	}
+	if e >= histBuckets {
+		return histBuckets - 1
+	}
+	return e
+}
+
+// bucketUpper returns the upper edge of bucket i.
+func bucketUpper(i int) float64 {
+	return math.Ldexp(1, i+1+histMinExp)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// HistSummary is a point-in-time histogram digest.
+type HistSummary struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	P50, P99 float64 // bucket-resolution quantiles (upper edge)
+}
+
+// Summary digests the histogram. Quantiles report the upper edge of the
+// bucket containing the quantile; Min/Max are exact. Nil or empty
+// histograms return the zero summary.
+func (h *Histogram) Summary() HistSummary {
+	if h == nil {
+		return HistSummary{}
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return HistSummary{}
+	}
+	s := HistSummary{
+		Count: n,
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+		Min:   math.Float64frombits(h.minBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+	}
+	quantile := func(q float64) float64 {
+		target := int64(math.Ceil(q * float64(n)))
+		if target < 1 {
+			target = 1
+		}
+		cum := int64(0)
+		for i := 0; i < histBuckets; i++ {
+			cum += h.buckets[i].Load()
+			if cum >= target {
+				return bucketUpper(i)
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P99 = quantile(0.99)
+	return s
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	s := h.Summary()
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

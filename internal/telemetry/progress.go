@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is an operator-facing progress meter with rate and ETA: the
+// done count is a telemetry Counter fed (possibly concurrently) by
+// worker goroutines, and prints are throttled to at most one per
+// MinInterval so hot loops can call Add freely. This is the one type in
+// the package that reads the wall clock — ETAs are about the run, not
+// the simulation. A nil *Progress no-ops.
+type Progress struct {
+	label      string
+	total      int64
+	done       Counter
+	extra      Counter // secondary unit (e.g. transitions, steps)
+	extraLabel string
+
+	w         io.Writer
+	interval  time.Duration
+	start     time.Time
+	mu        sync.Mutex
+	lastPrint time.Time
+	lastDone  int64
+	closed    atomic.Bool
+}
+
+// NewProgress returns a meter for total units of work (0 = unknown
+// total: rate is still reported, ETA is not), printing to w at most
+// every interval (0 = a 1 s default).
+func NewProgress(w io.Writer, label string, total int64, interval time.Duration) *Progress {
+	if interval == 0 {
+		interval = time.Second
+	}
+	return &Progress{
+		label:    label,
+		total:    total,
+		w:        w,
+		interval: interval,
+		start:    time.Now(),
+	}
+}
+
+// ExtraLabel names the secondary unit in the printed rate (default
+// "extra"). Returns p for chaining.
+func (p *Progress) ExtraLabel(name string) *Progress {
+	if p != nil {
+		p.extraLabel = name
+	}
+	return p
+}
+
+// Done returns the units completed so far.
+func (p *Progress) Done() int64 { return p.done.Value() }
+
+// Extra returns the secondary-unit count (see AddExtra).
+func (p *Progress) Extra() int64 { return p.extra.Value() }
+
+// AddExtra accumulates a secondary unit reported alongside the rate
+// line — e.g. transitions collected while rollouts are the primary unit.
+func (p *Progress) AddExtra(n int64) {
+	if p == nil {
+		return
+	}
+	p.extra.Add(n)
+}
+
+// Add records n completed units and prints a throttled progress line.
+func (p *Progress) Add(n int64) {
+	if p == nil {
+		return
+	}
+	p.done.Add(n)
+	p.maybePrint(false)
+}
+
+func (p *Progress) maybePrint(final bool) {
+	if p.w == nil || p.closed.Load() {
+		return
+	}
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !final && now.Sub(p.lastPrint) < p.interval {
+		return
+	}
+	done := p.done.Value()
+	if !final && done == p.lastDone {
+		return
+	}
+	p.lastPrint = now
+	p.lastDone = done
+	elapsed := now.Sub(p.start)
+	rate := float64(done) / elapsed.Seconds()
+	line := fmt.Sprintf("%s: %d", p.label, done)
+	if p.total > 0 {
+		line += fmt.Sprintf("/%d (%.0f%%)", p.total, 100*float64(done)/float64(p.total))
+	}
+	if elapsed > 0 && done > 0 {
+		line += fmt.Sprintf("  %.1f/s", rate)
+		if extra := p.extra.Value(); extra > 0 {
+			unit := p.extraLabel
+			if unit == "" {
+				unit = "extra"
+			}
+			line += fmt.Sprintf("  %.0f %s/s", float64(extra)/elapsed.Seconds(), unit)
+		}
+		if p.total > 0 && done < p.total && rate > 0 {
+			eta := time.Duration(float64(p.total-done) / rate * float64(time.Second))
+			line += fmt.Sprintf("  ETA %s", eta.Round(time.Second))
+		}
+	}
+	if final {
+		line += fmt.Sprintf("  done in %s", elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// Finish prints a final summary line and silences further output.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.maybePrint(true)
+	p.closed.Store(true)
+}

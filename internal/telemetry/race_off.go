@@ -1,0 +1,7 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive guards (the no-op overhead test) relax under it.
+const raceEnabled = false

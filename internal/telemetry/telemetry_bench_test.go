@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"testing"
+
+	"sage/internal/sim"
+)
+
+// BenchmarkTelemetryDisabled is the no-op-path guard: the exact calls a
+// rollout step makes when telemetry is off (nil trace, nil counters)
+// must cost a handful of nil checks — under 5 ns/op on any modern core.
+// TestNoopOverheadBudget enforces the budget in regular test runs.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var (
+		tr *FlowTrace
+		c  *Counter
+		g  *Gauge
+	)
+	s := FlowSample{AtUs: 1, Flow: 1, Cwnd: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(s)
+		c.Add(1)
+		g.Set(1)
+	}
+}
+
+// BenchmarkTelemetryEnabled is the comparison point: the same calls
+// against live metrics and an in-period (decimated-away) trace sample.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	tr := NewFlowTrace(sim.Second)
+	r := NewRegistry()
+	c := r.Counter("ticks")
+	g := r.Gauge("cwnd")
+	s := FlowSample{AtUs: 1, Flow: 1, Cwnd: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(s)
+		c.Add(1)
+		g.Set(1)
+	}
+}
+
+func BenchmarkNoopCounter(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+// TestNoopOverheadBudget measures the disabled path with testing.Benchmark
+// and fails if a nil-telemetry rollout-step's worth of calls exceeds the
+// budget. The bound is generous (5 ns/op target, 50 ns/op ceiling) so a
+// loaded CI machine doesn't flake; the race detector and -short skip it.
+func TestNoopOverheadBudget(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing-sensitive; skipped under -short and -race")
+	}
+	res := testing.Benchmark(BenchmarkTelemetryDisabled)
+	if res.N == 0 {
+		t.Skip("benchmark did not run")
+	}
+	if ns := res.NsPerOp(); ns > 50 {
+		t.Fatalf("disabled telemetry costs %d ns/op, budget 50 (target 5)", ns)
+	}
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("disabled telemetry allocates %d/op", res.AllocsPerOp())
+	}
+}

@@ -1,0 +1,329 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sage/internal/sim"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d", got)
+	}
+	if r.Counter("pkts") != c {
+		t.Fatal("counter not memoized")
+	}
+	g := r.Gauge("cwnd")
+	g.Set(12.5)
+	if got := g.Value(); got != 12.5 {
+		t.Fatalf("gauge = %g", got)
+	}
+	snap := r.Snapshot()
+	if snap["pkts"] != 4 || snap["cwnd"] != 12.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h").Observe(float64(j % 17))
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d", got)
+	}
+	if got := r.Histogram("h").Summary().Count; got != 8000 {
+		t.Fatalf("concurrent histogram count = %d", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{1, 2, 4, 8, 1000} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 1015 {
+		t.Fatalf("sum = %g", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %g/%g", s.Min, s.Max)
+	}
+	// P50 lands in the bucket holding the 3rd value (4): upper edge 8.
+	if s.P50 < 4 || s.P50 > 8 {
+		t.Fatalf("p50 = %g", s.P50)
+	}
+	if s.P99 < 1000 || s.P99 > 2048 {
+		t.Fatalf("p99 = %g", s.P99)
+	}
+	if m := h.Mean(); m != 203 {
+		t.Fatalf("mean = %g", m)
+	}
+	// Degenerate observations must not panic or corrupt the digest.
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(math.NaN())
+	if got := h.Summary().Count; got != 8 {
+		t.Fatalf("count after degenerate = %d", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	r.RegisterSampler("x", nil)
+	if r.Snapshot() != nil || r.Sampler("x") != nil {
+		t.Fatal("nil registry not empty")
+	}
+	if r.String() != "telemetry: disabled" {
+		t.Fatalf("nil registry string = %q", r.String())
+	}
+	var c *Counter
+	c.Add(1)
+	if c.Value() != 0 {
+		t.Fatal("nil counter")
+	}
+	var g *Gauge
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Summary().Count != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram")
+	}
+	var s *Sampler
+	if s.Sample(0, 1) || s.Len() != 0 || s.Fields() != nil {
+		t.Fatal("nil sampler")
+	}
+	if err := s.WriteCSV(nil); err != nil {
+		t.Fatal(err)
+	}
+	var ft *FlowTrace
+	ft.Record(FlowSample{})
+	if ft.Len() != 0 || ft.Samples() != nil {
+		t.Fatal("nil flow trace")
+	}
+	if err := ft.WriteJSONL(nil); err != nil {
+		t.Fatal(err)
+	}
+	var j *JSONL
+	if err := j.Emit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var p *Progress
+	p.Add(1)
+	p.AddExtra(1)
+	p.Finish()
+}
+
+func TestSamplerDecimation(t *testing.T) {
+	s := NewSampler(10*sim.Millisecond, "cwnd", "rtt")
+	kept := 0
+	for i := 0; i < 100; i++ {
+		if s.Sample(sim.Time(i)*sim.Millisecond, float64(i), float64(2*i)) {
+			kept++
+		}
+	}
+	if kept != s.Len() || kept != 10 {
+		t.Fatalf("kept %d rows (len %d), want 10", kept, s.Len())
+	}
+	at, row := s.At(1)
+	if at != 10*sim.Millisecond || row[0] != 10 || row[1] != 20 {
+		t.Fatalf("row 1 = %v %v", at, row)
+	}
+	// Short rows zero-pad, long rows truncate.
+	s2 := NewSampler(0, "a", "b")
+	s2.Sample(1, 5)
+	s2.Sample(2, 1, 2, 3)
+	if _, row := s2.At(0); row[1] != 0 {
+		t.Fatal("short row not padded")
+	}
+	if _, row := s2.At(1); len(row) != 2 {
+		t.Fatal("long row not truncated")
+	}
+}
+
+func TestSamplerExport(t *testing.T) {
+	s := NewSampler(0, "x")
+	s.Sample(sim.Second, 1.5)
+	s.Sample(2*sim.Second, 2.5)
+	var csvBuf bytes.Buffer
+	if err := s.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "t_us,x" || lines[1] != "1000000,1.5" {
+		t.Fatalf("csv = %q", lines)
+	}
+	var jb bytes.Buffer
+	if err := s.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&jb)
+	n := 0
+	for sc.Scan() {
+		var obj map[string]float64
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if obj["x"] == 0 || obj["t_us"] == 0 {
+			t.Fatalf("line %d = %v", n, obj)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("jsonl rows = %d", n)
+	}
+}
+
+func TestFlowTrace(t *testing.T) {
+	tr := NewFlowTrace(100 * sim.Millisecond)
+	for i := 0; i < 50; i++ {
+		tr.Record(FlowSample{AtUs: int64(i) * 20_000, Flow: 1, Cwnd: float64(i)})
+		tr.Record(FlowSample{AtUs: int64(i) * 20_000, Flow: 2, Cwnd: float64(i)})
+	}
+	// 50 ticks at 20 ms decimated to 100 ms → 10 per flow.
+	if tr.Len() != 20 {
+		t.Fatalf("trace len = %d", tr.Len())
+	}
+	var jb bytes.Buffer
+	if err := tr.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(jb.String(), "\n", 2)[0]
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(first), &obj); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"t_us", "flow", "cwnd_pkts", "queue_pkts", "delivery_bps"} {
+		if _, ok := obj[key]; !ok {
+			t.Fatalf("jsonl missing %q: %v", key, obj)
+		}
+	}
+	var cb bytes.Buffer
+	if err := tr.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(cb.String()), "\n")); got != 21 {
+		t.Fatalf("csv rows = %d", got)
+	}
+}
+
+func TestJSONLEmit(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	type rec struct {
+		Step int     `json:"step"`
+		Loss float64 `json:"loss"`
+	}
+	if err := j.Emit(rec{1, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Emit(rec{2, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var r rec
+	if err := json.Unmarshal([]byte(lines[1]), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Step != 2 || r.Loss != 0.25 {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "rollouts", 10, time.Nanosecond)
+	for i := 0; i < 10; i++ {
+		p.Add(1)
+		p.AddExtra(100)
+	}
+	p.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "rollouts: 10/10 (100%)") {
+		t.Fatalf("missing final line: %q", out)
+	}
+	if !strings.Contains(out, "done in") {
+		t.Fatalf("missing duration: %q", out)
+	}
+	if p.Done() != 10 || p.Extra() != 1000 {
+		t.Fatalf("done=%d extra=%d", p.Done(), p.Extra())
+	}
+	// After Finish, output is silenced.
+	n := buf.Len()
+	p.Add(1)
+	if buf.Len() != n {
+		t.Fatal("progress printed after Finish")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// The listener address isn't exposed by http.Server; bind a second
+	// server to verify the error path instead and hit the mux directly.
+	if _, err := ServeDebug("256.0.0.1:bad"); err == nil {
+		t.Fatal("bad addr accepted")
+	}
+	req, _ := http.NewRequest("GET", "/debug/vars", nil)
+	rec := &responseRecorder{header: http.Header{}}
+	srv.Handler.ServeHTTP(rec, req)
+	if rec.status != 0 && rec.status != http.StatusOK {
+		t.Fatalf("vars status = %d", rec.status)
+	}
+	if !strings.Contains(rec.body.String(), "memstats") {
+		t.Fatalf("expvar output missing memstats: %.80s", rec.body.String())
+	}
+}
+
+type responseRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (r *responseRecorder) Header() http.Header         { return r.header }
+func (r *responseRecorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+func (r *responseRecorder) WriteHeader(code int)        { r.status = code }

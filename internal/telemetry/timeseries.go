@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"sage/internal/sim"
+)
+
+// Sampler records a fixed set of named float64 fields keyed by simulated
+// time, decimated to at most one row per Period (0 = keep every sample).
+// It is driven by sim.Time, never the wall clock, so recorded series are
+// as deterministic as the simulation itself. A nil *Sampler no-ops.
+type Sampler struct {
+	mu     sync.Mutex
+	fields []string
+	period sim.Time
+	next   sim.Time
+	times  []sim.Time
+	rows   [][]float64
+}
+
+// NewSampler returns a sampler for the given fields decimated to period.
+func NewSampler(period sim.Time, fields ...string) *Sampler {
+	return &Sampler{fields: fields, period: period}
+}
+
+// Fields returns the sampler's column names.
+func (s *Sampler) Fields() []string {
+	if s == nil {
+		return nil
+	}
+	return s.fields
+}
+
+// Sample records vals at simulated time now and reports whether the row
+// was kept (rows inside the decimation period are dropped). len(vals)
+// must equal len(fields); short rows are zero-padded, long rows
+// truncated, so a mismatched call never panics a hot loop.
+func (s *Sampler) Sample(now sim.Time, vals ...float64) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.period > 0 && now < s.next {
+		return false
+	}
+	s.next = now + s.period
+	row := make([]float64, len(s.fields))
+	copy(row, vals)
+	s.times = append(s.times, now)
+	s.rows = append(s.rows, row)
+	return true
+}
+
+// Len returns the number of recorded rows.
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}
+
+// At returns row i as (time, values). The returned slice is owned by the
+// sampler; callers must not mutate it.
+func (s *Sampler) At(i int) (sim.Time, []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.times[i], s.rows[i]
+}
+
+// WriteCSV writes the series with a header row ("t_us" plus the field
+// names); timestamps are integer simulated microseconds.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"t_us"}, s.fields...)); err != nil {
+		return err
+	}
+	rec := make([]string, 1+len(s.fields))
+	for i, row := range s.rows {
+		rec[0] = strconv.FormatInt(int64(s.times[i]), 10)
+		for j, v := range row {
+			rec[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSONL writes one JSON object per row: {"t_us":..., "<field>":...}.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	obj := make(map[string]float64, len(s.fields)+1)
+	for i, row := range s.rows {
+		clear(obj)
+		obj["t_us"] = float64(s.times[i])
+		for j, f := range s.fields {
+			obj[f] = row[j]
+		}
+		if err := enc.Encode(obj); err != nil {
+			return fmt.Errorf("telemetry: sampler jsonl: %w", err)
+		}
+	}
+	return nil
+}

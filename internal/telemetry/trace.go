@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"sage/internal/sim"
+)
+
+// FlowSample is one per-tick observation of a TCP flow's datapath,
+// combining sender state (cwnd, srtt, inflight, delivery rate, loss and
+// retransmission counters) with bottleneck state (queue occupancy) —
+// the raw material of the paper's cwnd/delay/throughput time-series
+// figures (Figs. 17–19, 24, 25).
+type FlowSample struct {
+	AtUs         int64   `json:"t_us"` // simulated microseconds
+	Flow         int     `json:"flow"`
+	Cwnd         float64 `json:"cwnd_pkts"`
+	SRTTMs       float64 `json:"srtt_ms"`
+	RTTVarMs     float64 `json:"rttvar_ms"`
+	InflightPkts int     `json:"inflight_pkts"`
+	DeliveryBps  float64 `json:"delivery_bps"`
+	LostPkts     int64   `json:"lost_pkts"`  // cumulative
+	Retrans      int64   `json:"rto_count"`  // cumulative RTO firings
+	Recoveries   int64   `json:"recoveries"` // cumulative fast-recovery entries
+	QueuePkts    int     `json:"queue_pkts"`
+	QueueBytes   int     `json:"queue_bytes"`
+	Action       float64 `json:"action"` // GR cwnd ratio (0 when not collected)
+	Reward       float64 `json:"reward"`
+}
+
+// FlowTrace accumulates FlowSamples, optionally decimated to one sample
+// per Period of simulated time per flow. A nil *FlowTrace no-ops, so
+// rollout hot loops carry the pointer unconditionally.
+type FlowTrace struct {
+	mu      sync.Mutex
+	period  sim.Time
+	next    map[int]sim.Time
+	samples []FlowSample
+}
+
+// NewFlowTrace returns a trace decimated to period (0 = keep every tick).
+func NewFlowTrace(period sim.Time) *FlowTrace {
+	return &FlowTrace{period: period, next: make(map[int]sim.Time)}
+}
+
+// Record appends s unless it falls inside the flow's decimation period.
+func (t *FlowTrace) Record(s FlowSample) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.period > 0 {
+		if at := sim.Time(s.AtUs); at < t.next[s.Flow] {
+			return
+		} else {
+			t.next[s.Flow] = at + t.period
+		}
+	}
+	t.samples = append(t.samples, s)
+}
+
+// Len returns the number of recorded samples.
+func (t *FlowTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.samples)
+}
+
+// Samples returns a copy of the recorded samples.
+func (t *FlowTrace) Samples() []FlowSample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]FlowSample(nil), t.samples...)
+}
+
+// WriteJSONL writes one JSON object per sample (the schema documented in
+// README's Observability section).
+func (t *FlowTrace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for i := range t.samples {
+		if err := enc.Encode(&t.samples[i]); err != nil {
+			return fmt.Errorf("telemetry: flow trace jsonl: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the samples with a header row matching the JSON field
+// names.
+func (t *FlowTrace) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cw := csv.NewWriter(w)
+	header := []string{"t_us", "flow", "cwnd_pkts", "srtt_ms", "rttvar_ms",
+		"inflight_pkts", "delivery_bps", "lost_pkts", "rto_count",
+		"recoveries", "queue_pkts", "queue_bytes", "action", "reward"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range t.samples {
+		rec := []string{
+			strconv.FormatInt(s.AtUs, 10),
+			strconv.Itoa(s.Flow),
+			f(s.Cwnd), f(s.SRTTMs), f(s.RTTVarMs),
+			strconv.Itoa(s.InflightPkts),
+			f(s.DeliveryBps),
+			strconv.FormatInt(s.LostPkts, 10),
+			strconv.FormatInt(s.Retrans, 10),
+			strconv.FormatInt(s.Recoveries, 10),
+			strconv.Itoa(s.QueuePkts),
+			strconv.Itoa(s.QueueBytes),
+			f(s.Action), f(s.Reward),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
