@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sage/internal/exp"
@@ -72,6 +75,9 @@ func main() {
 	s.Seed = *seed
 	a := exp.NewArtifacts(s)
 
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var ids []string
 	if *expFlag == "all" {
 		for _, e := range exp.Suite() {
@@ -80,11 +86,24 @@ func main() {
 	} else {
 		ids = strings.Split(*expFlag, ",")
 	}
+	// Resolve every id before running anything: a typo in the third
+	// experiment should fail now, not after the first two finished.
+	var exps []exp.Experiment
 	for _, id := range ids {
 		e, err := exp.Find(strings.TrimSpace(id))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		exps = append(exps, e)
+	}
+	for _, e := range exps {
+		if ctx.Err() != nil {
+			if emit != nil {
+				emit.Flush()
+			}
+			fmt.Fprintln(os.Stderr, "interrupted; remaining experiments skipped")
+			os.Exit(130)
 		}
 		start := time.Now()
 		fmt.Printf("\n### %s — %s\n", e.ID, e.About)

@@ -1,0 +1,110 @@
+//go:build integration
+
+// Kill-and-resume integration test: run the real sage-collect binary, SIGINT
+// it mid-campaign, rerun with -resume, and require the final pool to be
+// deeply equal to an uninterrupted run's. Build-tagged so the tier-1 suite
+// stays hermetic; CI runs it with -tags integration.
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sage/internal/collector"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sage-collect")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func collectArgs(out string) []string {
+	return []string{
+		"-out", out,
+		"-level", "tiny",
+		"-seti-dur", "4s",
+		"-setii-dur", "8s",
+		"-parallel", "2",
+	}
+}
+
+func TestKillAndResume(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+
+	// Reference: an uninterrupted campaign.
+	refPool := filepath.Join(dir, "ref.gob.gz")
+	if out, err := exec.Command(bin, collectArgs(refPool)...).CombinedOutput(); err != nil {
+		t.Fatalf("uninterrupted run: %v\n%s", err, out)
+	}
+	want, err := collector.Load(refPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted campaign: SIGINT once the manifest shows completed cells.
+	outPool := filepath.Join(dir, "pool.gob.gz")
+	manifest := outPool + ".manifest"
+	cmd := exec.Command(bin, collectArgs(outPool)...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("manifest never gained an ok entry")
+		}
+		if raw, err := os.ReadFile(manifest); err == nil && strings.Contains(string(raw), `"ok"`) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("interrupted run exit = %v, want status 130", err)
+	}
+	if _, err := os.Stat(outPool + ".partial"); err != nil {
+		t.Fatalf("no partial pool after interrupt: %v", err)
+	}
+	if _, err := os.Stat(outPool); err == nil {
+		t.Fatal("final pool written despite interrupt")
+	}
+
+	// Resume and finish.
+	args := append(collectArgs(outPool), "-resume")
+	if out, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+		t.Fatalf("resume run: %v\n%s", err, out)
+	}
+	got, err := collector.Load(outPool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed pool differs from uninterrupted run: %d vs %d trajs",
+			len(got.Trajs), len(want.Trajs))
+	}
+	// Resume state is cleaned up after a successful finish.
+	if _, err := os.Stat(manifest); err == nil {
+		t.Fatal("manifest left behind after success")
+	}
+	if _, err := os.Stat(outPool + ".partial"); err == nil {
+		t.Fatal("partial pool left behind after success")
+	}
+}

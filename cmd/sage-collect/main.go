@@ -7,18 +7,29 @@
 //
 //	sage-collect -out pool.gob.gz -level small -seti-dur 10s -setii-dur 30s
 //	sage-collect -level small -progress -metrics pool.jsonl -pprof :6060
+//	sage-collect -out pool.gob.gz -resume   # continue an interrupted run
 //
 // With -progress, a rollouts done/total line with transitions/sec and ETA
 // is printed as workers finish; with -metrics, one JSON line per collected
 // trajectory (scheme, env, steps, score) is written; with -pprof, the Go
 // profiling endpoints are served for the run.
+//
+// SIGINT/SIGTERM drain the workers, save the completed cells to
+// <out>.partial alongside a <out>.manifest ledger, and exit with status
+// 130; rerunning with -resume skips the finished cells and produces a pool
+// identical to an uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sage/internal/cc"
@@ -48,6 +59,7 @@ func main() {
 		window    = flag.Int("window", 0, "uniform observation window (0 = the default 10/200/1000)")
 		parallel  = flag.Int("parallel", 0, "workers (0 = NumCPU)")
 		seed      = flag.Int64("seed", 1, "seed")
+		resume    = flag.Bool("resume", false, "skip cells finished by a previous interrupted run (reads <out>.partial and <out>.manifest)")
 		metrics   = flag.String("metrics", "", "write per-trajectory records as JSONL to this file")
 		progress  = flag.Bool("progress", false, "print a live rollouts/transitions progress line with ETA")
 		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
@@ -71,6 +83,12 @@ func main() {
 	if *schemes != "" {
 		names = strings.Split(*schemes, ",")
 	}
+	// Validate scheme names before any work: a typo fails in microseconds
+	// with the known list, not hours into a campaign.
+	if err := cc.Validate(names...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	grCfg := gr.Config{}
 	if *window > 0 {
 		grCfg = grCfg.WithUniformWindow(*window)
@@ -89,19 +107,104 @@ func main() {
 		netem.SetI(netem.SetIOptions{Level: lvl, Duration: sim.FromSeconds(setIDur.Seconds()), Seed: *seed}),
 		netem.SetII(netem.SetIIOptions{Level: lvl, Duration: sim.FromSeconds(setIIDur.Seconds()), Seed: *seed})...)
 
+	manifestPath := *out + ".manifest"
+	partialPath := *out + ".partial"
+
+	// Prior state: with -resume, reload the partial pool and intersect it
+	// with the manifest's "ok" cells; both must agree that a cell finished
+	// before it is skipped (the manifest alone could claim a cell whose
+	// partial pool never reached disk). Without -resume, stale leftovers
+	// from an older interrupted campaign are discarded.
+	var prior *collector.Pool
+	skip := map[collector.CellKey]bool{}
+	if *resume {
+		if p, err := collector.Load(partialPath); err == nil {
+			prior = p
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+		}
+	} else {
+		os.Remove(manifestPath)
+		os.Remove(partialPath)
+	}
+	manifest, recorded, err := collector.OpenManifest(manifestPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer manifest.Close()
+	if prior != nil {
+		have := prior.Cells()
+		for cell, status := range recorded {
+			if status == "ok" && have[cell] {
+				skip[cell] = true
+			}
+		}
+		// Keep only the trajectories we actually skip; anything else is
+		// re-collected, so dropping it avoids duplicate cells.
+		kept := &collector.Pool{GR: prior.GR}
+		for _, tr := range prior.Trajs {
+			if skip[collector.CellKey{Scheme: tr.Scheme, Env: tr.Env}] {
+				kept.Trajs = append(kept.Trajs, tr)
+			}
+		}
+		prior = kept
+		fmt.Printf("resume: skipping %d finished cells\n", len(skip))
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	fmt.Printf("collecting %d schemes x %d environments...\n", len(names), len(scens))
 	var meter *telemetry.Progress
 	if *progress {
 		meter = telemetry.NewProgress(os.Stdout, "rollouts", int64(len(names)*len(scens)), time.Second).ExtraLabel("transitions")
 	}
 	start := time.Now()
-	pool := collector.Collect(names, scens, collector.Options{GR: grCfg, Parallel: *parallel, Progress: meter})
+	pool, cerr := collector.Collect(ctx, names, scens, collector.Options{
+		GR:       grCfg,
+		Parallel: *parallel,
+		Progress: meter,
+		Skip: func(scheme, env string) bool {
+			return skip[collector.CellKey{Scheme: scheme, Env: env}]
+		},
+		OnCell: manifest.Record,
+	})
 	meter.Finish()
+
+	merged := pool
+	if prior != nil && len(prior.Trajs) > 0 {
+		merged, err = collector.Merge(prior, pool)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	// Canonical order: a resumed campaign's pool is bitwise-identical to an
+	// uninterrupted run regardless of where the interruption fell.
+	merged.SortByCell()
+
+	if cerr != nil {
+		// Interrupted: persist what finished and leave the ledger behind.
+		if err := merged.Save(partialPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		manifest.Close()
+		fmt.Printf("interrupted: %d/%d cells done; saved %s\n",
+			len(merged.Trajs), len(names)*len(scens), partialPath)
+		fmt.Printf("rerun with -resume to continue\n")
+		os.Exit(130)
+	}
+
 	fmt.Printf("pool: %d trajectories, %d transitions (%s)\n",
-		len(pool.Trajs), pool.Transitions(), time.Since(start).Round(time.Second))
+		len(merged.Trajs), merged.Transitions(), time.Since(start).Round(time.Second))
+	for _, f := range merged.Failed {
+		fmt.Fprintf(os.Stderr, "failed cell: %s/%s: %s\n", f.Scheme, f.Env, f.Err)
+	}
 
 	if emit != nil {
-		for _, tr := range pool.Trajs {
+		for _, tr := range merged.Trajs {
 			emit.Emit(trajRecord{
 				Scheme: tr.Scheme, Env: tr.Env, MultiFlow: tr.MultiFlow,
 				Steps: len(tr.Steps), Score: tr.Score,
@@ -112,10 +215,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := pool.Save(*out); err != nil {
+	if err := merged.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// The campaign is safely on disk; the resume state has served its
+	// purpose.
+	manifest.Close()
+	os.Remove(manifestPath)
+	os.Remove(partialPath)
 	fmt.Printf("wrote %s\n", *out)
 }
 

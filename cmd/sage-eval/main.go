@@ -17,10 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sage/internal/cc"
@@ -28,6 +32,7 @@ import (
 	"sage/internal/eval"
 	"sage/internal/netem"
 	"sage/internal/rollout"
+	"sage/internal/safeio"
 	"sage/internal/sim"
 	"sage/internal/telemetry"
 )
@@ -49,6 +54,9 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *pprofAddr != "" {
 		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
@@ -82,7 +90,11 @@ func main() {
 			if *tracePath != "" {
 				trace = telemetry.NewFlowTrace(sim.FromSeconds(traceStep.Seconds()))
 			}
-			res := sage.Run(sc, rollout.Options{Trace: trace})
+			res := sage.Run(sc, rollout.Options{Trace: trace, Ctx: ctx})
+			if res.Interrupted {
+				fmt.Fprintln(os.Stderr, "interrupted; partial rollout discarded")
+				os.Exit(130)
+			}
 			fmt.Printf("%s: thr %.2f Mb/s, avg RTT %.1f ms, loss %.3f%%, fair share %.2f Mb/s\n",
 				sc.Name, res.ThroughputBps/1e6, res.AvgRTT.Millis(), res.LossRate*100, res.FairShareBps/1e6)
 			if trace != nil {
@@ -103,8 +115,12 @@ func main() {
 		entrants = append(entrants, eval.SchemeEntrant(n))
 	}
 	res := eval.RunLeague(entrants, setI, setII, eval.LeagueOptions{
-		Margin: *margin, Alpha: *alpha, Parallel: *parallel,
+		Margin: *margin, Alpha: *alpha, Parallel: *parallel, Ctx: ctx,
 	})
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted; league incomplete, no rates reported")
+		os.Exit(130)
+	}
 	fmt.Printf("%-12s %12s %12s\n", "scheme", "setI", "setII")
 	var emit *telemetry.JSONL
 	if *metrics != "" {
@@ -128,18 +144,14 @@ func main() {
 	}
 }
 
+// writeTrace exports the flow trace through safeio's raw atomic writer:
+// the file appears atomically (a crash mid-export cannot leave a
+// half-written series) yet stays plain JSONL/CSV for external tools.
 func writeTrace(tr *telemetry.FlowTrace, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if strings.HasSuffix(path, ".csv") {
-		err = tr.WriteCSV(f)
-	} else {
-		err = tr.WriteJSONL(f)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return safeio.WriteFileRaw(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".csv") {
+			return tr.WriteCSV(w)
+		}
+		return tr.WriteJSONL(w)
+	})
 }

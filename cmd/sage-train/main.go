@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sage/internal/collector"
@@ -59,11 +62,15 @@ func main() {
 		logEvery  = flag.Int("log-every", 100, "progress period in steps")
 		ckpt      = flag.String("checkpoint", "", "checkpoint file (written every checkpoint-every steps; resumed from if present)")
 		ckptEvery = flag.Int("checkpoint-every", 1000, "checkpoint period in steps")
+		ckptKeep  = flag.Int("checkpoint-keep", 3, "previous checkpoint generations kept for corruption fallback")
 		metrics   = flag.String("metrics", "", "write per-step training metrics as JSONL to this file")
 		progress  = flag.Bool("progress", false, "print a live progress/ETA line")
 		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *pprofAddr != "" {
 		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
@@ -124,10 +131,22 @@ func main() {
 	var learner *rl.CRR
 	done := 0
 	if *ckpt != "" {
-		if resumed, steps, err := rl.LoadCheckpoint(*ckpt, ds); err == nil {
+		resumed, steps, from, err := rl.LoadCheckpointAuto(*ckpt, ds)
+		switch {
+		case err == nil:
 			learner = resumed
 			done = steps
-			fmt.Printf("resumed %s at step %d\n", *ckpt, steps)
+			if from != *ckpt {
+				fmt.Printf("checkpoint %s unreadable; fell back to %s\n", *ckpt, from)
+			}
+			fmt.Printf("resumed %s at step %d\n", from, steps)
+		case rl.IsNotExist(err):
+			// No checkpoint yet: fresh start.
+		default:
+			// Checkpoints exist but none loads: refuse to silently retrain
+			// from scratch over hours of prior work.
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 	if learner == nil {
@@ -161,8 +180,10 @@ func main() {
 			return
 		}
 		elapsed := now.Sub(start).Seconds()
+		// s.Step is already absolute (stepIdx survives checkpoint resume),
+		// unlike the Train progress callback's run-local step.
 		rec := stepRecord{
-			Step:         done + s.Step,
+			Step:         s.Step,
 			CriticLoss:   s.CriticLoss,
 			PolicyLoss:   s.PolicyLoss,
 			MeanFilter:   s.MeanFilter,
@@ -172,7 +193,7 @@ func main() {
 			GradNormPi:   s.GradNormPi,
 			GradNormQ:    s.GradNormQ,
 			Workers:      s.Workers,
-			StepsPerSec:  float64(s.Step) / elapsed,
+			StepsPerSec:  float64(s.Step-done) / elapsed,
 			ElapsedSec:   elapsed,
 		}
 		if len(s.WorkerBusy) > 0 {
@@ -192,14 +213,14 @@ func main() {
 		}
 	}
 
-	learner.Train(ds, func(step int, cl, pl float64) {
+	learner.Train(ctx, ds, func(step int, cl, pl float64) {
 		abs := done + step
 		if abs%*logEvery == 0 && !*progress {
 			fmt.Printf("step %6d  critic %.4f  policy %.4f  (%s)\n",
 				abs, cl, pl, time.Since(start).Round(time.Second))
 		}
 		if *ckpt != "" && abs%*ckptEvery == 0 {
-			if err := learner.SaveCheckpoint(*ckpt, abs); err != nil {
+			if err := learner.SaveCheckpointRotate(*ckpt, abs, *ckptKeep); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}
@@ -209,6 +230,21 @@ func main() {
 		if err := emit.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
+	}
+	if ctx.Err() != nil {
+		// Interrupted: persist exactly where training stopped, so a rerun
+		// resumes with a bitwise-identical loss curve.
+		if *ckpt != "" {
+			if err := learner.SaveCheckpointRotate(*ckpt, learner.StepsDone(), *ckptKeep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("interrupted at step %d; checkpoint saved to %s — rerun to resume\n",
+				learner.StepsDone(), *ckpt)
+		} else {
+			fmt.Printf("interrupted at step %d (no -checkpoint set; progress lost)\n", learner.StepsDone())
+		}
+		os.Exit(130)
 	}
 	model := &core.Model{Policy: learner.Policy, Mask: cfg.Mask, GR: cfg.GR.Fill()}
 	if model.Mask == nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,7 +32,10 @@ func main() {
 		netem.SetII(netem.SetIIOptions{Level: netem.GridTiny, Duration: 10 * sim.Second})...)
 	fmt.Printf("collecting pool: %d schemes x %d environments...\n", 4, len(scens))
 	start := time.Now()
-	pool := collector.Collect([]string{"cubic", "vegas", "bbr2", "westwood"}, scens, collector.Options{})
+	pool, err := collector.Collect(context.Background(), []string{"cubic", "vegas", "bbr2", "westwood"}, scens, collector.Options{})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("  %d transitions in %s\n", pool.Transitions(), time.Since(start).Round(time.Millisecond))
 
 	// 2) Offline training. The environments are now "unplugged": Train only

@@ -9,6 +9,7 @@ package cc
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"sage/internal/sim"
 	"sage/internal/tcp"
@@ -38,13 +39,33 @@ func New(name string) (tcp.CongestionControl, error) {
 	return f(), nil
 }
 
-// MustNew is New for known-good names; it panics on error.
+// MustNew is New for compile-time-constant names; it panics on error.
+// Anything that takes scheme names from user input (flags, pool files)
+// must go through New or Validate instead, so a typo is an error with the
+// known-scheme list rather than a mid-campaign crash.
 func MustNew(name string) tcp.CongestionControl {
 	c, err := New(name)
 	if err != nil {
 		panic(err)
 	}
 	return c
+}
+
+// Validate checks every name against the registry and returns one error
+// naming all unknown schemes plus the registered list. It exists so CLI
+// tools can reject a typo in -schemes before hours of collection start.
+func Validate(names ...string) error {
+	var unknown []string
+	for _, n := range names {
+		if _, ok := registry[n]; !ok {
+			unknown = append(unknown, fmt.Sprintf("%q", n))
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cc: unknown scheme(s) %s (known: %s)",
+		strings.Join(unknown, ", "), strings.Join(Names(), ", "))
 }
 
 // Names returns every registered scheme, sorted.

@@ -1,0 +1,109 @@
+// Package chaos is the fault-injection harness behind the pipeline's
+// crash-safety guarantees. It supplies composable filesystem faults for
+// safeio's write path (short writes, ENOSPC, kill-mid-write) and panic
+// injectors for collection workers; the package's tests drive real
+// artifact writers through these faults and assert the invariants the
+// system promises:
+//
+//   - an interrupted save never leaves a corrupt artifact at the
+//     destination — the old file survives or the new one is complete;
+//   - corrupt/truncated artifacts are detected at load with actionable
+//     errors;
+//   - a panicking collection worker fails only its own (scheme, env) cell.
+package chaos
+
+import (
+	"fmt"
+	"io"
+
+	"sage/internal/safeio"
+)
+
+// ErrInjected marks every failure this package fabricates, so tests can
+// tell injected faults from real ones.
+type ErrInjected struct{ Kind string }
+
+func (e *ErrInjected) Error() string { return "chaos: injected " + e.Kind }
+
+// ENOSPCAfter returns a safeio WrapWriter hook whose writer accepts n
+// bytes and then fails like a full disk.
+func ENOSPCAfter(n int64) func(io.Writer) io.Writer {
+	return func(w io.Writer) io.Writer {
+		return &limitWriter{w: w, left: n, err: &ErrInjected{Kind: "ENOSPC (no space left on device)"}}
+	}
+}
+
+// ShortWriteAfter returns a hook whose writer silently drops everything
+// past the first n bytes — the torn tail a crash leaves behind a buffered
+// writer.
+func ShortWriteAfter(n int64) func(io.Writer) io.Writer {
+	return func(w io.Writer) io.Writer {
+		return &limitWriter{w: w, left: n}
+	}
+}
+
+// KillBeforeRename returns a BeforeRename hook simulating the process
+// dying after the temp file is complete but before the atomic rename: the
+// destination must be untouched.
+func KillBeforeRename() func(tmp, final string) error {
+	return func(tmp, final string) error {
+		return &ErrInjected{Kind: "kill before rename"}
+	}
+}
+
+// WithFaults installs hooks on safeio for the duration of fn and always
+// restores the previous hooks, so tests cannot leak faults into each
+// other.
+func WithFaults(h safeio.Hooks, fn func()) {
+	prev := safeio.TestHooks
+	safeio.TestHooks = &h
+	defer func() { safeio.TestHooks = prev }()
+	fn()
+}
+
+// PanicOn returns a collector fault hook that panics the worker handling
+// the given (scheme, env) cell; times bounds how often it fires, so a
+// retried cell can be made to succeed (times=1) or fail for good
+// (times≥2). The hook is called from concurrent workers; the counter is
+// intentionally only advanced for the matching cell, which collection
+// runs exactly once per attempt.
+func PanicOn(scheme, env string, times int) func(scheme, env string) {
+	fired := 0
+	return func(s, e string) {
+		if s == scheme && e == env && fired < times {
+			fired++
+			panic(fmt.Sprintf("chaos: injected worker panic in cell (%s, %s)", s, e))
+		}
+	}
+}
+
+// limitWriter passes through the first `left` bytes, then either errors
+// (err != nil: ENOSPC) or silently truncates (err == nil: short write).
+type limitWriter struct {
+	w    io.Writer
+	left int64
+	err  error
+}
+
+func (l *limitWriter) Write(p []byte) (int, error) {
+	if l.left <= 0 {
+		if l.err != nil {
+			return 0, l.err
+		}
+		return len(p), nil // swallow: torn write
+	}
+	if int64(len(p)) > l.left {
+		n, err := l.w.Write(p[:l.left])
+		l.left -= int64(n)
+		if err != nil {
+			return n, err
+		}
+		if l.err != nil {
+			return n, l.err
+		}
+		return len(p), nil
+	}
+	n, err := l.w.Write(p)
+	l.left -= int64(n)
+	return n, err
+}

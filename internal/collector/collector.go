@@ -7,17 +7,18 @@
 package collector
 
 import (
-	"compress/gzip"
-	"encoding/gob"
+	"context"
+	"errors"
 	"fmt"
-	"os"
 	"runtime"
+	"sort"
 	"sync"
 
 	"sage/internal/cc"
 	"sage/internal/gr"
 	"sage/internal/netem"
 	"sage/internal/rollout"
+	"sage/internal/safeio"
 	"sage/internal/telemetry"
 )
 
@@ -32,10 +33,24 @@ type Trajectory struct {
 	Score float64
 }
 
+// FailedCell records a (scheme, env) rollout that failed permanently
+// (panicked twice): the campaign completes without it and reports it.
+type FailedCell struct {
+	Scheme, Env string
+	Err         string
+}
+
+// CellKey identifies one (scheme, env) cell of the collection matrix.
+type CellKey struct{ Scheme, Env string }
+
 // Pool is the pool of policies.
 type Pool struct {
 	GR    gr.Config
 	Trajs []Trajectory
+	// Failed lists cells whose rollouts failed permanently during
+	// collection; it rides along in the saved pool so a resumed or merged
+	// campaign still reports what is missing.
+	Failed []FailedCell
 }
 
 // Transitions counts the (s,a,r,s') tuples in the pool.
@@ -70,11 +85,40 @@ type Options struct {
 	// (with transitions as the extra unit), giving sage-collect its
 	// live done/total, transitions/sec, and ETA line. Nil costs nothing.
 	Progress *telemetry.Progress
+	// Skip, when non-nil, is consulted per cell before dispatch; resumed
+	// campaigns return true for cells already present in the partial pool.
+	Skip func(scheme, env string) bool
+	// OnCell, when non-nil, is called (from worker goroutines) as each
+	// cell completes or fails permanently — the resume-manifest hook.
+	// Cancelled cells are not reported; they are simply not done.
+	OnCell func(scheme, env string, err error)
+	// FaultHook, when non-nil, runs inside the worker before each rollout
+	// attempt. It exists for the chaos harness to inject worker panics;
+	// production code leaves it nil.
+	FaultHook func(scheme, env string)
 }
 
+// panicError marks an error recovered from a worker panic (these are
+// retried once; genuine errors are not).
+type panicError struct{ msg string }
+
+func (p *panicError) Error() string { return p.msg }
+
 // Collect builds a pool by running each scheme through each scenario.
-// Rollouts are independent and run in parallel.
-func Collect(schemes []string, scenarios []netem.Scenario, opt Options) *Pool {
+// Rollouts are independent and run in parallel. Scheme names are
+// validated up front, so a typo fails in microseconds with the known list
+// instead of panicking hours into a campaign. A worker that panics is
+// recovered and its cell retried once; a second panic records the cell in
+// Pool.Failed and the campaign continues. Cancelling ctx drains the
+// workers and returns the completed cells with ctx's error, so callers
+// can save a partial pool and resume later.
+func Collect(ctx context.Context, schemes []string, scenarios []netem.Scenario, opt Options) (*Pool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cc.Validate(schemes...); err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
 	opt.GR = opt.GR.Fill()
 	if opt.Parallel == 0 {
 		opt.Parallel = runtime.NumCPU()
@@ -82,39 +126,112 @@ func Collect(schemes []string, scenarios []netem.Scenario, opt Options) *Pool {
 	type job struct{ scheme, env int }
 	jobs := make(chan job)
 	trajs := make([]Trajectory, len(schemes)*len(scenarios))
+	done := make([]bool, len(trajs))
+	var mu sync.Mutex // guards failed
+	var failed []FailedCell
 	var wg sync.WaitGroup
 	for w := 0; w < opt.Parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				sc := scenarios[j.env]
-				res := rollout.Run(sc, cc.MustNew(schemes[j.scheme]), rollout.Options{
-					GR:           opt.GR,
-					CollectSteps: true,
-				})
-				trajs[j.scheme*len(scenarios)+j.env] = Trajectory{
-					Scheme:    schemes[j.scheme],
-					Env:       sc.Name,
-					MultiFlow: sc.CubicFlows > 0,
-					Steps:     res.Steps,
-					Score:     meanReward(res.Steps),
+				if ctx.Err() != nil {
+					continue // drain remaining jobs without running them
 				}
-				if n := len(res.Steps); n > 1 {
-					opt.Progress.AddExtra(int64(n - 1))
+				scheme, sc := schemes[j.scheme], scenarios[j.env]
+				tr, err := runCell(ctx, scheme, sc, opt)
+				var pe *panicError
+				if errors.As(err, &pe) && ctx.Err() == nil {
+					tr, err = runCell(ctx, scheme, sc, opt) // one retry
 				}
-				opt.Progress.Add(1)
+				switch {
+				case err == nil:
+					idx := j.scheme*len(scenarios) + j.env
+					trajs[idx] = tr
+					done[idx] = true
+					if n := len(tr.Steps); n > 1 {
+						opt.Progress.AddExtra(int64(n - 1))
+					}
+					opt.Progress.Add(1)
+					if opt.OnCell != nil {
+						opt.OnCell(scheme, sc.Name, nil)
+					}
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil:
+					// Cancelled mid-rollout: neither done nor failed.
+				default:
+					mu.Lock()
+					failed = append(failed, FailedCell{Scheme: scheme, Env: sc.Name, Err: err.Error()})
+					mu.Unlock()
+					opt.Progress.Add(1)
+					if opt.OnCell != nil {
+						opt.OnCell(scheme, sc.Name, err)
+					}
+				}
 			}
 		}()
 	}
+dispatch:
 	for s := range schemes {
 		for e := range scenarios {
-			jobs <- job{s, e}
+			if opt.Skip != nil && opt.Skip(schemes[s], scenarios[e].Name) {
+				opt.Progress.Add(1)
+				continue
+			}
+			select {
+			case jobs <- job{s, e}:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	return &Pool{GR: opt.GR, Trajs: trajs}
+	p := &Pool{GR: opt.GR}
+	for i, ok := range done {
+		if ok {
+			p.Trajs = append(p.Trajs, trajs[i])
+		}
+	}
+	sort.Slice(failed, func(i, j int) bool {
+		if failed[i].Scheme != failed[j].Scheme {
+			return failed[i].Scheme < failed[j].Scheme
+		}
+		return failed[i].Env < failed[j].Env
+	})
+	p.Failed = failed
+	return p, ctx.Err()
+}
+
+// runCell runs one (scheme, env) rollout, converting a worker panic into
+// an error so one poisoned cell cannot kill the whole campaign.
+func runCell(ctx context.Context, scheme string, sc netem.Scenario, opt Options) (tr Trajectory, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{msg: fmt.Sprintf("worker panic: %v", r)}
+		}
+	}()
+	if opt.FaultHook != nil {
+		opt.FaultHook(scheme, sc.Name)
+	}
+	impl, err := cc.New(scheme)
+	if err != nil {
+		return tr, err
+	}
+	res := rollout.Run(sc, impl, rollout.Options{
+		GR:           opt.GR,
+		CollectSteps: true,
+		Ctx:          ctx,
+	})
+	if res.Interrupted {
+		return tr, context.Canceled
+	}
+	return Trajectory{
+		Scheme:    scheme,
+		Env:       sc.Name,
+		MultiFlow: sc.CubicFlows > 0,
+		Steps:     res.Steps,
+		Score:     meanReward(res.Steps),
+	}, nil
 }
 
 func meanReward(steps []gr.Step) float64 {
@@ -145,8 +262,38 @@ func Merge(pools ...*Pool) (*Pool, error) {
 			return nil, fmt.Errorf("collector: merge: pool %d GR config %+v differs from pool 0 %+v", i, got, want)
 		}
 		out.Trajs = append(out.Trajs, p.Trajs...)
+		out.Failed = append(out.Failed, p.Failed...)
 	}
 	return out, nil
+}
+
+// SortByCell orders trajectories canonically by (scheme, env). Resumed
+// campaigns merge a partial pool with freshly collected cells; sorting
+// before the final save makes the result bitwise-identical to an
+// uninterrupted run regardless of where the interruption fell.
+func (p *Pool) SortByCell() {
+	sort.Slice(p.Trajs, func(i, j int) bool {
+		if p.Trajs[i].Scheme != p.Trajs[j].Scheme {
+			return p.Trajs[i].Scheme < p.Trajs[j].Scheme
+		}
+		return p.Trajs[i].Env < p.Trajs[j].Env
+	})
+	sort.Slice(p.Failed, func(i, j int) bool {
+		if p.Failed[i].Scheme != p.Failed[j].Scheme {
+			return p.Failed[i].Scheme < p.Failed[j].Scheme
+		}
+		return p.Failed[i].Env < p.Failed[j].Env
+	})
+}
+
+// Cells returns the set of (scheme, env) cells present in the pool — the
+// resume path intersects it with the manifest to decide what to skip.
+func (p *Pool) Cells() map[CellKey]bool {
+	out := make(map[CellKey]bool, len(p.Trajs))
+	for _, tr := range p.Trajs {
+		out[CellKey{tr.Scheme, tr.Env}] = true
+	}
+	return out
 }
 
 // FilterSchemes keeps only trajectories from the named schemes (the
@@ -234,43 +381,21 @@ func (p *Pool) TopSchemes(k int) []string {
 	return out
 }
 
-// Save writes the pool as gzipped gob. The file is closed exactly once,
-// and close errors surface (a deferred second Close on a closed *os.File
-// would both double-close and swallow write-back failures).
+// Save writes the pool as gzipped gob inside safeio's atomic, checksummed
+// container: an interrupted save leaves any previous pool at path intact.
 func (p *Pool) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("collector: save: %w", err)
-	}
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(p); err != nil {
-		f.Close()
-		return fmt.Errorf("collector: encode: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		f.Close()
-		return fmt.Errorf("collector: save: %w", err)
-	}
-	if err := f.Close(); err != nil {
+	if err := safeio.WriteGobGz(path, p); err != nil {
 		return fmt.Errorf("collector: save: %w", err)
 	}
 	return nil
 }
 
-// Load reads a pool written by Save.
+// Load reads a pool written by Save (or a legacy pre-container pool),
+// detecting truncation and corruption before decoding.
 func Load(path string) (*Pool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("collector: load: %w", err)
-	}
-	defer f.Close()
-	zr, err := gzip.NewReader(f)
-	if err != nil {
-		return nil, fmt.Errorf("collector: gzip: %w", err)
-	}
 	var p Pool
-	if err := gob.NewDecoder(zr).Decode(&p); err != nil {
-		return nil, fmt.Errorf("collector: decode: %w", err)
+	if err := safeio.ReadGobGz(path, &p); err != nil {
+		return nil, fmt.Errorf("collector: load: %w", err)
 	}
 	return &p, nil
 }

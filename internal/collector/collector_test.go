@@ -2,16 +2,34 @@ package collector
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"sage/internal/safeio"
 
 	"sage/internal/gr"
 	"sage/internal/netem"
 	"sage/internal/sim"
 	"sage/internal/telemetry"
 )
+
+// mustCollect is a test helper: Collect with a background context,
+// failing the test on error.
+func mustCollect(t *testing.T, schemes []string, scens []netem.Scenario, opt Options) *Pool {
+	t.Helper()
+	p, err := Collect(context.Background(), schemes, scens, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
 
 func tinyScenarios() []netem.Scenario {
 	setI := netem.SetI(netem.SetIOptions{Level: netem.GridTiny, Duration: 3 * sim.Second})[:2]
@@ -20,7 +38,7 @@ func tinyScenarios() []netem.Scenario {
 }
 
 func TestCollectBuildsPool(t *testing.T) {
-	pool := Collect([]string{"cubic", "vegas"}, tinyScenarios(), Options{Parallel: 4})
+	pool := mustCollect(t, []string{"cubic", "vegas"}, tinyScenarios(), Options{Parallel: 4})
 	if len(pool.Trajs) != 8 {
 		t.Fatalf("trajectories = %d", len(pool.Trajs))
 	}
@@ -52,7 +70,7 @@ func TestCollectBuildsPool(t *testing.T) {
 }
 
 func TestPoolFilters(t *testing.T) {
-	pool := Collect([]string{"cubic", "vegas", "newreno"}, tinyScenarios()[:2], Options{Parallel: 4})
+	pool := mustCollect(t, []string{"cubic", "vegas", "newreno"}, tinyScenarios()[:2], Options{Parallel: 4})
 	f := pool.FilterSchemes("vegas")
 	if len(f.Trajs) != 2 {
 		t.Fatalf("filtered = %d", len(f.Trajs))
@@ -80,7 +98,7 @@ func TestPoolFilters(t *testing.T) {
 }
 
 func TestPoolSaveLoadRoundTrip(t *testing.T) {
-	pool := Collect([]string{"cubic"}, tinyScenarios()[:1], Options{Parallel: 2})
+	pool := mustCollect(t, []string{"cubic"}, tinyScenarios()[:1], Options{Parallel: 2})
 	path := filepath.Join(t.TempDir(), "pool.gob.gz")
 	if err := pool.Save(path); err != nil {
 		t.Fatal(err)
@@ -101,8 +119,8 @@ func TestPoolSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestMerge(t *testing.T) {
-	a := Collect([]string{"cubic"}, tinyScenarios()[:1], Options{Parallel: 2})
-	b := Collect([]string{"vegas"}, tinyScenarios()[1:2], Options{Parallel: 2})
+	a := mustCollect(t, []string{"cubic"}, tinyScenarios()[:1], Options{Parallel: 2})
+	b := mustCollect(t, []string{"vegas"}, tinyScenarios()[1:2], Options{Parallel: 2})
 	m, err := Merge(a, b)
 	if err != nil {
 		t.Fatal(err)
@@ -121,8 +139,8 @@ func TestMerge(t *testing.T) {
 
 func TestMergeGRMismatch(t *testing.T) {
 	sc := tinyScenarios()[:1]
-	a := Collect([]string{"cubic"}, sc, Options{Parallel: 2})
-	b := Collect([]string{"cubic"}, sc, Options{Parallel: 2, GR: gr.Config{}.WithUniformWindow(5)})
+	a := mustCollect(t, []string{"cubic"}, sc, Options{Parallel: 2})
+	b := mustCollect(t, []string{"cubic"}, sc, Options{Parallel: 2, GR: gr.Config{}.WithUniformWindow(5)})
 	if _, err := Merge(a, b); err == nil {
 		t.Fatal("GR config mismatch silently merged")
 	}
@@ -164,7 +182,7 @@ func TestCollectProgress(t *testing.T) {
 	var buf bytes.Buffer
 	total := int64(2 * len(tinyScenarios()))
 	p := telemetry.NewProgress(&buf, "rollouts", total, time.Nanosecond)
-	pool := Collect([]string{"cubic", "vegas"}, tinyScenarios(), Options{Parallel: 4, Progress: p})
+	pool := mustCollect(t, []string{"cubic", "vegas"}, tinyScenarios(), Options{Parallel: 4, Progress: p})
 	p.Finish()
 	if p.Done() != total {
 		t.Fatalf("progress done = %d, want %d", p.Done(), total)
@@ -179,8 +197,8 @@ func TestCollectProgress(t *testing.T) {
 
 func TestCollectDeterministic(t *testing.T) {
 	sc := tinyScenarios()[:1]
-	p1 := Collect([]string{"cubic"}, sc, Options{Parallel: 1})
-	p2 := Collect([]string{"cubic"}, sc, Options{Parallel: 3})
+	p1 := mustCollect(t, []string{"cubic"}, sc, Options{Parallel: 1})
+	p2 := mustCollect(t, []string{"cubic"}, sc, Options{Parallel: 3})
 	if p1.Transitions() != p2.Transitions() {
 		t.Fatalf("nondeterministic: %d vs %d", p1.Transitions(), p2.Transitions())
 	}
@@ -190,5 +208,153 @@ func TestCollectDeterministic(t *testing.T) {
 		if s1[i].Action != s2[i].Action || s1[i].Reward != s2[i].Reward {
 			t.Fatalf("step %d differs across parallelism", i)
 		}
+	}
+}
+
+// TestResumeProducesIdenticalPool models sage-collect -resume: a campaign
+// interrupted partway (first half of the cells done) and resumed (second
+// half, skipping the first) must merge into a pool deeply equal to an
+// uninterrupted run.
+func TestResumeProducesIdenticalPool(t *testing.T) {
+	schemes := []string{"cubic", "vegas"}
+	scens := tinyScenarios()
+
+	full := mustCollect(t, schemes, scens, Options{Parallel: 4})
+	full.SortByCell()
+
+	// "Interrupted": only cells of the first scheme completed.
+	firstHalf := func(scheme, env string) bool { return scheme != "cubic" }
+	prior := mustCollect(t, schemes, scens, Options{Parallel: 4, Skip: firstHalf})
+	// "Resumed": skip exactly what the partial pool holds.
+	skip := prior.Cells()
+	rest := mustCollect(t, schemes, scens, Options{Parallel: 4, Skip: func(scheme, env string) bool {
+		return skip[CellKey{scheme, env}]
+	}})
+
+	merged, err := Merge(prior, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged.SortByCell()
+
+	if !reflect.DeepEqual(merged, full) {
+		t.Fatalf("resumed pool differs from uninterrupted run: %d vs %d trajs",
+			len(merged.Trajs), len(full.Trajs))
+	}
+}
+
+// TestCollectCancelledContext: a cancelled context returns immediately
+// with its error and whatever completed (here: nothing).
+func TestCollectCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, err := Collect(ctx, []string{"cubic"}, tinyScenarios(), Options{Parallel: 2})
+	if err == nil {
+		t.Fatal("cancelled collect reported success")
+	}
+	if len(p.Trajs) != 0 {
+		t.Fatalf("cancelled collect produced %d trajs", len(p.Trajs))
+	}
+}
+
+// TestCollectUnknownScheme fails fast with the known-scheme list.
+func TestCollectUnknownScheme(t *testing.T) {
+	_, err := Collect(context.Background(), []string{"cubic", "reno3000"}, tinyScenarios(), Options{})
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if !strings.Contains(err.Error(), "reno3000") || !strings.Contains(err.Error(), "cubic") {
+		t.Fatalf("error not actionable: %v", err)
+	}
+}
+
+// TestOnCellReportsEveryOutcome: the manifest hook sees one call per
+// completed cell.
+func TestOnCellReportsEveryOutcome(t *testing.T) {
+	var mu sync.Mutex
+	calls := map[CellKey]bool{}
+	scens := tinyScenarios()[:2]
+	mustCollect(t, []string{"cubic", "vegas"}, scens, Options{
+		Parallel: 2,
+		OnCell: func(scheme, env string, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				t.Errorf("cell %s/%s failed: %v", scheme, env, err)
+			}
+			calls[CellKey{scheme, env}] = true
+		},
+	})
+	if len(calls) != 4 {
+		t.Fatalf("OnCell saw %d cells, want 4", len(calls))
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.manifest")
+	m, seen, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("fresh manifest has %d entries", len(seen))
+	}
+	m.Record("cubic", "env-a", nil)
+	m.Record("vegas", "env-a", errors.New("worker panic: boom"))
+	m.Record("vegas", "env-a", nil) // later entries win
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, seen, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if seen[CellKey{"cubic", "env-a"}] != "ok" || seen[CellKey{"vegas", "env-a"}] != "ok" {
+		t.Fatalf("manifest state = %v", seen)
+	}
+}
+
+// TestManifestTornFinalLine: a crash mid-append tears the last line; the
+// loader keeps every complete entry and ignores the tail.
+func TestManifestTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.manifest")
+	m, _, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record("cubic", "env-a", nil)
+	m.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"scheme":"vegas","env":"en`) // torn: no closing brace/newline
+	f.Close()
+
+	m2, seen, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if len(seen) != 1 || seen[CellKey{"cubic", "env-a"}] != "ok" {
+		t.Fatalf("torn manifest state = %v", seen)
+	}
+}
+
+// TestPoolLoadDetectsCorruption: collector.Load reports corruption of the
+// saved pool via safeio instead of a bare gzip/gob error.
+func TestPoolLoadDetectsCorruption(t *testing.T) {
+	pool := mustCollect(t, []string{"cubic"}, tinyScenarios()[:1], Options{Parallel: 2})
+	path := filepath.Join(t.TempDir(), "pool.gob.gz")
+	if err := pool.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/3] ^= 0x10
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Load(path); !errors.Is(err, safeio.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}
 }

@@ -1,0 +1,91 @@
+package collector
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// A Manifest is the append-only JSONL ledger of a collection campaign:
+// one line per cell as it completes ("ok") or fails permanently
+// ("failed"). sage-collect -resume reads it back to skip finished work.
+// Appends are O_APPEND + per-line fsync, so a crash can at worst tear the
+// final line — which the loader detects and ignores — and never corrupts
+// earlier entries.
+type Manifest struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// manifestEntry is one JSONL line of the ledger.
+type manifestEntry struct {
+	Scheme string `json:"scheme"`
+	Env    string `json:"env"`
+	Status string `json:"status"` // "ok" | "failed"
+	Err    string `json:"err,omitempty"`
+}
+
+// OpenManifest opens (creating if needed) the campaign ledger at path and
+// returns it together with the status of every cell already recorded —
+// later entries win, so a cell that failed in one run and succeeded on
+// resume reads back as "ok".
+func OpenManifest(path string) (*Manifest, map[CellKey]string, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("collector: manifest: %w", err)
+	}
+	done := map[CellKey]string{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e manifestEntry
+		if json.Unmarshal(sc.Bytes(), &e) != nil {
+			break // torn final line from a crash mid-append: stop here
+		}
+		done[CellKey{e.Scheme, e.Env}] = e.Status
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("collector: manifest read: %w", err)
+	}
+	return &Manifest{f: f}, done, nil
+}
+
+// Record appends one cell outcome and fsyncs it. It matches the
+// Options.OnCell signature, so it can be passed directly to Collect.
+// Write errors are reported on Close rather than per call — a worker
+// finishing a rollout should not die because the ledger disk hiccuped.
+func (m *Manifest) Record(scheme, env string, cellErr error) {
+	e := manifestEntry{Scheme: scheme, Env: env, Status: "ok"}
+	if cellErr != nil {
+		e.Status = "failed"
+		e.Err = cellErr.Error()
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return
+	}
+	if _, err := m.f.Write(append(line, '\n')); err == nil {
+		m.f.Sync()
+	}
+}
+
+// Close closes the ledger file. The file itself is kept; the caller
+// removes it once the campaign's final pool is safely on disk.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}

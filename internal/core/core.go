@@ -11,16 +11,15 @@
 package core
 
 import (
-	"compress/gzip"
-	"encoding/gob"
+	"context"
 	"fmt"
 	"math/rand"
-	"os"
 
 	"sage/internal/collector"
 	"sage/internal/gr"
 	"sage/internal/nn"
 	"sage/internal/rl"
+	"sage/internal/safeio"
 	"sage/internal/sim"
 	"sage/internal/tcp"
 )
@@ -48,7 +47,7 @@ func Train(pool *collector.Pool, cfg Config, progress func(step int, criticLoss,
 	cfg.GR = cfg.GR.Fill()
 	ds := rl.BuildDataset(pool, cfg.Mask)
 	learner := rl.NewCRR(ds, cfg.CRR)
-	learner.Train(ds, progress)
+	learner.Train(context.Background(), ds, progress)
 	return &Model{Policy: learner.Policy, Mask: cfg.Mask, GR: cfg.GR}
 }
 
@@ -124,41 +123,25 @@ type modelBlob struct {
 	GR     gr.Config
 }
 
-// Save writes the model to path as gzipped gob.
+// Save writes the model to path as gzipped gob inside safeio's atomic,
+// checksummed container: a crash mid-save never clobbers a good model.
 func (m *Model) Save(path string) error {
 	blob := modelBlob{Cfg: m.Policy.Cfg, Norm: *m.Policy.Norm, Mask: m.Mask, GR: m.GR}
 	for _, p := range m.Policy.Params() {
 		blob.Params = append(blob.Params, append([]float64(nil), p.Data...))
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := safeio.WriteGobGz(path, &blob); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
-	defer f.Close()
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(&blob); err != nil {
-		return fmt.Errorf("core: encode: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
-// LoadModel reads a model written by Save.
+// LoadModel reads a model written by Save, detecting truncation and
+// corruption up front.
 func LoadModel(path string) (*Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
-	}
-	defer f.Close()
-	zr, err := gzip.NewReader(f)
-	if err != nil {
-		return nil, fmt.Errorf("core: gzip: %w", err)
-	}
 	var blob modelBlob
-	if err := gob.NewDecoder(zr).Decode(&blob); err != nil {
-		return nil, fmt.Errorf("core: decode: %w", err)
+	if err := safeio.ReadGobGz(path, &blob); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	pol := nn.NewPolicy(blob.Cfg)
 	pol.Norm = &blob.Norm

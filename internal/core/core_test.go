@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -19,8 +20,12 @@ func tinyPool(t *testing.T) *collector.Pool {
 	t.Helper()
 	setI := netem.SetI(netem.SetIOptions{Level: netem.GridTiny, Duration: 4 * sim.Second})[:3]
 	setII := netem.SetII(netem.SetIIOptions{Level: netem.GridTiny, Duration: 6 * sim.Second})[:2]
-	return collector.Collect([]string{"cubic", "vegas", "bbr2"},
+	p, err := collector.Collect(context.Background(), []string{"cubic", "vegas", "bbr2"},
 		append(setI, setII...), collector.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func tinyCRR() rl.CRRConfig {
@@ -118,7 +123,7 @@ func TestCRRLearnsFromPool(t *testing.T) {
 	}
 	learner := rl.NewCRR(ds, tinyCRR())
 	var lastC, lastP float64
-	learner.Train(ds, func(step int, cl, pl float64) { lastC, lastP = cl, pl })
+	learner.Train(context.Background(), ds, func(step int, cl, pl float64) { lastC, lastP = cl, pl })
 	if lastC != lastC || lastP != lastP { // NaN check
 		t.Fatalf("losses NaN: %v %v", lastC, lastP)
 	}

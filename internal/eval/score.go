@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -92,6 +93,11 @@ type LeagueOptions struct {
 	Intervals int     // score intervals per scenario (default 4)
 	Parallel  int     // rollout workers (default NumCPU)
 	Rollout   rollout.Options
+	// Ctx, when non-nil, cancels the league: no new rollouts are
+	// dispatched and in-flight ones stop at their next GR tick. The
+	// partial matrix is not meaningful for scoring; callers check the
+	// context before ranking.
+	Ctx context.Context
 }
 
 func (o LeagueOptions) fill() LeagueOptions {
@@ -156,14 +162,22 @@ func RunMatrix(entrants []Entrant, scenarios []netem.Scenario, opt LeagueOptions
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if opt.Ctx != nil && opt.Ctx.Err() != nil {
+					continue
+				}
 				ro := opt.Rollout
 				ro.Intervals = opt.Intervals
+				ro.Ctx = opt.Ctx
 				results[j.e][j.s] = entrants[j.e].Run(scenarios[j.s], ro)
 			}
 		}()
 	}
+dispatch:
 	for e := 0; e < nE; e++ {
 		for s := 0; s < nS; s++ {
+			if opt.Ctx != nil && opt.Ctx.Err() != nil {
+				break dispatch
+			}
 			jobs <- job{e, s}
 		}
 	}

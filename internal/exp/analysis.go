@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -150,8 +151,8 @@ func (a *Artifacts) GranularityModels() map[string]*core.Model {
 		out[v.name] = a.memo(v.name, func() *core.Model {
 			grCfg := gr.Config{}.WithUniformWindow(v.window)
 			scens := append(a.S.SetI(), a.S.SetII()...)
-			pool := collector.Collect(cc.PoolNames(), scens,
-				collector.Options{GR: grCfg, Parallel: a.S.Parallel})
+			pool := mustCollect(collector.Collect(context.Background(), cc.PoolNames(), scens,
+				collector.Options{GR: grCfg, Parallel: a.S.Parallel}))
 			return core.Train(pool, core.Config{GR: grCfg, CRR: a.S.crr()}, nil)
 		})
 	}

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"sage/internal/cc"
@@ -61,7 +63,7 @@ func (a *Artifacts) Pool() *collector.Pool {
 		return p
 	}
 	scens := append(a.S.SetI(), a.S.SetII()...)
-	p = collector.Collect(cc.PoolNames(), scens, collector.Options{Parallel: a.S.Parallel})
+	p = mustCollect(collector.Collect(context.Background(), cc.PoolNames(), scens, collector.Options{Parallel: a.S.Parallel}))
 	a.mu.Lock()
 	if a.pool == nil {
 		a.pool = p
@@ -89,10 +91,48 @@ func (a *Artifacts) TrainOnPool(key string, pool *collector.Pool, cfg core.Confi
 	})
 }
 
+// baselineNames lists every learning baseline Baseline can build.
+var baselineNames = []string{"bc", "bc-top", "bc-top3", "bcv2", "onlinerl",
+	"aurora", "genet", "orca", "orcav2", "deepcc", "indigo", "indigov2"}
+
+// mustCollect unwraps a collector.Collect call whose inputs are
+// compile-time constants (PoolNames over a background context): an error
+// there is a programming bug, not a runtime condition.
+func mustCollect(p *collector.Pool, err error) *collector.Pool {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // Baseline builds (once) the named learning baseline of the ML league.
-// Known names: bc, bc-top, bc-top3, bcv2, onlinerl, aurora, genet, orca,
-// orcav2, deepcc, indigo, indigov2.
-func (a *Artifacts) Baseline(name string) *core.Model {
+// Unknown names return an error listing the known baselines instead of
+// panicking mid-suite.
+func (a *Artifacts) Baseline(name string) (*core.Model, error) {
+	known := false
+	for _, n := range baselineNames {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("exp: unknown baseline %q (known: %s)", name, strings.Join(baselineNames, ", "))
+	}
+	return a.baseline(name), nil
+}
+
+// mustBaseline is Baseline for the compile-time-constant names Entrant
+// dispatches on; the error path is unreachable there.
+func (a *Artifacts) mustBaseline(name string) *core.Model {
+	m, err := a.Baseline(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (a *Artifacts) baseline(name string) *core.Model {
 	s := a.S
 	bcCfg := func() rl.BCConfig {
 		return rl.BCConfig{Policy: s.Policy, Steps: s.BCSteps, Seed: s.Seed}
@@ -173,7 +213,8 @@ func (a *Artifacts) Baseline(name string) *core.Model {
 			})
 			return core.WrapPolicy(pol, nil, gr.Config{})
 		}
-		panic(fmt.Sprintf("exp: unknown baseline %q", name))
+		// Unreachable: Baseline validated name against baselineNames.
+		return nil
 	})
 }
 
@@ -193,11 +234,11 @@ func (a *Artifacts) Entrant(name string) eval.Entrant {
 		return eval.ControllerEntrant("sage", func() rollout.Controller { return model.NewAgent(a.S.Seed) })
 	case "orca", "orcav2", "deepcc":
 		// Hybrids deploy their controller on top of Cubic, as trained.
-		model := a.Baseline(name)
+		model := a.mustBaseline(name)
 		return eval.HybridEntrant(name, "cubic", func() rollout.Controller { return model.NewAgent(a.S.Seed) })
 	case "bc", "bc-top", "bc-top3", "bcv2", "onlinerl", "aurora", "genet",
 		"indigo", "indigov2":
-		model := a.Baseline(name)
+		model := a.mustBaseline(name)
 		return eval.ControllerEntrant(name, func() rollout.Controller { return model.NewAgent(a.S.Seed) })
 	default:
 		return eval.SchemeEntrant(name)

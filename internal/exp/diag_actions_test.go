@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -41,7 +42,7 @@ func TestDiagDeployActions(t *testing.T) {
 	}
 	ds := rl.BuildDataset(pool, nil)
 	learner := rl.NewCRR(ds, s.crr())
-	learner.Train(ds, nil)
+	learner.Train(context.Background(), ds, nil)
 	model := &core.Model{Policy: learner.Policy, Mask: ds.Mask, GR: pool.GR}
 
 	// Pool-state policy means + Q diagnostics.

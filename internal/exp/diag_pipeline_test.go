@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -22,7 +23,10 @@ func diagGetPool(t *testing.T) *collector.Pool {
 	}
 	s := Quick()
 	scens := append(s.SetI(), s.SetII()...)
-	p := collector.Collect(cc.PoolNames(), scens, collector.Options{})
+	p, err := collector.Collect(context.Background(), cc.PoolNames(), scens, collector.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := p.Save(diagPool); err != nil {
 		t.Fatal(err)
 	}

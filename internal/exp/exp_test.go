@@ -81,10 +81,19 @@ func TestArtifactsMemoization(t *testing.T) {
 	if m1 != m2 {
 		t.Fatal("sage not memoized")
 	}
-	b1 := a.Baseline("bc")
-	b2 := a.Baseline("bc")
+	b1, err := a.Baseline("bc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Baseline("bc")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b1 != b2 {
 		t.Fatal("baseline not memoized")
+	}
+	if _, err := a.Baseline("no-such-baseline"); err == nil {
+		t.Fatal("unknown baseline must error")
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"sync"
 
@@ -85,7 +86,7 @@ func Fig07(a *Artifacts, epochs int) *Table {
 	heurMatrix := a.matrixOf("pool13", heur)
 	for e := 1; e <= epochs; e++ {
 		learner.Cfg.Steps = perEpoch
-		learner.Train(ds, nil)
+		learner.Train(context.Background(), ds, nil)
 		model := &core.Model{Policy: learner.Policy, Mask: ds.Mask, GR: pool.GR}
 		entrants := append([]eval.Entrant{a.ModelEntrant("sage", model)}, heur...)
 		// Reuse the heuristics' cached rollouts: rebuild a matrix with Sage

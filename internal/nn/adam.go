@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam is the Adam optimizer (Kingma & Ba 2015) over a module's parameters.
 type Adam struct {
@@ -43,6 +46,54 @@ func (a *Adam) Step(mod Module) {
 		}
 		p.ZeroGrad()
 	}
+}
+
+// AdamState is the optimizer's serializable state over one module's
+// parameters, in Params() order. Checkpoints persist it so a resumed
+// training run applies bitwise-identical updates — without the moments,
+// Adam re-warms over a few hundred steps and the resumed loss curve
+// diverges from the uninterrupted one.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// State snapshots the optimizer state for mod's parameters. Parameters the
+// optimizer has never stepped snapshot as empty slices.
+func (a *Adam) State(mod Module) AdamState {
+	st := AdamState{T: a.t}
+	for _, p := range mod.Params() {
+		st.M = append(st.M, append([]float64(nil), a.m[p]...))
+		st.V = append(st.V, append([]float64(nil), a.v[p]...))
+	}
+	return st
+}
+
+// Restore re-installs a snapshot taken with State onto mod's parameters.
+// A zero-value AdamState resets to a fresh optimizer (legacy checkpoints
+// that did not persist moments).
+func (a *Adam) Restore(mod Module, st AdamState) error {
+	ps := mod.Params()
+	a.m = make(map[*Param][]float64, len(ps))
+	a.v = make(map[*Param][]float64, len(ps))
+	a.t = st.T
+	if st.M == nil && st.V == nil {
+		return nil
+	}
+	if len(st.M) != len(ps) || len(st.V) != len(ps) {
+		return fmt.Errorf("nn: adam state has %d/%d tensors, module has %d", len(st.M), len(st.V), len(ps))
+	}
+	for i, p := range ps {
+		if len(st.M[i]) == 0 && len(st.V[i]) == 0 {
+			continue // never stepped at save time
+		}
+		if len(st.M[i]) != len(p.Data) || len(st.V[i]) != len(p.Data) {
+			return fmt.Errorf("nn: adam state tensor %d size mismatch (%d vs %d)", i, len(st.M[i]), len(p.Data))
+		}
+		a.m[p] = append([]float64(nil), st.M[i]...)
+		a.v[p] = append([]float64(nil), st.V[i]...)
+	}
+	return nil
 }
 
 // Normalizer standardizes feature vectors with statistics estimated from the

@@ -1,10 +1,9 @@
 package nn
 
 import (
-	"compress/gzip"
-	"encoding/gob"
 	"fmt"
-	"os"
+
+	"sage/internal/safeio"
 )
 
 // policyBlob is the on-disk form of a trained policy.
@@ -65,34 +64,17 @@ func CloneCritic(c *Critic) *Critic {
 	return q
 }
 
+// writeGob persists v through safeio: atomic rename, checksummed payload.
 func writeGob(path string, v any) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := safeio.WriteGobGz(path, v); err != nil {
 		return fmt.Errorf("nn: save: %w", err)
 	}
-	defer f.Close()
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(v); err != nil {
-		return fmt.Errorf("nn: encode: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 func readGob(path string, v any) error {
-	f, err := os.Open(path)
-	if err != nil {
+	if err := safeio.ReadGobGz(path, v); err != nil {
 		return fmt.Errorf("nn: load: %w", err)
-	}
-	defer f.Close()
-	zr, err := gzip.NewReader(f)
-	if err != nil {
-		return fmt.Errorf("nn: gzip: %w", err)
-	}
-	if err := gob.NewDecoder(zr).Decode(v); err != nil {
-		return fmt.Errorf("nn: decode: %w", err)
 	}
 	return nil
 }

@@ -1,18 +1,22 @@
 package rl
 
 import (
-	"compress/gzip"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
+	"strings"
 
 	"sage/internal/nn"
+	"sage/internal/safeio"
 )
 
 // checkpointBlob serializes a learner mid-training: both online networks,
-// both targets, and the normalizer — enough to resume a long (paper-scale)
-// training run across process restarts. Optimizer moments are intentionally
-// not saved; Adam re-warms within a few hundred steps.
+// both targets, the normalizer, the Adam moments of both optimizers, and
+// every RNG stream position — enough to resume a long (paper-scale)
+// training run across process restarts with a bitwise-identical loss
+// curve. Checkpoints from before the full-state format (HasFullState
+// false, including legacy raw-gzip files) still load, but resume from
+// them re-warms Adam and reseeds the samplers.
 type checkpointBlob struct {
 	Cfg        CRRConfig
 	Norm       nn.Normalizer
@@ -21,6 +25,11 @@ type checkpointBlob struct {
 	Critic     [][]float64
 	TargetCrit [][]float64
 	StepsDone  int
+
+	HasFullState bool
+	OptPi, OptQ  nn.AdamState
+	RNG          uint64
+	WorkerRNG    []uint64
 }
 
 func dumpParams(m nn.Module) [][]float64 {
@@ -45,14 +54,20 @@ func loadParams(m nn.Module, data [][]float64) error {
 	return nil
 }
 
-// SaveCheckpoint writes the learner's full training state to path.
+// SaveCheckpoint atomically writes the learner's full training state to
+// path (write-temp → fsync → rename, checksummed): a crash mid-save
+// leaves the previous checkpoint intact.
 func (l *CRR) SaveCheckpoint(path string, stepsDone int) error {
 	blob := checkpointBlob{
-		Cfg:       l.Cfg,
-		Norm:      *l.Policy.Norm,
-		Policy:    dumpParams(l.Policy),
-		TargetPol: dumpParams(l.targetPolicy),
-		StepsDone: stepsDone,
+		Cfg:          l.Cfg,
+		Norm:         *l.Policy.Norm,
+		Policy:       dumpParams(l.Policy),
+		TargetPol:    dumpParams(l.targetPolicy),
+		StepsDone:    stepsDone,
+		HasFullState: true,
+		OptPi:        l.optPi.State(l.Policy),
+		OptQ:         l.optQ.State(l.criticModule()),
+		RNG:          l.rngSrc.State(),
 	}
 	if l.Critic != nil {
 		blob.Critic = dumpParams(l.Critic)
@@ -61,52 +76,51 @@ func (l *CRR) SaveCheckpoint(path string, stepsDone int) error {
 		blob.Critic = dumpParams(l.NAF)
 		blob.TargetCrit = dumpParams(l.targetNAF)
 	}
-	// Close the file exactly once: the previous defer f.Close() +
-	// return f.Close() pattern closed it twice, and the deferred close
-	// swallowed write-back errors on the success path.
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("rl: checkpoint: %w", err)
+	for _, w := range l.workerSet {
+		blob.WorkerRNG = append(blob.WorkerRNG, w.src.State())
 	}
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(&blob); err != nil {
-		f.Close()
-		return fmt.Errorf("rl: checkpoint encode: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		f.Close()
-		return fmt.Errorf("rl: checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
+	if err := safeio.WriteGobGz(path, &blob); err != nil {
 		return fmt.Errorf("rl: checkpoint: %w", err)
 	}
 	return nil
 }
+
+// SaveCheckpointRotate is SaveCheckpoint with generation rotation: the
+// existing path is shifted to path.1, path.1 to path.2, …, keeping at
+// most keep previous generations. If the newest checkpoint is later found
+// corrupt (torn disk, bit rot), LoadCheckpointAuto falls back to a
+// rotated predecessor instead of failing the run.
+func (l *CRR) SaveCheckpointRotate(path string, stepsDone, keep int) error {
+	if keep > 0 {
+		os.Remove(rotName(path, keep))
+		for k := keep - 1; k >= 1; k-- {
+			os.Rename(rotName(path, k), rotName(path, k+1))
+		}
+		os.Rename(path, rotName(path, 1))
+	}
+	return l.SaveCheckpoint(path, stepsDone)
+}
+
+func rotName(path string, k int) string { return fmt.Sprintf("%s.%d", path, k) }
 
 // LoadCheckpoint reconstructs a learner from a checkpoint written by
 // SaveCheckpoint, returning it and the number of completed steps. The
 // dataset must be the same pool (or at least the same input layout) the
 // checkpoint was trained on.
 func LoadCheckpoint(path string, ds *Dataset) (*CRR, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, fmt.Errorf("rl: checkpoint: %w", err)
-	}
-	defer f.Close()
-	zr, err := gzip.NewReader(f)
-	if err != nil {
-		return nil, 0, fmt.Errorf("rl: checkpoint gzip: %w", err)
-	}
 	var blob checkpointBlob
-	if err := gob.NewDecoder(zr).Decode(&blob); err != nil {
-		return nil, 0, fmt.Errorf("rl: checkpoint decode: %w", err)
+	if err := safeio.ReadGobGz(path, &blob); err != nil {
+		return nil, 0, fmt.Errorf("rl: checkpoint: %w", err)
 	}
 	l := NewCRR(ds, blob.Cfg)
 	l.Policy.Norm = &blob.Norm
+	l.targetPolicy.Norm = &blob.Norm
 	if l.Critic != nil {
 		l.Critic.Norm = &blob.Norm
+		l.targetCritic.Norm = &blob.Norm
 	} else {
 		l.NAF.Norm = &blob.Norm
+		l.targetNAF.Norm = &blob.Norm
 	}
 	if err := loadParams(l.Policy, blob.Policy); err != nil {
 		return nil, 0, err
@@ -126,5 +140,56 @@ func LoadCheckpoint(path string, ds *Dataset) (*CRR, int, error) {
 	if err := loadParams(tcrit, blob.TargetCrit); err != nil {
 		return nil, 0, err
 	}
+	l.stepIdx = blob.StepsDone
+	if blob.HasFullState {
+		if err := l.optPi.Restore(l.Policy, blob.OptPi); err != nil {
+			return nil, 0, fmt.Errorf("rl: checkpoint optimizer: %w", err)
+		}
+		if err := l.optQ.Restore(l.criticModule(), blob.OptQ); err != nil {
+			return nil, 0, fmt.Errorf("rl: checkpoint optimizer: %w", err)
+		}
+		l.rngSrc.SetState(blob.RNG)
+		l.resumeWorkerRNG = blob.WorkerRNG
+	}
 	return l, blob.StepsDone, nil
 }
+
+// LoadCheckpointAuto loads the newest checkpoint at path, falling back to
+// rotated predecessors (path.1, path.2, …) when a file is corrupt or
+// truncated. It returns the path actually loaded so callers can report
+// the fallback. A missing path (and no rotations) returns an error
+// wrapping fs.ErrNotExist, which callers treat as "fresh start".
+func LoadCheckpointAuto(path string, ds *Dataset) (*CRR, int, string, error) {
+	var attempts []string
+	found := false
+	for k := 0; ; k++ {
+		p := path
+		if k > 0 {
+			p = rotName(path, k)
+		}
+		if _, err := os.Stat(p); err != nil {
+			if k == 0 {
+				// The newest file can be missing mid-rotation (crash
+				// between rename and rewrite); the rotations may still
+				// hold a good generation.
+				continue
+			}
+			break
+		}
+		found = true
+		l, steps, err := LoadCheckpoint(p, ds)
+		if err == nil {
+			return l, steps, p, nil
+		}
+		attempts = append(attempts, err.Error())
+	}
+	if !found {
+		return nil, 0, "", fmt.Errorf("rl: checkpoint %s: %w", path, os.ErrNotExist)
+	}
+	return nil, 0, "", fmt.Errorf("rl: no loadable checkpoint at %s (tried %d generation(s)): %s",
+		path, len(attempts), strings.Join(attempts, "; "))
+}
+
+// IsNotExist reports whether a LoadCheckpointAuto error just means "no
+// checkpoint yet" (fresh start) rather than corruption.
+func IsNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }

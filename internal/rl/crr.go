@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -107,10 +108,14 @@ type CRR struct {
 	targetNAF    *nn.NAFCritic
 
 	rng       *rand.Rand
+	rngSrc    *rngSource // rng's source, snapshot-able for checkpoints
 	optPi     *nn.Adam
 	optQ      *nn.Adam
 	workerSet []*worker
-	stepIdx   int
+	// resumeWorkerRNG holds checkpointed per-worker RNG positions until the
+	// worker set is (lazily) built.
+	resumeWorkerRNG []uint64
+	stepIdx         int
 	// Diagnostics updated each Train step.
 	LastCriticLoss float64
 	LastPolicyLoss float64
@@ -170,10 +175,12 @@ func NewCRR(ds *Dataset, cfg CRRConfig) *CRR {
 	cfg.Critic.Seed = cfg.Seed
 	cfg.NAF.InDim = ds.InDim()
 	cfg.NAF.Seed = cfg.Seed
+	src := newRNG(cfg.Seed + 101)
 	l := &CRR{
 		Cfg:    cfg,
 		Policy: nn.NewPolicy(cfg.Policy),
-		rng:    rand.New(rand.NewSource(cfg.Seed + 101)),
+		rng:    rand.New(src),
+		rngSrc: src,
 	}
 	l.Policy.Norm = ds.Norm
 	l.targetPolicy = nn.ClonePolicy(l.Policy)
@@ -206,15 +213,24 @@ func (l *CRR) criticModule() nn.Module {
 	return l.Critic
 }
 
-// Train runs cfg.Steps gradient steps over the dataset. The progress
-// callback (optional) receives (step, criticLoss, policyLoss).
-func (l *CRR) Train(ds *Dataset, progress func(step int, criticLoss, policyLoss float64)) {
+// Train runs cfg.Steps gradient steps over the dataset, stopping early
+// (after completing the in-flight step) when ctx is cancelled — the
+// SIGINT path saves a checkpoint at that point and resumes later. A nil
+// ctx trains to completion. The progress callback (optional) receives
+// (step, criticLoss, policyLoss).
+func (l *CRR) Train(ctx context.Context, ds *Dataset, progress func(step int, criticLoss, policyLoss float64)) {
 	for step := 1; step <= l.Cfg.Steps; step++ {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
 		cl, pl := l.step(ds)
 		if progress != nil {
 			progress(step, cl, pl)
 		}
-		if step%l.Cfg.TargetEvery == 0 {
+		// Target syncs are scheduled on the absolute step index (stepIdx
+		// survives checkpoint resume), so a resumed run syncs at the same
+		// global steps as an uninterrupted one.
+		if l.stepIdx%l.Cfg.TargetEvery == 0 {
 			nn.CopyParams(l.targetPolicy, l.Policy)
 			if l.Critic != nil {
 				nn.CopyParams(l.targetCritic, l.Critic)
@@ -225,6 +241,10 @@ func (l *CRR) Train(ds *Dataset, progress func(step int, criticLoss, policyLoss 
 		}
 	}
 }
+
+// StepsDone returns the absolute number of gradient steps this learner has
+// applied, including steps restored from a checkpoint.
+func (l *CRR) StepsDone() int { return l.stepIdx }
 
 // netSet is one worker's view of the trainable networks (the targets are
 // shared and only read).

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math/rand"
 
 	"sage/internal/cc"
@@ -95,7 +96,7 @@ func TrainOnlineRL(cfg OnlineRLConfig) *nn.Policy {
 		steps := cfg.StepsPer
 		saved := learner.Cfg.Steps
 		learner.Cfg.Steps = steps
-		learner.Train(ds, nil)
+		learner.Train(context.Background(), ds, nil)
 		learner.Cfg.Steps = saved
 	}
 	if learner == nil {

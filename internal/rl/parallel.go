@@ -12,6 +12,7 @@ import (
 type worker struct {
 	nets netSet
 	rng  *rand.Rand
+	src  *rngSource // rng's source, snapshot-able for checkpoints
 }
 
 func (l *CRR) workers() []*worker {
@@ -20,7 +21,8 @@ func (l *CRR) workers() []*worker {
 	}
 	ws := make([]*worker, l.Cfg.Workers)
 	for i := range ws {
-		w := &worker{rng: rand.New(rand.NewSource(l.Cfg.Seed + int64(i)*7907 + 11))}
+		src := newRNG(l.Cfg.Seed + int64(i)*7907 + 11)
+		w := &worker{rng: rand.New(src), src: src}
 		w.nets.policy = nn.ClonePolicy(l.Policy)
 		if l.Critic != nil {
 			w.nets.critic = nn.CloneCritic(l.Critic)
@@ -30,6 +32,15 @@ func (l *CRR) workers() []*worker {
 		}
 		ws[i] = w
 	}
+	// A checkpoint taken mid-parallel-training recorded each worker's
+	// sampler position; restore them so the resumed run draws the same
+	// per-worker batch sequences.
+	if len(l.resumeWorkerRNG) == len(ws) {
+		for i, s := range l.resumeWorkerRNG {
+			ws[i].src.SetState(s)
+		}
+	}
+	l.resumeWorkerRNG = nil
 	l.workerSet = ws
 	return ws
 }

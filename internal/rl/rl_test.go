@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -20,7 +21,11 @@ func tinyScenarios() []netem.Scenario {
 
 func tinyPool(t *testing.T) *collector.Pool {
 	t.Helper()
-	return collector.Collect([]string{"cubic", "vegas"}, tinyScenarios(), collector.Options{})
+	p, err := collector.Collect(context.Background(), []string{"cubic", "vegas"}, tinyScenarios(), collector.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func tinyPolicyCfg() nn.PolicyConfig {
@@ -93,7 +98,7 @@ func TestCRRPrefersHighRewardActions(t *testing.T) {
 		Critic: nn.CriticConfig{Hidden: 16, Atoms: 11},
 		Steps:  400, Batch: 8, SeqLen: 2, Seed: 3,
 	})
-	learner.Train(ds, nil)
+	learner.Train(context.Background(), ds, nil)
 	// The critic must rank the good action above the bad one.
 	s := []float64{1, -1}
 	if qGood, qBad := learner.QValue(s, 0.5), learner.QValue(s, -0.5); qGood <= qBad {
@@ -228,7 +233,7 @@ func TestParallelTrainingMatchesShapes(t *testing.T) {
 		Steps:  20, Batch: 8, SeqLen: 4, Workers: 4, Seed: 9,
 	}
 	learner := NewCRR(ds, cfg)
-	learner.Train(ds, nil)
+	learner.Train(context.Background(), ds, nil)
 	if learner.LastCriticLoss != learner.LastCriticLoss { // NaN guard
 		t.Fatal("NaN critic loss under parallel training")
 	}
@@ -265,7 +270,7 @@ func TestParallelAndSerialBothLearnBandit(t *testing.T) {
 		Policy: nn.PolicyConfig{Enc: 8, Hidden: 4, ResBlocks: 1, K: 2},
 		Steps:  400, Batch: 8, SeqLen: 2, Workers: 4, Seed: 3,
 	})
-	learner.Train(ds, nil)
+	learner.Train(context.Background(), ds, nil)
 	s := []float64{1, -1}
 	if qG, qB := learner.QValue(s, 0.5), learner.QValue(s, -0.5); qG <= qB {
 		t.Fatalf("parallel critic ranking wrong: %v <= %v", qG, qB)
@@ -282,7 +287,7 @@ func TestTrainStatsTelemetry(t *testing.T) {
 		})
 		var got []TrainStats
 		learner.OnStep = func(s TrainStats) { got = append(got, s) }
-		learner.Train(ds, nil)
+		learner.Train(context.Background(), ds, nil)
 		if len(got) != 10 {
 			t.Fatalf("workers=%d: %d stats records, want 10", workers, len(got))
 		}
@@ -331,7 +336,7 @@ func TestStatsHookDoesNotPerturbTraining(t *testing.T) {
 			learner.OnStep = func(TrainStats) {}
 		}
 		var losses []float64
-		learner.Train(ds, func(step int, cl, pl float64) { losses = append(losses, cl, pl) })
+		learner.Train(context.Background(), ds, func(step int, cl, pl float64) { losses = append(losses, cl, pl) })
 		return losses
 	}
 	a, b := run(false), run(true)
@@ -347,7 +352,7 @@ func TestCheckpointResume(t *testing.T) {
 	ds := BuildDataset(pool, nil)
 	cfg := CRRConfig{Policy: tinyPolicyCfg(), Steps: 20, Batch: 4, SeqLen: 4, Seed: 6}
 	learner := NewCRR(ds, cfg)
-	learner.Train(ds, nil)
+	learner.Train(context.Background(), ds, nil)
 
 	path := t.TempDir() + "/ckpt.gob.gz"
 	if err := learner.SaveCheckpoint(path, 20); err != nil {
@@ -375,8 +380,78 @@ func TestCheckpointResume(t *testing.T) {
 	}
 	// And training can continue.
 	resumed.Cfg.Steps = 5
-	resumed.Train(ds, nil)
+	resumed.Train(context.Background(), ds, nil)
 	if _, _, err := LoadCheckpoint(t.TempDir()+"/missing", ds); err == nil {
 		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+// TestResumeBitwiseDeterministic is the checkpoint contract: training N
+// steps uninterrupted and training K steps → checkpoint → reload → N−K
+// steps produce identical loss sequences, serial and data-parallel alike.
+// It holds because checkpoints carry the Adam moments, every RNG stream
+// position, and the absolute step index the target-network sync schedule
+// keys off.
+func TestResumeBitwiseDeterministic(t *testing.T) {
+	pool := tinyPool(t)
+	ds := BuildDataset(pool, nil)
+	for _, workers := range []int{1, 3} {
+		cfg := CRRConfig{Policy: tinyPolicyCfg(), Steps: 12, Batch: 4, SeqLen: 4, Seed: 17, Workers: workers}
+
+		ref := NewCRR(ds, cfg)
+		var want []float64
+		ref.Train(context.Background(), ds, func(step int, cl, pl float64) { want = append(want, cl, pl) })
+		if len(want) != 24 {
+			t.Fatalf("workers=%d: reference recorded %d losses", workers, len(want))
+		}
+
+		head := NewCRR(ds, cfg)
+		head.Cfg.Steps = 5
+		var got []float64
+		head.Train(context.Background(), ds, func(step int, cl, pl float64) { got = append(got, cl, pl) })
+		path := t.TempDir() + "/ckpt.gob.gz"
+		if err := head.SaveCheckpoint(path, head.StepsDone()); err != nil {
+			t.Fatal(err)
+		}
+		resumed, steps, err := LoadCheckpoint(path, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps != 5 {
+			t.Fatalf("workers=%d: resumed at step %d", workers, steps)
+		}
+		resumed.Cfg.Steps = cfg.Steps - steps
+		resumed.Train(context.Background(), ds, func(step int, cl, pl float64) { got = append(got, cl, pl) })
+
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d losses vs %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: loss %d differs after resume: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTrainCancellation: a cancelled context stops training between
+// gradient steps, and StepsDone reports exactly how far it got.
+func TestTrainCancellation(t *testing.T) {
+	pool := tinyPool(t)
+	ds := BuildDataset(pool, nil)
+	learner := NewCRR(ds, CRRConfig{Policy: tinyPolicyCfg(), Steps: 1000, Batch: 4, SeqLen: 4, Seed: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	learner.Train(ctx, ds, func(step int, cl, pl float64) {
+		ran = step
+		if step == 3 {
+			cancel()
+		}
+	})
+	if ran != 3 {
+		t.Fatalf("trained %d steps after cancel at 3", ran)
+	}
+	if learner.StepsDone() != 3 {
+		t.Fatalf("StepsDone = %d", learner.StepsDone())
 	}
 }

@@ -1,0 +1,32 @@
+package rl
+
+// rngSource is a splitmix64 PRNG implementing rand.Source64 with
+// snapshot-able state. math/rand's default source hides its state, so a
+// checkpoint could not capture "where the sampler was" and a resumed run
+// would draw a different batch sequence; with this source the checkpoint
+// stores one uint64 per stream and resume is bitwise-deterministic.
+// (rand.Rand adds no hidden state of its own on the Intn/Float64 paths the
+// learner uses — every draw maps directly onto Source64 outputs.)
+type rngSource struct{ s uint64 }
+
+func newRNG(seed int64) *rngSource {
+	return &rngSource{s: uint64(seed)}
+}
+
+func (r *rngSource) Seed(s int64) { r.s = uint64(s) }
+
+func (r *rngSource) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rngSource) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// State returns the stream position for checkpointing.
+func (r *rngSource) State() uint64 { return r.s }
+
+// SetState rewinds/advances the stream to a checkpointed position.
+func (r *rngSource) SetState(s uint64) { r.s = s }

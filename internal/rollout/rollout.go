@@ -6,6 +6,8 @@
 package rollout
 
 import (
+	"context"
+
 	"sage/internal/cc"
 	"sage/internal/gr"
 	"sage/internal/netem"
@@ -53,6 +55,10 @@ type Result struct {
 	Steps         []gr.Step // GR trajectory (when GR collection is on)
 	Series        []Sample  // sampled dynamics (when SamplePeriod > 0)
 	BgThroughput  []float64 // per-background-flow receiver throughput (bps)
+	// Interrupted reports that Options.Ctx was cancelled mid-rollout: the
+	// aggregates cover only the simulated window that actually ran, and
+	// consumers (the collector) must not treat the trajectory as complete.
+	Interrupted bool
 }
 
 // Options tunes a rollout.
@@ -70,6 +76,10 @@ type Options struct {
 	// queue occupancy. Recording reads snapshots only; it cannot perturb
 	// the simulation.
 	Trace *telemetry.FlowTrace
+	// Ctx, when non-nil, is polled once per GR interval; cancellation
+	// stops the simulation early and marks the Result Interrupted, so
+	// SIGINT can drain a campaign without killing rollouts mid-event.
+	Ctx context.Context
 }
 
 // Run executes the scenario with the flow under test using ccUnderTest.
@@ -146,6 +156,10 @@ func Run(sc netem.Scenario, ccUnderTest tcp.CongestionControl, opt Options) Resu
 	bi := 0
 
 	for now := start + interval; now <= sc.Duration; now += interval {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		loop.RunUntil(now)
 		step := mon.Tick(now)
 		if opt.Controller != nil {

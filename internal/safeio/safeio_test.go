@@ -1,0 +1,196 @@
+package safeio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path string, payload []byte) {
+	t.Helper()
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.bin")
+	payload := []byte("the pool of policies")
+	write(t, path, payload)
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	// No temp files left behind.
+	ents, _ := os.ReadDir(filepath.Dir(path))
+	if len(ents) != 1 {
+		t.Fatalf("leftover files: %v", ents)
+	}
+}
+
+func TestEmptyPayloadRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	write(t, path, nil)
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("payload = %q, want empty", got)
+	}
+}
+
+func TestFlippedByteIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.bin")
+	write(t, path, []byte("some payload worth protecting"))
+	raw, _ := os.ReadFile(path)
+	raw[len(magic)+3] ^= 0x40
+	os.WriteFile(path, raw, 0o644)
+	_, err := ReadFile(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.bin")
+	write(t, path, bytes.Repeat([]byte("x"), 4096))
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)/2], 0o644)
+	if _, err := ReadFile(path); !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want truncation/corruption", err)
+	}
+}
+
+func TestEmptyFileIsTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.bin")
+	os.WriteFile(path, nil, 0o644)
+	if _, err := ReadFile(path); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestForeignFileIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.bin")
+	os.WriteFile(path, []byte("#!/bin/sh\necho not an artifact\n"), 0o644)
+	if _, err := ReadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLegacyGzipPassthrough(t *testing.T) {
+	// Artifacts written before the container format are raw gzip; they must
+	// still load, unverified.
+	path := filepath.Join(t.TempDir(), "legacy.gob.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(map[string]int{"steps": 7}); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	os.WriteFile(path, buf.Bytes(), 0o644)
+
+	var got map[string]int
+	if err := ReadGobGz(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["steps"] != 7 {
+		t.Fatalf("legacy decode = %v", got)
+	}
+}
+
+func TestGobGzRoundTrip(t *testing.T) {
+	type blob struct {
+		Name  string
+		Vals  []float64
+		Steps int
+	}
+	path := filepath.Join(t.TempDir(), "b.gob.gz")
+	in := blob{Name: "ckpt", Vals: []float64{1, 2.5, -3}, Steps: 42}
+	if err := WriteGobGz(path, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out blob
+	if err := ReadGobGz(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Steps != in.Steps || len(out.Vals) != 3 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestWriteErrorLeavesOldFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.bin")
+	write(t, path, []byte("generation one"))
+	err := WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("half of generation tw"))
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("write error swallowed")
+	}
+	got, rerr := ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "generation one" {
+		t.Fatalf("old artifact clobbered: %q", got)
+	}
+	ents, _ := os.ReadDir(filepath.Dir(path))
+	if len(ents) != 1 {
+		t.Fatalf("temp file leaked: %v", ents)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestWriteFileRawIsPlain(t *testing.T) {
+	// Raw mode: the file holds exactly the payload (interchange exports
+	// must stay readable by external tools), still written atomically.
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := WriteFileRaw(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "{\"t\":1}\n{\"t\":2}\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "{\"t\":1}\n{\"t\":2}\n" {
+		t.Fatalf("raw export altered: %q", raw)
+	}
+	// And the atomic guarantee still holds.
+	werr := WriteFileRaw(path, func(w io.Writer) error {
+		io.WriteString(w, "{\"t\":3}")
+		return errors.New("boom")
+	})
+	if werr == nil {
+		t.Fatal("error swallowed")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != string(raw) {
+		t.Fatalf("old export clobbered: %q", got)
+	}
+}

@@ -8,7 +8,7 @@
 //
 //	scens := append(sage.SetI(sage.GridSmall, 10*sage.Second),
 //	                sage.SetII(sage.GridSmall, 30*sage.Second)...)
-//	pool  := sage.Collect(sage.PoolSchemes(), scens)       // phase 1
+//	pool, _ := sage.Collect(sage.PoolSchemes(), scens)     // phase 1
 //	model := sage.Train(pool, sage.TrainConfig{})          // phase 2 (offline)
 //	res   := sage.Deploy(model, scens[0])                  // phase 3
 //
@@ -18,6 +18,8 @@
 package sage
 
 import (
+	"context"
+
 	"sage/internal/cc"
 	"sage/internal/collector"
 	"sage/internal/core"
@@ -75,8 +77,10 @@ func SetII(level GridLevel, duration Time) []Scenario {
 }
 
 // Collect runs the Policy Collector: every scheme through every scenario.
-func Collect(schemes []string, scenarios []Scenario) *Pool {
-	return collector.Collect(schemes, scenarios, collector.Options{})
+// Unknown scheme names are rejected up front with an error naming the
+// registered schemes.
+func Collect(schemes []string, scenarios []Scenario) (*Pool, error) {
+	return collector.Collect(context.Background(), schemes, scenarios, collector.Options{})
 }
 
 // Train runs the offline CRR learner on the pool.

@@ -11,7 +11,10 @@ func TestPublicPipeline(t *testing.T) {
 	if len(scens) == 0 {
 		t.Fatal("no scenarios")
 	}
-	pool := Collect([]string{"cubic", "vegas"}, scens[:6])
+	pool, err := Collect([]string{"cubic", "vegas"}, scens[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pool.Transitions() == 0 {
 		t.Fatal("empty pool")
 	}
