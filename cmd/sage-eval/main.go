@@ -8,6 +8,15 @@
 //	sage-eval -model sage.model -scenario flat-24mbps-20ms-1bdp
 //	sage-eval -model sage.model -scenario flat-24mbps-20ms-1bdp -trace flow.jsonl
 //	sage-eval -model sage.model -metrics league.jsonl -pprof :6060
+//	sage-eval -model sage.model -experiment robustness
+//
+// With -experiment robustness, the model runs bare, wrapped in the
+// runtime guardian (internal/guard), and against Cubic across the
+// adversarial scenario grid (link flaps, blackouts, reordering, ACK
+// loss/duplication, Gilbert-Elliott burst loss); the report covers
+// completion rate, stall time, and guardian trip/restore counts, and
+// -metrics captures per-run records plus every trip/restore event as
+// JSONL.
 //
 // With -trace (single-scenario mode), every GR tick of the flow under test
 // is exported — cwnd, srtt, inflight, delivery rate, losses, queue
@@ -30,6 +39,7 @@ import (
 	"sage/internal/cc"
 	"sage/internal/core"
 	"sage/internal/eval"
+	"sage/internal/exp"
 	"sage/internal/netem"
 	"sage/internal/rollout"
 	"sage/internal/safeio"
@@ -39,19 +49,20 @@ import (
 
 func main() {
 	var (
-		modelPath = flag.String("model", "sage.model", "trained model file")
-		level     = flag.String("level", "tiny", "grid density: tiny|small|full")
-		setIDur   = flag.Duration("seti-dur", 10*time.Second, "Set I duration")
-		setIIDur  = flag.Duration("setii-dur", 30*time.Second, "Set II duration")
-		scenario  = flag.String("scenario", "", "run a single named scenario instead of the league")
-		margin    = flag.Float64("margin", 0.10, "winner margin")
-		alpha     = flag.Float64("alpha", 2, "power-score exponent")
-		parallel  = flag.Int("parallel", 0, "workers (0 = NumCPU)")
-		seed      = flag.Int64("seed", 1, "seed")
-		tracePath = flag.String("trace", "", "single-scenario mode: write the per-tick flow trace to this file (.csv for CSV, else JSONL)")
-		traceStep = flag.Duration("trace-period", 0, "decimate the flow trace to one sample per period (0 = every GR tick)")
-		metrics   = flag.String("metrics", "", "league mode: write per-scheme winning rates as JSONL to this file")
-		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
+		modelPath  = flag.String("model", "sage.model", "trained model file")
+		level      = flag.String("level", "tiny", "grid density: tiny|small|full")
+		setIDur    = flag.Duration("seti-dur", 10*time.Second, "Set I duration")
+		setIIDur   = flag.Duration("setii-dur", 30*time.Second, "Set II duration")
+		scenario   = flag.String("scenario", "", "run a single named scenario instead of the league")
+		margin     = flag.Float64("margin", 0.10, "winner margin")
+		alpha      = flag.Float64("alpha", 2, "power-score exponent")
+		parallel   = flag.Int("parallel", 0, "workers (0 = NumCPU)")
+		seed       = flag.Int64("seed", 1, "seed")
+		tracePath  = flag.String("trace", "", "single-scenario mode: write the per-tick flow trace to this file (.csv for CSV, else JSONL)")
+		traceStep  = flag.Duration("trace-period", 0, "decimate the flow trace to one sample per period (0 = every GR tick)")
+		metrics    = flag.String("metrics", "", "league mode: write per-scheme winning rates as JSONL to this file")
+		pprofAddr  = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
+		experiment = flag.String("experiment", "", "run a named deployment experiment with the loaded model (supported: robustness)")
 	)
 	flag.Parse()
 
@@ -76,8 +87,38 @@ func main() {
 		os.Exit(1)
 	}
 	lvl := map[string]netem.GridLevel{"tiny": netem.GridTiny, "small": netem.GridSmall, "full": netem.GridFull}[*level]
+
+	if *experiment != "" {
+		if *experiment != "robustness" {
+			fmt.Fprintf(os.Stderr, "unknown -experiment %q (supported: robustness; the figure/table experiments live in sage-bench)\n", *experiment)
+			os.Exit(2)
+		}
+		var emit *telemetry.JSONL
+		if *metrics != "" {
+			emit, err = telemetry.CreateJSONL(*metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		for _, t := range exp.RobustnessWithModel(model, lvl, sim.FromSeconds(setIDur.Seconds()), *seed, emit) {
+			t.Fprint(os.Stdout)
+		}
+		if err := emit.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	setI := netem.SetI(netem.SetIOptions{Level: lvl, Duration: sim.FromSeconds(setIDur.Seconds()), Seed: *seed})
 	setII := netem.SetII(netem.SetIIOptions{Level: lvl, Duration: sim.FromSeconds(setIIDur.Seconds()), Seed: *seed})
+	// Reject nonsense before any rollout runs: flag-derived durations can
+	// produce scenarios that would otherwise silently misbehave.
+	if err := netem.ValidateAll(append(append([]netem.Scenario(nil), setI...), setII...)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	sage := eval.ControllerEntrant("sage", func() rollout.Controller { return model.NewAgent(*seed) })
 

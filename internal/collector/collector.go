@@ -119,6 +119,12 @@ func Collect(ctx context.Context, schemes []string, scenarios []netem.Scenario, 
 	if err := cc.Validate(schemes...); err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
 	}
+	// Scenarios are validated up front too: a nonsensical environment
+	// (zero duration, negative loss, TestStart past the end) would
+	// otherwise silently collect garbage trajectories or hang a worker.
+	if err := netem.ValidateAll(scenarios); err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
 	opt.GR = opt.GR.Fill()
 	if opt.Parallel == 0 {
 		opt.Parallel = runtime.NumCPU()

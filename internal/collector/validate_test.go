@@ -1,0 +1,28 @@
+package collector
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sage/internal/netem"
+	"sage/internal/sim"
+)
+
+// TestCollectRejectsInvalidScenario: scenario validation runs before any
+// rollout, so a nonsensical hand-built scenario fails fast with a
+// descriptive error instead of stalling a whole collection campaign.
+func TestCollectRejectsInvalidScenario(t *testing.T) {
+	bad := netem.Scenario{
+		Name:   "dead-link",
+		Rate:   netem.FlatRate(0), // could never carry a bit
+		MinRTT: 20 * sim.Millisecond,
+	}
+	_, err := Collect(context.Background(), []string{"cubic"}, []netem.Scenario{bad}, Options{})
+	if err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "dead-link") {
+		t.Fatalf("error %q does not name the offending scenario", err)
+	}
+}

@@ -4,10 +4,15 @@
 //
 // The full pipeline a user runs:
 //
-//	pool  := collector.Collect(cc.PoolNames(), scenarios, collector.Options{})
-//	model := core.Train(pool, core.Config{}, nil)
-//	agent := model.NewAgent(0)
-//	res   := rollout.Run(scenario, cc.MustNew("pure"), rollout.Options{Controller: agent})
+//	pool, err := collector.Collect(ctx, cc.PoolNames(), scenarios, collector.Options{})
+//	model  := core.Train(pool, core.Config{}, nil)
+//	agent  := model.NewAgent(0)
+//	pure, _ := cc.New("pure")
+//	res    := rollout.Run(scenario, pure, rollout.Options{Controller: agent})
+//
+// Production deployments wrap the agent in guard.New(agent, guard.Config{})
+// so a misbehaving inference falls back to a heuristic instead of
+// blackholing the connection (see internal/guard).
 package core
 
 import (
@@ -93,15 +98,7 @@ func (a *Agent) Control(now sim.Time, conn *tcp.Conn, state []float64) {
 	default:
 		u = a.model.Policy.GMM.Mean(head)
 	}
-	ratio := rl.UToRatio(u)
-	w := conn.Cwnd * ratio
-	if w < a.MinCwnd {
-		w = a.MinCwnd
-	}
-	if w > a.MaxCwnd {
-		w = a.MaxCwnd
-	}
-	conn.SetCwnd(w)
+	conn.SetCwnd(tcp.ClampCwnd(conn.Cwnd*rl.UToRatio(u), a.MinCwnd, a.MaxCwnd))
 }
 
 // LastHiddenEmbedding runs the policy on a state (stateful) and returns the

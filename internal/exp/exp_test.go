@@ -154,10 +154,13 @@ func TestFig19Runs(t *testing.T) {
 
 func TestSuiteRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Fatalf("experiments = %d", len(ids))
 	}
 	if _, err := Find("fig09"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("robustness"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Find("nope"); err == nil {

@@ -40,6 +40,7 @@ func Suite() []Experiment {
 		{"fig24_25", "friendliness dynamics samples", one(Fig24Fig25)},
 		{"fig27_28", "fairness/friendliness of other schemes", Fig27Fig28},
 		{"table2_3", "Set I rankings at α=3", Table2Table3},
+		{"robustness", "runtime guardian vs adversarial network faults", Robustness},
 	}
 }
 

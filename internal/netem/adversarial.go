@@ -1,0 +1,180 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sage/internal/sim"
+)
+
+// GilbertElliott parameterizes the classic two-state burst-loss model: the
+// channel alternates between a Good and a Bad state with per-packet
+// transition probabilities, dropping packets with a state-dependent
+// probability. It reproduces the clustered losses of wireless links, which
+// iid LossProb cannot: the same average loss rate arriving in bursts is far
+// harder on loss-based CC and on a learned policy that never saw it.
+type GilbertElliott struct {
+	PGoodBad float64 // per-packet P(Good → Bad)
+	PBadGood float64 // per-packet P(Bad → Good)
+	LossGood float64 // drop probability while Good (usually ~0)
+	LossBad  float64 // drop probability while Bad (the burst)
+}
+
+// Enabled reports whether the model does anything at all.
+func (g GilbertElliott) Enabled() bool {
+	return g.PGoodBad > 0 && (g.LossBad > 0 || g.LossGood > 0)
+}
+
+// Validate rejects out-of-range probabilities.
+func (g GilbertElliott) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodBad", g.PGoodBad}, {"PBadGood", g.PBadGood},
+		{"LossGood", g.LossGood}, {"LossBad", g.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("netem: Gilbert-Elliott %s = %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if g.PGoodBad > 0 && g.PBadGood == 0 {
+		return fmt.Errorf("netem: Gilbert-Elliott PBadGood = 0 with PGoodBad > 0 (bad state would be absorbing)")
+	}
+	return nil
+}
+
+// geChain is the per-network runtime state of the model.
+type geChain struct {
+	cfg GilbertElliott
+	rng *rand.Rand
+	bad bool
+}
+
+// drop advances the chain one packet and reports whether it is lost.
+func (c *geChain) drop() bool {
+	if c.bad {
+		if c.rng.Float64() < c.cfg.PBadGood {
+			c.bad = false
+		}
+	} else if c.rng.Float64() < c.cfg.PGoodBad {
+		c.bad = true
+	}
+	p := c.cfg.LossGood
+	if c.bad {
+		p = c.cfg.LossBad
+	}
+	return p > 0 && c.rng.Float64() < p
+}
+
+// FlapRate builds a schedule that alternates between rate and a dead link:
+// starting at firstAt, the link goes dark for outage, carries traffic for
+// period−outage, and repeats until total (the final segment restores the
+// rate so the schedule never ends in a permanent outage). It models
+// interface flaps, handovers, and scheduled blackouts.
+func FlapRate(rate float64, firstAt, period, outage, total sim.Time) *RateSchedule {
+	times := []sim.Time{0}
+	bps := []float64{rate}
+	for at := firstAt; at < total && outage > 0 && period > 0; at += period {
+		end := at + outage
+		if end > total {
+			end = total
+		}
+		times = append(times, at, end)
+		bps = append(bps, 0, rate)
+	}
+	return &RateSchedule{times: times, bps: bps}
+}
+
+// BlackoutRate is FlapRate with a single outage window [at, at+outage).
+func BlackoutRate(rate float64, at, outage sim.Time) *RateSchedule {
+	return &RateSchedule{times: []sim.Time{0, at, at + outage}, bps: []float64{rate, 0, rate}}
+}
+
+// AdversarialOptions tunes the generated adversarial scenarios.
+type AdversarialOptions struct {
+	Level    GridLevel
+	Duration sim.Time // per-scenario run length (default 10 s)
+	Seed     int64
+}
+
+// AdversarialGrid generates the named adversarial conditions the robustness
+// experiment (and the guardian's tests) run against: link flaps, a hard
+// mid-run blackout, packet reordering, ACK-path loss and duplication,
+// Gilbert-Elliott burst loss, and a kitchen-sink combination. None of these
+// pathologies appear in the Set I / Set II training pool — they are
+// deliberately out-of-distribution for the learned policy.
+func AdversarialGrid(opt AdversarialOptions) []Scenario {
+	if opt.Duration == 0 {
+		opt.Duration = 10 * sim.Second
+	}
+	a := axes(opt.Level)
+	// One mid-grid operating point per (bw, rtt) pair keeps the grid small
+	// enough to run per-condition variants at every density level.
+	points := [][2]float64{{a.bwMbps[len(a.bwMbps)/2], a.rttMs[len(a.rttMs)/2]}}
+	if opt.Level >= GridSmall {
+		points = append(points, [2]float64{a.bwMbps[0], a.rttMs[len(a.rttMs)-1]})
+	}
+	if opt.Level >= GridFull {
+		points = append(points, [2]float64{a.bwMbps[len(a.bwMbps)-1], a.rttMs[0]})
+	}
+
+	dur := opt.Duration
+	var out []Scenario
+	seed := opt.Seed + 40_000
+	for _, pt := range points {
+		bw, rtt := pt[0], pt[1]
+		mrtt := sim.FromMillis(rtt)
+		qb := queueBytes(Mbps(bw), mrtt, 2)
+		base := func(name string) Scenario {
+			seed++
+			return Scenario{
+				Name:       fmt.Sprintf("%s-%gmbps-%gms", name, bw, rtt),
+				Rate:       FlatRate(Mbps(bw)),
+				MinRTT:     mrtt,
+				QueueBytes: qb,
+				Duration:   dur,
+				Seed:       seed,
+			}
+		}
+
+		flap := base("flap")
+		flap.Rate = FlapRate(Mbps(bw), dur/5, dur/4, dur/16, dur)
+		out = append(out, flap)
+
+		blackout := base("blackout")
+		blackout.Rate = BlackoutRate(Mbps(bw), dur/2, dur/8)
+		out = append(out, blackout)
+
+		reorder := base("reorder")
+		reorder.ReorderProb = 0.10
+		reorder.ReorderDelay = mrtt / 2
+		out = append(out, reorder)
+
+		ackloss := base("ackloss")
+		ackloss.AckLossProb = 0.20
+		out = append(out, ackloss)
+
+		ackdup := base("ackdup")
+		ackdup.AckDupProb = 0.30
+		out = append(out, ackdup)
+
+		burst := base("burstloss")
+		burst.Gilbert = GilbertElliott{PGoodBad: 0.005, PBadGood: 0.15, LossBad: 0.5}
+		out = append(out, burst)
+
+		combo := base("combo")
+		combo.Rate = FlapRate(Mbps(bw), dur/4, dur/3, dur/20, dur)
+		combo.ReorderProb = 0.05
+		combo.ReorderDelay = mrtt / 4
+		combo.AckLossProb = 0.05
+		combo.Gilbert = GilbertElliott{PGoodBad: 0.002, PBadGood: 0.2, LossBad: 0.3}
+		out = append(out, combo)
+	}
+	return dedupeScenarios(out)
+}
+
+// AdversarialNames lists the condition families AdversarialGrid generates.
+func AdversarialNames() []string {
+	return []string{"flap", "blackout", "reorder", "ackloss", "ackdup", "burstloss", "combo"}
+}

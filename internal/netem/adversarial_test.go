@@ -1,0 +1,275 @@
+package netem
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sage/internal/sim"
+)
+
+func TestFlapRateAlternatesAndRecovers(t *testing.T) {
+	rate := Mbps(12)
+	s := FlapRate(rate, 1*sim.Second, 2*sim.Second, 500*sim.Millisecond, 10*sim.Second)
+	cases := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{0, rate},                      // before the first flap
+		{1100 * sim.Millisecond, 0},    // inside the first outage
+		{1600 * sim.Millisecond, rate}, // restored
+		{3200 * sim.Millisecond, 0},    // second outage (period 2 s)
+		{9600 * sim.Millisecond, rate}, // after the last outage
+		{20 * sim.Second, rate},        // never ends dark
+	}
+	for _, c := range cases {
+		if got := s.At(c.at); got != c.want {
+			t.Fatalf("At(%v) = %g, want %g", c.at, got, c.want)
+		}
+	}
+	if s.MaxRate() != rate {
+		t.Fatalf("MaxRate = %g", s.MaxRate())
+	}
+}
+
+func TestBlackoutRate(t *testing.T) {
+	rate := Mbps(24)
+	s := BlackoutRate(rate, 5*sim.Second, 1*sim.Second)
+	for _, c := range []struct {
+		at   sim.Time
+		want float64
+	}{{0, rate}, {5500 * sim.Millisecond, 0}, {6 * sim.Second, rate}} {
+		if got := s.At(c.at); got != c.want {
+			t.Fatalf("At(%v) = %g, want %g", c.at, got, c.want)
+		}
+	}
+}
+
+func TestGilbertElliottValidate(t *testing.T) {
+	bad := []GilbertElliott{
+		{PGoodBad: -0.1, PBadGood: 0.5},
+		{PGoodBad: 0.1, PBadGood: 1.5},
+		{PGoodBad: 0.1, PBadGood: 0.5, LossBad: 2},
+		{PGoodBad: 0.1, PBadGood: 0, LossBad: 0.5}, // absorbing bad state
+	}
+	for _, g := range bad {
+		if g.Validate() == nil {
+			t.Fatalf("%+v validated", g)
+		}
+	}
+	good := GilbertElliott{PGoodBad: 0.01, PBadGood: 0.2, LossBad: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !good.Enabled() {
+		t.Fatal("configured model reports disabled")
+	}
+	if (GilbertElliott{}).Enabled() {
+		t.Fatal("zero model reports enabled")
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	c := &geChain{
+		cfg: GilbertElliott{PGoodBad: 0.02, PBadGood: 0.2, LossBad: 1},
+		rng: rand.New(rand.NewSource(7)),
+	}
+	const n = 20000
+	losses, runs, inRun := 0, 0, false
+	for i := 0; i < n; i++ {
+		if c.drop() {
+			losses++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	if losses == 0 {
+		t.Fatal("no losses")
+	}
+	// Stationary bad-state share = p/(p+q) ≈ 9%; loss rate should land
+	// near it, and losses must be clustered: far fewer runs than losses.
+	rate := float64(losses) / n
+	if rate < 0.03 || rate > 0.20 {
+		t.Fatalf("loss rate %.3f outside plausible band", rate)
+	}
+	if avgRun := float64(losses) / float64(runs); avgRun < 2 {
+		t.Fatalf("mean burst length %.2f, losses not clustered", avgRun)
+	}
+}
+
+func TestNetworkReordersData(t *testing.T) {
+	loop := sim.NewLoop()
+	n := New(loop, Config{
+		Rate:         FlatRate(Mbps(48)),
+		MinRTT:       20 * sim.Millisecond,
+		Queue:        NewDropTail(1 << 20),
+		ReorderProb:  0.5,
+		ReorderDelay: 5 * sim.Millisecond,
+		Seed:         3,
+	})
+	var seqs []int64
+	n.Attach(1, Endpoints{Data: ReceiverFunc(func(p *Packet, _ sim.Time) { seqs = append(seqs, p.Seq) })})
+	const pkts = 50
+	for i := 0; i < pkts; i++ {
+		n.SendData(&Packet{FlowID: 1, Size: MTU, Seq: int64(i)}, 0)
+	}
+	loop.Run()
+	if len(seqs) != pkts {
+		t.Fatalf("delivered %d/%d", len(seqs), pkts)
+	}
+	if n.Reordered == 0 {
+		t.Fatal("no packets marked reordered")
+	}
+	ooo := 0
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			ooo++
+		}
+	}
+	if ooo == 0 {
+		t.Fatalf("arrival order is monotone despite reordering (Reordered=%d)", n.Reordered)
+	}
+}
+
+func TestNetworkAckLossAndDuplication(t *testing.T) {
+	run := func(lossP, dupP float64) (sent, got int, n *Network) {
+		loop := sim.NewLoop()
+		n = New(loop, Config{
+			Rate:        FlatRate(Mbps(48)),
+			MinRTT:      20 * sim.Millisecond,
+			Queue:       NewDropTail(1 << 20),
+			AckLossProb: lossP,
+			AckDupProb:  dupP,
+			Seed:        5,
+		})
+		n.Attach(1, Endpoints{
+			Data: ReceiverFunc(func(p *Packet, now sim.Time) {
+				n.SendAck(&Packet{FlowID: 1, Ack: true, Seq: p.Seq}, now)
+			}),
+			Ack: ReceiverFunc(func(*Packet, sim.Time) { got++ }),
+		})
+		for i := 0; i < 200; i++ {
+			n.SendData(&Packet{FlowID: 1, Size: MTU, Seq: int64(i)}, 0)
+		}
+		loop.Run()
+		return 200, got, n
+	}
+
+	sent, got, n := run(0.5, 0)
+	if n.AckLosses == 0 || got >= sent {
+		t.Fatalf("ack loss: got %d/%d acks, AckLosses=%d", got, sent, n.AckLosses)
+	}
+	sent, got, n = run(0, 1)
+	if n.AckDups == 0 || got != 2*sent {
+		t.Fatalf("ack dup: got %d acks for %d data, AckDups=%d", got, sent, n.AckDups)
+	}
+}
+
+func TestNetworkBurstLossDropsData(t *testing.T) {
+	loop := sim.NewLoop()
+	n := New(loop, Config{
+		Rate:    FlatRate(Mbps(48)),
+		MinRTT:  20 * sim.Millisecond,
+		Queue:   NewDropTail(1 << 20),
+		Gilbert: GilbertElliott{PGoodBad: 0.2, PBadGood: 0.2, LossBad: 1},
+		Seed:    11,
+	})
+	delivered := 0
+	n.Attach(1, Endpoints{Data: ReceiverFunc(func(*Packet, sim.Time) { delivered++ })})
+	const pkts = 500
+	for i := 0; i < pkts; i++ {
+		n.SendData(&Packet{FlowID: 1, Size: MTU, Seq: int64(i)}, 0)
+	}
+	loop.Run()
+	if n.BurstLosses == 0 {
+		t.Fatal("Gilbert-Elliott chain dropped nothing")
+	}
+	if delivered+int(n.BurstLosses) != pkts {
+		t.Fatalf("delivered %d + burst-lost %d != sent %d", delivered, n.BurstLosses, pkts)
+	}
+}
+
+func TestScenarioValidateRejectsNonsense(t *testing.T) {
+	ok := Scenario{
+		Name: "ok", Rate: FlatRate(Mbps(12)), MinRTT: 20 * sim.Millisecond,
+		QueueBytes: 1 << 16, Duration: 5 * sim.Second,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+
+	mutate := []struct {
+		name string
+		f    func(*Scenario)
+		want string
+	}{
+		{"nil rate", func(s *Scenario) { s.Rate = nil }, "nil rate"},
+		{"zero rate", func(s *Scenario) { s.Rate = FlatRate(0) }, "never exceeds 0"},
+		{"zero duration", func(s *Scenario) { s.Duration = 0 }, "duration"},
+		{"zero rtt", func(s *Scenario) { s.MinRTT = 0 }, "MinRTT"},
+		{"negative queue", func(s *Scenario) { s.QueueBytes = -1 }, "queue"},
+		{"negative loss", func(s *Scenario) { s.LossProb = -0.1 }, "LossProb"},
+		{"loss > 1", func(s *Scenario) { s.LossProb = 1.5 }, "LossProb"},
+		{"negative jitter", func(s *Scenario) { s.Jitter = -sim.Millisecond }, "jitter"},
+		{"teststart at end", func(s *Scenario) { s.TestStart = s.Duration }, "TestStart"},
+		{"negative cubic flows", func(s *Scenario) { s.CubicFlows = -1 }, "CubicFlows"},
+		{"reorder without delay", func(s *Scenario) { s.ReorderProb = 0.1 }, "ReorderDelay"},
+		{"ack loss prob", func(s *Scenario) { s.AckLossProb = 2 }, "AckLossProb"},
+		{"absorbing gilbert", func(s *Scenario) { s.Gilbert = GilbertElliott{PGoodBad: 0.1, LossBad: 1} }, "Gilbert"},
+	}
+	for _, m := range mutate {
+		s := ok
+		m.f(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Fatalf("%s: validated", m.name)
+		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Fatalf("%s: error %q missing %q", m.name, err, m.want)
+		}
+	}
+
+	bad := ok
+	bad.Duration = 0
+	if err := ValidateAll([]Scenario{ok, bad}); err == nil {
+		t.Fatal("ValidateAll missed the bad scenario")
+	}
+}
+
+func TestAdversarialGridIsValidAndComplete(t *testing.T) {
+	for _, lvl := range []GridLevel{GridTiny, GridSmall, GridFull} {
+		grid := AdversarialGrid(AdversarialOptions{Level: lvl, Duration: 8 * sim.Second, Seed: 1})
+		if len(grid) == 0 {
+			t.Fatalf("level %d: empty grid", lvl)
+		}
+		if err := ValidateAll(grid); err != nil {
+			t.Fatalf("level %d: %v", lvl, err)
+		}
+		for _, fam := range AdversarialNames() {
+			found := false
+			for _, sc := range grid {
+				if strings.HasPrefix(sc.Name, fam+"-") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("level %d: no %q scenario", lvl, fam)
+			}
+		}
+		seen := map[string]bool{}
+		for _, sc := range grid {
+			if seen[sc.Name] {
+				t.Fatalf("level %d: duplicate scenario %q", lvl, sc.Name)
+			}
+			seen[sc.Name] = true
+			if sc.Duration != 8*sim.Second {
+				t.Fatalf("%s: duration %v", sc.Name, sc.Duration)
+			}
+		}
+	}
+}

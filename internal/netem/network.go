@@ -26,9 +26,20 @@ type Network struct {
 	lossProb float64  // random (non-congestive) loss on the data path
 	rng      *rand.Rand
 
+	// Adversarial conditions (all off by default).
+	reorderProb  float64
+	reorderDelay sim.Time
+	ackLossProb  float64
+	ackDupProb   float64
+	ge           *geChain
+
 	flows map[int]Endpoints
 
 	RandomLosses int64
+	BurstLosses  int64 // data packets dropped by the Gilbert-Elliott chain
+	Reordered    int64 // data packets given extra reorder delay
+	AckLosses    int64 // ACK packets dropped on the reverse path
+	AckDups      int64 // ACK packets duplicated on the reverse path
 }
 
 // Config parameterizes a Network.
@@ -39,6 +50,13 @@ type Config struct {
 	Jitter   sim.Time // max uniform extra one-way delay per packet
 	LossProb float64  // iid random loss probability on the data path
 	Seed     int64
+
+	// Adversarial conditions (see Scenario and AdversarialGrid).
+	ReorderProb  float64        // probability a data packet gets extra reorder delay
+	ReorderDelay sim.Time       // max extra delay for a reordered packet
+	AckLossProb  float64        // iid loss on the ACK path
+	AckDupProb   float64        // iid duplication on the ACK path
+	Gilbert      GilbertElliott // burst loss on the data path
 }
 
 // BDPBytes returns the bandwidth-delay product in bytes.
@@ -53,12 +71,19 @@ func New(loop *sim.Loop, cfg Config) *Network {
 		q = NewDropTail(BDPBytes(cfg.Rate.At(0), cfg.MinRTT))
 	}
 	n := &Network{
-		Loop:     loop,
-		owd:      cfg.MinRTT / 2,
-		jitter:   cfg.Jitter,
-		lossProb: cfg.LossProb,
-		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
-		flows:    make(map[int]Endpoints),
+		Loop:         loop,
+		owd:          cfg.MinRTT / 2,
+		jitter:       cfg.Jitter,
+		lossProb:     cfg.LossProb,
+		reorderProb:  cfg.ReorderProb,
+		reorderDelay: cfg.ReorderDelay,
+		ackLossProb:  cfg.AckLossProb,
+		ackDupProb:   cfg.AckDupProb,
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		flows:        make(map[int]Endpoints),
+	}
+	if cfg.Gilbert.Enabled() {
+		n.ge = &geChain{cfg: cfg.Gilbert, rng: rand.New(rand.NewSource(cfg.Seed + 2))}
 	}
 	n.Link = NewLink(loop, q, cfg.Rate, ReceiverFunc(n.afterBottleneck))
 	return n
@@ -77,11 +102,15 @@ func (n *Network) SendData(p *Packet, now sim.Time) bool {
 		n.RandomLosses++
 		return false
 	}
+	if n.ge != nil && n.ge.drop() {
+		n.BurstLosses++
+		return false
+	}
 	return n.Link.Send(p, now)
 }
 
 func (n *Network) afterBottleneck(p *Packet, now sim.Time) {
-	d := n.owd + n.extraJitter()
+	d := n.owd + n.extraJitter() + n.extraReorder()
 	n.Loop.At(now+d, func(t sim.Time) {
 		if ep, ok := n.flows[p.FlowID]; ok && ep.Data != nil {
 			ep.Data.Receive(p, t)
@@ -90,14 +119,29 @@ func (n *Network) afterBottleneck(p *Packet, now sim.Time) {
 }
 
 // SendAck carries an ACK back to flow p.FlowID's sender over the
-// uncongested reverse path.
+// uncongested reverse path. Under adversarial conditions the reverse path
+// can drop or duplicate ACKs: the sender must survive both the missing
+// acknowledgments (cumulative delivery arrives late, via later ACKs) and
+// the duplicate ones (already-resolved sequence numbers re-acknowledged).
 func (n *Network) SendAck(p *Packet, now sim.Time) {
-	d := n.owd + n.extraJitter()
-	n.Loop.At(now+d, func(t sim.Time) {
-		if ep, ok := n.flows[p.FlowID]; ok && ep.Ack != nil {
-			ep.Ack.Receive(p, t)
-		}
-	})
+	if n.ackLossProb > 0 && n.rng.Float64() < n.ackLossProb {
+		n.AckLosses++
+		return
+	}
+	deliver := func(d sim.Time) {
+		n.Loop.At(now+d, func(t sim.Time) {
+			if ep, ok := n.flows[p.FlowID]; ok && ep.Ack != nil {
+				ep.Ack.Receive(p, t)
+			}
+		})
+	}
+	deliver(n.owd + n.extraJitter())
+	if n.ackDupProb > 0 && n.rng.Float64() < n.ackDupProb {
+		n.AckDups++
+		// The copy trails the original by a small extra delay, as a
+		// duplicated ACK on a real path would.
+		deliver(n.owd + n.extraJitter() + n.owd/4 + 1)
+	}
 }
 
 func (n *Network) extraJitter() sim.Time {
@@ -105,4 +149,18 @@ func (n *Network) extraJitter() sim.Time {
 		return 0
 	}
 	return sim.Time(n.rng.Int63n(int64(n.jitter) + 1))
+}
+
+// extraReorder returns the occasional large extra delay that makes later
+// packets overtake this one — per-packet reordering, as opposed to the
+// small always-on jitter.
+func (n *Network) extraReorder() sim.Time {
+	if n.reorderProb <= 0 || n.reorderDelay <= 0 {
+		return 0
+	}
+	if n.rng.Float64() >= n.reorderProb {
+		return 0
+	}
+	n.Reordered++
+	return 1 + sim.Time(n.rng.Int63n(int64(n.reorderDelay)))
 }

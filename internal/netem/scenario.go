@@ -22,18 +22,99 @@ type Scenario struct {
 	Jitter     sim.Time
 	LossProb   float64
 	Seed       int64
+
+	// Adversarial conditions (see AdversarialGrid). All zero values mean
+	// "well-behaved network", so existing scenarios are unaffected.
+	ReorderProb  float64        // per-data-packet probability of extra reorder delay
+	ReorderDelay sim.Time       // max extra one-way delay for a reordered packet
+	AckLossProb  float64        // iid loss on the ACK (reverse) path
+	AckDupProb   float64        // iid duplication on the ACK path
+	Gilbert      GilbertElliott // burst loss on the data path
 }
 
 // Build instantiates the scenario's network on loop.
 func (s Scenario) Build(loop *sim.Loop) *Network {
 	return New(loop, Config{
-		Rate:     s.Rate,
-		MinRTT:   s.MinRTT,
-		Queue:    NewQueue(s.AQM, s.QueueBytes, s.Seed),
-		Jitter:   s.Jitter,
-		LossProb: s.LossProb,
-		Seed:     s.Seed,
+		Rate:         s.Rate,
+		MinRTT:       s.MinRTT,
+		Queue:        NewQueue(s.AQM, s.QueueBytes, s.Seed),
+		Jitter:       s.Jitter,
+		LossProb:     s.LossProb,
+		ReorderProb:  s.ReorderProb,
+		ReorderDelay: s.ReorderDelay,
+		AckLossProb:  s.AckLossProb,
+		AckDupProb:   s.AckDupProb,
+		Gilbert:      s.Gilbert,
+		Seed:         s.Seed,
 	})
+}
+
+// Validate rejects nonsensical scenario configurations with descriptive
+// errors. Collection and evaluation entry points call it before running,
+// so a bad hand-built scenario fails up front instead of silently
+// producing a simulation that stalls forever or divides by zero.
+func (s Scenario) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("netem: scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Rate == nil {
+		return fail("nil rate schedule")
+	}
+	if s.Rate.MaxRate() <= 0 {
+		return fail("rate schedule never exceeds 0 bps (the link could carry nothing)")
+	}
+	if s.Duration <= 0 {
+		return fail("non-positive duration %v", s.Duration)
+	}
+	if s.MinRTT <= 0 {
+		return fail("non-positive MinRTT %v", s.MinRTT)
+	}
+	if s.QueueBytes < 0 {
+		return fail("negative queue size %d bytes", s.QueueBytes)
+	}
+	if s.TestStart < 0 {
+		return fail("negative TestStart %v", s.TestStart)
+	}
+	if s.TestStart >= s.Duration {
+		return fail("TestStart %v is not before Duration %v (the flow under test would never run)", s.TestStart, s.Duration)
+	}
+	if s.CubicFlows < 0 {
+		return fail("negative CubicFlows %d", s.CubicFlows)
+	}
+	if s.Jitter < 0 {
+		return fail("negative jitter %v", s.Jitter)
+	}
+	if s.ReorderDelay < 0 {
+		return fail("negative reorder delay %v", s.ReorderDelay)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"LossProb", s.LossProb}, {"ReorderProb", s.ReorderProb},
+		{"AckLossProb", s.AckLossProb}, {"AckDupProb", s.AckDupProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fail("%s = %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if s.ReorderProb > 0 && s.ReorderDelay <= 0 {
+		return fail("ReorderProb %g with zero ReorderDelay (would reorder nothing)", s.ReorderProb)
+	}
+	if err := s.Gilbert.Validate(); err != nil {
+		return fail("%v", err)
+	}
+	return nil
+}
+
+// ValidateAll validates every scenario and reports the first offender.
+func ValidateAll(scens []Scenario) error {
+	for _, sc := range scens {
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FairShare returns the ideal fair share in bits/second for the flow under

@@ -40,6 +40,10 @@ func NewPolicyController(pol *nn.Policy, mask []int, stochastic bool, seed int64
 	}
 }
 
+// Reset clears the recurrent state (call between flows, or when the
+// runtime guardian re-admits the policy after a fallback episode).
+func (pc *PolicyController) Reset() { pc.hidden = pc.Policy.InitHidden() }
+
 // Control implements rollout.Controller.
 func (pc *PolicyController) Control(now sim.Time, conn *tcp.Conn, state []float64) {
 	masked := gr.ApplyMask(state, pc.Mask)
@@ -55,9 +59,5 @@ func (pc *PolicyController) Control(now sim.Time, conn *tcp.Conn, state []float6
 		pc.States = append(pc.States, masked)
 		pc.Actions = append(pc.Actions, u)
 	}
-	w := conn.Cwnd * UToRatio(u)
-	if w < 2 {
-		w = 2
-	}
-	conn.SetCwnd(w)
+	conn.SetCwnd(tcp.ClampCwnd(conn.Cwnd*UToRatio(u), 2, 0))
 }

@@ -134,16 +134,16 @@ type CRR struct {
 // pre-clip gradient norms, and (under Workers>1) per-worker busy time
 // for utilization accounting.
 type TrainStats struct {
-	Step         int     // 1-based step index within this learner
-	CriticLoss   float64 // mean TD/CE loss per transition
-	PolicyLoss   float64 // mean filtered −logπ per transition
-	MeanFilter   float64 // mean CRR filter weight f
-	FilterAccept float64 // fraction of transitions with f > 0
-	AdvMean      float64 // mean advantage Q(s,a) − V̂(s)
-	AdvStd       float64 // advantage standard deviation
-	GradNormPi   float64 // policy gradient L2 norm, before clipping
-	GradNormQ    float64 // critic gradient L2 norm, before clipping
-	Workers      int     // goroutines that produced the gradients (≥1)
+	Step         int       // 1-based step index within this learner
+	CriticLoss   float64   // mean TD/CE loss per transition
+	PolicyLoss   float64   // mean filtered −logπ per transition
+	MeanFilter   float64   // mean CRR filter weight f
+	FilterAccept float64   // fraction of transitions with f > 0
+	AdvMean      float64   // mean advantage Q(s,a) − V̂(s)
+	AdvStd       float64   // advantage standard deviation
+	GradNormPi   float64   // policy gradient L2 norm, before clipping
+	GradNormQ    float64   // critic gradient L2 norm, before clipping
+	Workers      int       // goroutines that produced the gradients (≥1)
 	WorkerBusy   []float64 // per-worker busy seconds (nil when serial)
 }
 

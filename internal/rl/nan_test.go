@@ -1,0 +1,50 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"sage/internal/cc"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/nn"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// TestPolicyControllerNaNStateDoesNotPanic drives the controller with
+// poisoned observations: the contract is "no panic" — the non-finite
+// window it produces is the runtime guardian's problem (and its signal).
+func TestPolicyControllerNaNStateDoesNotPanic(t *testing.T) {
+	pol := nn.NewPolicy(nn.PolicyConfig{InDim: gr.StateDim, Enc: 8, Hidden: 4, K: 2, Seed: 1})
+	ctl := NewPolicyController(pol, nil, false, 1)
+
+	loop := sim.NewLoop()
+	n := netem.New(loop, netem.Config{
+		Rate: netem.FlatRate(netem.Mbps(12)), MinRTT: 20 * sim.Millisecond,
+		Queue: netem.NewDropTail(1 << 20),
+	})
+	fl := tcp.NewFlow(loop, n, 1, cc.MustNew("pure"), tcp.Options{})
+
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic on NaN state: %v", r)
+		}
+	}()
+	state := make([]float64, gr.StateDim)
+	state[7] = math.NaN()
+	state[12] = math.Inf(1)
+	ctl.Control(0, fl.Conn, state)
+	// A second tick runs with the now-poisoned hidden state and cwnd.
+	ctl.Control(20*sim.Millisecond, fl.Conn, state)
+
+	// Reset must clear the recurrent state so a healed policy restarts
+	// clean (the guardian calls this on re-admission).
+	ctl.Reset()
+	fl.Conn.SetCwnd(10)
+	good := make([]float64, gr.StateDim)
+	ctl.Control(40*sim.Millisecond, fl.Conn, good)
+	if math.IsNaN(fl.Conn.Cwnd) {
+		t.Fatal("cwnd still NaN after Reset and a finite observation")
+	}
+}

@@ -1,0 +1,22 @@
+package tcp
+
+// ClampCwnd bounds a proposed congestion window to [floor, ceil]; a
+// non-positive ceil means "no ceiling". It is the single cwnd-sanity
+// helper shared by the policy controllers (rl.PolicyController,
+// core.Agent) and the runtime guardian, so the floor lives in exactly one
+// place.
+//
+// NaN is deliberately passed through unchanged: both comparisons are
+// false for NaN, matching the raw `w < floor` checks this helper
+// replaces. Detecting (and recovering from) a non-finite window is the
+// guardian's job, not the clamp's — silently mapping NaN to the floor
+// would mask the very failures internal/guard exists to catch.
+func ClampCwnd(w, floor, ceil float64) float64 {
+	if w < floor {
+		return floor
+	}
+	if ceil > 0 && w > ceil {
+		return ceil
+	}
+	return w
+}

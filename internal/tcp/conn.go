@@ -109,6 +109,8 @@ type Conn struct {
 	rtoCount         int64
 	ecnEnabled       bool
 	ecePkts          int64
+	reoSteps         int // adaptive RACK reorder-window multiplier (starts at 1)
+	ccSwitches       int64
 }
 
 // NewConn builds a connection for flow id over n, controlled by cc.
@@ -152,6 +154,38 @@ func (c *Conn) Stop() {
 
 // CC returns the connection's congestion-control module.
 func (c *Conn) CC() CongestionControl { return c.cc }
+
+// SwitchCC replaces the congestion-control module at runtime — the
+// equivalent of setsockopt(TCP_CONGESTION) on a live socket, and the
+// mechanism the runtime guardian uses to move a connection between a
+// misbehaving policy and its heuristic fallback. The new module is
+// Init'ed and inherits the connection's current window, so the handover
+// is seamless; non-finite congestion state left behind by a broken
+// controller (NaN cwnd/ssthresh/pacing) is sanitized first so the new
+// module starts from a workable window.
+func (c *Conn) SwitchCC(newCC CongestionControl, now sim.Time) {
+	if newCC == nil {
+		return
+	}
+	if math.IsNaN(c.Cwnd) || math.IsInf(c.Cwnd, 0) {
+		c.Cwnd = c.opt.InitCwnd
+	}
+	if math.IsNaN(c.Ssthresh) {
+		c.Ssthresh = math.Inf(1)
+	}
+	if math.IsNaN(c.PacingRate) || math.IsInf(c.PacingRate, 0) {
+		c.PacingRate = 0
+	}
+	c.cc = newCC
+	c.ccSwitches++
+	newCC.Init(c)
+	if c.running && !c.stopped {
+		c.trySend(now)
+	}
+}
+
+// CCSwitches returns how many times the CC module was swapped at runtime.
+func (c *Conn) CCSwitches() int64 { return c.ccSwitches }
 
 // MSS returns the packet size in bytes.
 func (c *Conn) MSS() int { return c.opt.MSS }
@@ -251,6 +285,7 @@ func (c *Conn) handleAck(ai *ackInfo, now sim.Time) {
 		if rec.lost {
 			// The packet was declared lost but arrived after all: spurious.
 			c.spurious++
+			c.onSpurious()
 			rec.acked = true
 			c.delivered += int64(rec.size)
 			c.deliveredPkts++
@@ -342,13 +377,42 @@ func (c *Conn) updateRTT(rtt sim.Time) {
 	}
 }
 
-// reorderWnd returns the RACK reordering window.
+// reorderWnd returns the RACK reordering window. Like Linux's RACK
+// (RFC 8985 §7.1), the window adapts: every spurious retransmission —
+// proof the path reorders more than the current window tolerates — grows
+// it by another min_rtt/4 step, capped at the smoothed RTT, so sustained
+// reordering stops triggering retransmission storms instead of being
+// re-mistaken for loss every round.
 func (c *Conn) reorderWnd() sim.Time {
-	w := c.MinRTT() / 4
+	steps := c.reoSteps
+	if steps < 1 {
+		steps = 1
+	}
+	w := c.MinRTT() / 4 * sim.Time(steps)
+	if c.srtt > 0 && w > c.srtt {
+		w = c.srtt
+	}
 	if w < c.opt.ReorderWnd {
 		w = c.opt.ReorderWnd
 	}
 	return w
+}
+
+// ReorderWindow exposes the current adaptive RACK window (for tests and
+// telemetry).
+func (c *Conn) ReorderWindow() sim.Time { return c.reorderWnd() }
+
+const maxReoSteps = 16
+
+// onSpurious widens the adaptive reorder window after a packet declared
+// lost turns out to have been merely reordered.
+func (c *Conn) onSpurious() {
+	if c.reoSteps < 1 {
+		c.reoSteps = 1
+	}
+	if c.reoSteps < maxReoSteps {
+		c.reoSteps++
+	}
 }
 
 // rackDetect marks as lost every unresolved packet sent before the most

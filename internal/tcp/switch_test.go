@@ -1,0 +1,152 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+
+	"sage/internal/netem"
+	"sage/internal/sim"
+)
+
+// noopCC never touches the window — it exposes exactly what SwitchCC's
+// sanitization leaves behind.
+type noopCC struct{}
+
+func (noopCC) Name() string                { return "noop" }
+func (noopCC) Init(*Conn)                  {}
+func (noopCC) OnAck(*Conn, AckEvent)       {}
+func (noopCC) OnLoss(*Conn, int, sim.Time) {}
+func (noopCC) OnRTO(*Conn, sim.Time)       {}
+
+// aimdCC is a minimal loss-reactive scheme (the cc package's real Reno
+// cannot be imported from an internal tcp test without a cycle): additive
+// increase per ACK, halve on loss.
+type aimdCC struct{}
+
+func (aimdCC) Name() string { return "aimd" }
+func (aimdCC) Init(c *Conn) {}
+func (aimdCC) OnAck(c *Conn, e AckEvent) {
+	if c.State() == StateOpen {
+		c.SetCwnd(c.Cwnd + float64(e.AckedPkts)/c.Cwnd)
+	}
+}
+func (aimdCC) OnLoss(c *Conn, n int, _ sim.Time) { c.SetCwnd(c.Cwnd / 2) }
+func (aimdCC) OnRTO(c *Conn, _ sim.Time)         { c.SetCwnd(2) }
+
+func TestSwitchCCMidFlowKeepsDelivering(t *testing.T) {
+	loop := sim.NewLoop()
+	n := netem.New(loop, netem.Config{
+		Rate: netem.FlatRate(netem.Mbps(12)), MinRTT: 40 * sim.Millisecond,
+		Queue: netem.NewDropTail(1 << 20),
+	})
+	fl := NewFlow(loop, n, 1, &fixedCC{w: 10}, Options{})
+	fl.Conn.Start(0)
+
+	var atSwitch int64
+	loop.At(2*sim.Second, func(now sim.Time) {
+		atSwitch = fl.Sink.RxBytes
+		fl.Conn.SwitchCC(&fixedCC{w: 40}, now) // 40 pkts = the BDP
+	})
+	loop.RunUntil(5 * sim.Second)
+
+	if fl.Conn.CCSwitches() != 1 {
+		t.Fatalf("CCSwitches = %d", fl.Conn.CCSwitches())
+	}
+	if name := fl.Conn.CC().Name(); name != "fixed" {
+		t.Fatalf("CC = %q", name)
+	}
+	// cwnd 10 → ~3 Mb/s; cwnd 40 saturates the 12 Mb/s link. The 3 s after
+	// the switch must deliver far more than the 2 s before it.
+	after := fl.Sink.RxBytes - atSwitch
+	if atSwitch == 0 || after < 3*atSwitch {
+		t.Fatalf("before=%d after=%d bytes: switch did not take effect", atSwitch, after)
+	}
+	if fl.Conn.RTOCount() != 0 {
+		t.Fatalf("handover caused %d RTOs", fl.Conn.RTOCount())
+	}
+}
+
+func TestSwitchCCSanitizesNaNState(t *testing.T) {
+	loop := sim.NewLoop()
+	n := netem.New(loop, netem.Config{
+		Rate: netem.FlatRate(netem.Mbps(12)), MinRTT: 20 * sim.Millisecond,
+		Queue: netem.NewDropTail(1 << 20),
+	})
+	fl := NewFlow(loop, n, 1, noopCC{}, Options{})
+	c := fl.Conn
+
+	c.SetCwnd(math.NaN())
+	c.Ssthresh = math.NaN()
+	c.PacingRate = math.Inf(1)
+	c.SwitchCC(noopCC{}, 0)
+
+	if math.IsNaN(c.Cwnd) || c.Cwnd != 10 { // default InitCwnd
+		t.Fatalf("cwnd = %v after sanitized switch", c.Cwnd)
+	}
+	if !math.IsInf(c.Ssthresh, 1) {
+		t.Fatalf("ssthresh = %v, want +Inf", c.Ssthresh)
+	}
+	if c.PacingRate != 0 {
+		t.Fatalf("pacing rate = %v, want 0", c.PacingRate)
+	}
+	c.SwitchCC(nil, 0)
+	if c.CCSwitches() != 1 {
+		t.Fatalf("nil switch counted: %d", c.CCSwitches())
+	}
+}
+
+func TestReorderWindowAdaptsAfterSpuriousRetransmissions(t *testing.T) {
+	// Establish RTT estimates first so the window has real bounds to work in.
+	fl, _ := runScenario(t, netem.FlatRate(netem.Mbps(12)), 40*sim.Millisecond, 1<<20, &fixedCC{w: 10}, 2*sim.Second)
+	c := fl.Conn
+
+	base := c.ReorderWindow()
+	if base < c.MinRTT()/4 {
+		t.Fatalf("base window %v below min_rtt/4", base)
+	}
+	c.onSpurious()
+	grown := c.ReorderWindow()
+	if grown <= base {
+		t.Fatalf("window %v did not grow after spurious retransmission (base %v)", grown, base)
+	}
+	for i := 0; i < 100; i++ {
+		c.onSpurious()
+	}
+	capped := c.ReorderWindow()
+	if capped > c.SRTT() {
+		t.Fatalf("window %v exceeds srtt %v", capped, c.SRTT())
+	}
+}
+
+// TestReorderingPathAvoidsRetransmissionStorm runs a real flow over a
+// heavily reordering path: RACK's adaptive window must keep spurious
+// retransmissions a small fraction of deliveries while the flow still
+// moves traffic.
+func TestReorderingPathAvoidsRetransmissionStorm(t *testing.T) {
+	loop := sim.NewLoop()
+	n := netem.New(loop, netem.Config{
+		Rate: netem.FlatRate(netem.Mbps(12)), MinRTT: 40 * sim.Millisecond,
+		Queue:       netem.NewDropTail(1 << 20),
+		ReorderProb: 0.2, ReorderDelay: 15 * sim.Millisecond,
+		Seed: 9,
+	})
+	fl := NewFlow(loop, n, 1, aimdCC{}, Options{})
+	fl.Conn.Start(0)
+	loop.RunUntil(20 * sim.Second)
+
+	c := fl.Conn
+	if c.DeliveredPkts() < 1000 {
+		t.Fatalf("reordering stalled the flow: %d pkts", c.DeliveredPkts())
+	}
+	if n.Reordered == 0 {
+		t.Fatal("path never reordered")
+	}
+	// With the adaptive window the spurious-retransmit share stays small.
+	if ratio := float64(c.SpuriousRetrans()) / float64(c.DeliveredPkts()); ratio > 0.05 {
+		t.Fatalf("spurious retransmission storm: %d/%d (%.1f%%)",
+			c.SpuriousRetrans(), c.DeliveredPkts(), ratio*100)
+	}
+	if c.ReorderWindow() <= c.MinRTT()/4 && c.SpuriousRetrans() > 0 {
+		t.Fatal("spurious retransmissions did not widen the RACK window")
+	}
+}
