@@ -8,6 +8,14 @@
 //	sage-collect -out pool.gob.gz -level small -seti-dur 10s -setii-dur 30s
 //	sage-collect -level small -progress -metrics pool.jsonl -pprof :6060
 //	sage-collect -out pool.gob.gz -resume   # continue an interrupted run
+//	sage-collect -doctor pool.gob.gz -clean pool.clean.gob.gz
+//
+// The -doctor mode examines an existing pool instead of collecting: every
+// trajectory is validated (non-finite states/actions/rewards, truncated
+// episodes, out-of-range values, frozen-state flows), bad ones are
+// reported to <pool>.quarantine.jsonl, and -clean optionally writes a
+// sanitized copy. Collection itself applies the same gate by default
+// (-quality=false disables it).
 //
 // With -progress, a rollouts done/total line with transitions/sec and ETA
 // is printed as workers finish; with -metrics, one JSON line per collected
@@ -28,6 +36,7 @@ import (
 	"io/fs"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -63,8 +72,15 @@ func main() {
 		metrics   = flag.String("metrics", "", "write per-trajectory records as JSONL to this file")
 		progress  = flag.Bool("progress", false, "print a live rollouts/transitions progress line with ETA")
 		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
+		doctor    = flag.String("doctor", "", "examine an existing pool file instead of collecting: quarantine report to <pool>.quarantine.jsonl, exit 3 if bad trajectories found")
+		clean     = flag.String("clean", "", "with -doctor: also write the sanitized pool to this file")
+		quality   = flag.Bool("quality", true, "quarantine bad trajectories from the collected pool before saving (report: <out>.quarantine.jsonl)")
 	)
 	flag.Parse()
+
+	if *doctor != "" {
+		os.Exit(runDoctor(*doctor, *clean))
+	}
 
 	if *pprofAddr != "" {
 		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
@@ -203,6 +219,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "failed cell: %s/%s: %s\n", f.Scheme, f.Env, f.Err)
 	}
 
+	if *quality {
+		sane, rep := collector.Sanitize(merged, collector.QualityConfig{})
+		if rep.Quarantined > 0 {
+			sidecar := *out + ".quarantine.jsonl"
+			if err := rep.WriteSidecar(sidecar); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("quality: quarantined %d/%d trajectories (report: %s)\n",
+				rep.Quarantined, rep.Total, sidecar)
+			merged = sane
+		}
+	}
+
 	if emit != nil {
 		for _, tr := range merged.Trajs {
 			emit.Emit(trajRecord{
@@ -225,6 +255,57 @@ func main() {
 	os.Remove(manifestPath)
 	os.Remove(partialPath)
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// runDoctor examines an existing pool: it prints a per-reason summary,
+// writes the quarantine sidecar, and optionally writes a sanitized copy.
+// Exit status: 0 clean, 3 bad trajectories found, 1 I/O error.
+func runDoctor(path, cleanOut string) int {
+	pool, err := collector.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	sane, rep := collector.Sanitize(pool, collector.QualityConfig{})
+	fmt.Printf("doctor: %d trajectories, %d transitions\n", rep.Total, pool.Transitions())
+	if rep.Quarantined == 0 {
+		fmt.Println("doctor: pool is clean")
+		if cleanOut != "" {
+			if err := sane.Save(cleanOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", cleanOut)
+		}
+		return 0
+	}
+	byReason := map[string]int{}
+	for _, is := range rep.Issues {
+		byReason[is.Reason]++
+	}
+	reasons := make([]string, 0, len(byReason))
+	for r := range byReason {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Printf("doctor: %4d x %s\n", byReason[reason], reason)
+	}
+	sidecar := path + ".quarantine.jsonl"
+	if err := rep.WriteSidecar(sidecar); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("doctor: quarantined %d/%d trajectories (report: %s)\n",
+		rep.Quarantined, rep.Total, sidecar)
+	if cleanOut != "" {
+		if err := sane.Save(cleanOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d trajectories)\n", cleanOut, len(sane.Trajs))
+	}
+	return 3
 }
 
 func parseLevel(s string) (netem.GridLevel, error) {

@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,25 +27,31 @@ import (
 	"sage/internal/gr"
 	"sage/internal/nn"
 	"sage/internal/rl"
+	"sage/internal/sentinel"
 	"sage/internal/telemetry"
 )
 
 // stepRecord is the JSONL schema of -metrics (documented in README's
 // Observability section).
 type stepRecord struct {
-	Step         int     `json:"step"`
-	CriticLoss   float64 `json:"critic_loss"`
-	PolicyLoss   float64 `json:"policy_loss"`
-	MeanFilter   float64 `json:"mean_filter"`
-	FilterAccept float64 `json:"filter_accept"`
-	AdvMean      float64 `json:"adv_mean"`
-	AdvStd       float64 `json:"adv_std"`
-	GradNormPi   float64 `json:"grad_norm_pi"`
-	GradNormQ    float64 `json:"grad_norm_q"`
-	Workers      int     `json:"workers"`
-	WorkerUtil   float64 `json:"worker_util,omitempty"` // mean busy / slowest busy
-	StepsPerSec  float64 `json:"steps_per_sec"`
-	ElapsedSec   float64 `json:"elapsed_s"`
+	Step           int     `json:"step"`
+	CriticLoss     float64 `json:"critic_loss"`
+	PolicyLoss     float64 `json:"policy_loss"`
+	MeanFilter     float64 `json:"mean_filter"`
+	FilterAccept   float64 `json:"filter_accept"`
+	AdvMean        float64 `json:"adv_mean"`
+	AdvStd         float64 `json:"adv_std"`
+	GradNormPi     float64 `json:"grad_norm_pi"`
+	GradNormQ      float64 `json:"grad_norm_q"`
+	GradNormPiClip float64 `json:"grad_norm_pi_clip,omitempty"` // post-clip (0 when skipped)
+	GradNormQClip  float64 `json:"grad_norm_q_clip,omitempty"`
+	LRPolicy       float64 `json:"lr_policy,omitempty"` // in effect this step (sentinel backoff visible here)
+	LRCritic       float64 `json:"lr_critic,omitempty"`
+	Skipped        bool    `json:"skipped,omitempty"` // sentinel rejected the batch pre-optimizer
+	Workers        int     `json:"workers"`
+	WorkerUtil     float64 `json:"worker_util,omitempty"` // mean busy / slowest busy
+	StepsPerSec    float64 `json:"steps_per_sec"`
+	ElapsedSec     float64 `json:"elapsed_s"`
 }
 
 func main() {
@@ -66,6 +73,8 @@ func main() {
 		metrics   = flag.String("metrics", "", "write per-step training metrics as JSONL to this file")
 		progress  = flag.Bool("progress", false, "print a live progress/ETA line")
 		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
+		sanitize  = flag.Bool("sanitize", false, "quarantine bad trajectories (non-finite/out-of-range/frozen/truncated) before training; report goes to <pool>.quarantine.jsonl")
+		useSent   = flag.Bool("sentinel", true, "train under the divergence sentinel (batch gating, checkpoint rollback, LR backoff)")
 	)
 	flag.Parse()
 
@@ -99,6 +108,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("pool: %d trajectories, %d transitions\n", len(pool.Trajs), pool.Transitions())
+	if *sanitize {
+		clean, rep := collector.Sanitize(pool, collector.QualityConfig{})
+		if rep.Quarantined > 0 {
+			sidecar := *poolPath + ".quarantine.jsonl"
+			if err := rep.WriteSidecar(sidecar); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("sanitize: quarantined %d/%d trajectories (report: %s)\n",
+				rep.Quarantined, rep.Total, sidecar)
+		} else {
+			fmt.Println("sanitize: pool is clean")
+		}
+		pool = clean
+	}
 
 	var m []int
 	switch *mask {
@@ -128,6 +152,10 @@ func main() {
 	}
 	start := time.Now()
 	ds := rl.BuildDataset(pool, m)
+	if ds.Transitions() == 0 {
+		fmt.Fprintln(os.Stderr, "no usable transitions in the pool (all trajectories empty, truncated, or quarantined)")
+		os.Exit(1)
+	}
 	var learner *rl.CRR
 	done := 0
 	if *ckpt != "" {
@@ -183,18 +211,23 @@ func main() {
 		// s.Step is already absolute (stepIdx survives checkpoint resume),
 		// unlike the Train progress callback's run-local step.
 		rec := stepRecord{
-			Step:         s.Step,
-			CriticLoss:   s.CriticLoss,
-			PolicyLoss:   s.PolicyLoss,
-			MeanFilter:   s.MeanFilter,
-			FilterAccept: s.FilterAccept,
-			AdvMean:      s.AdvMean,
-			AdvStd:       s.AdvStd,
-			GradNormPi:   s.GradNormPi,
-			GradNormQ:    s.GradNormQ,
-			Workers:      s.Workers,
-			StepsPerSec:  float64(s.Step-done) / elapsed,
-			ElapsedSec:   elapsed,
+			Step:           s.Step,
+			CriticLoss:     s.CriticLoss,
+			PolicyLoss:     s.PolicyLoss,
+			MeanFilter:     s.MeanFilter,
+			FilterAccept:   s.FilterAccept,
+			AdvMean:        s.AdvMean,
+			AdvStd:         s.AdvStd,
+			GradNormPi:     s.GradNormPi,
+			GradNormQ:      s.GradNormQ,
+			GradNormPiClip: s.GradNormPiClip,
+			GradNormQClip:  s.GradNormQClip,
+			LRPolicy:       s.LRPolicy,
+			LRCritic:       s.LRCritic,
+			Skipped:        s.Skipped,
+			Workers:        s.Workers,
+			StepsPerSec:    float64(s.Step-done) / elapsed,
+			ElapsedSec:     elapsed,
 		}
 		if len(s.WorkerBusy) > 0 {
 			sum, slowest := 0.0, 0.0
@@ -208,23 +241,72 @@ func main() {
 				rec.WorkerUtil = sum / (float64(len(s.WorkerBusy)) * slowest)
 			}
 		}
+		// A gated batch can carry NaN losses/norms; JSON cannot. The
+		// skipped flag plus zeroed floats keeps the line parseable.
+		for _, f := range []*float64{
+			&rec.CriticLoss, &rec.PolicyLoss, &rec.MeanFilter, &rec.FilterAccept,
+			&rec.AdvMean, &rec.AdvStd, &rec.GradNormPi, &rec.GradNormQ,
+		} {
+			if math.IsNaN(*f) || math.IsInf(*f, 0) {
+				*f = 0
+			}
+		}
 		if err := emit.Emit(rec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
 
-	learner.Train(ctx, ds, func(step int, cl, pl float64) {
+	logProgress := func(step int, cl, pl float64) {
 		abs := done + step
 		if abs%*logEvery == 0 && !*progress {
 			fmt.Printf("step %6d  critic %.4f  policy %.4f  (%s)\n",
 				abs, cl, pl, time.Since(start).Round(time.Second))
 		}
-		if *ckpt != "" && abs%*ckptEvery == 0 {
-			if err := learner.SaveCheckpointRotate(*ckpt, abs, *ckptKeep); err != nil {
+	}
+	if *useSent {
+		// The sentinel owns checkpointing: its rotations double as the
+		// resume points of PR 2 (same path, same format) and as rollback
+		// anchors, so the plain-save in the progress callback is disabled.
+		ckptPath := *ckpt
+		if ckptPath == "" {
+			ckptPath = *out + ".sentinel-ckpt"
+		}
+		sn := sentinel.New(sentinel.Config{
+			CheckpointPath:  ckptPath,
+			CheckpointEvery: *ckptEvery,
+			CheckpointKeep:  *ckptKeep,
+			Metrics:         reg,
+		})
+		trained, serr := sn.Run(ctx, learner, ds, logProgress)
+		learner = trained
+		if emit != nil {
+			if err := sn.EmitEvents(emit); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}
-	})
+		if sn.Trips() > 0 {
+			fmt.Printf("sentinel: %d trips (%d batch skips, %d rollbacks), final lr scale %g\n",
+				sn.Trips(), sn.Skips(), sn.Rollbacks(), sn.LRScale())
+		}
+		if serr != nil {
+			meter.Finish()
+			if emit != nil {
+				emit.Flush()
+			}
+			fmt.Fprintln(os.Stderr, serr)
+			os.Exit(1)
+		}
+	} else {
+		learner.Train(ctx, ds, func(step int, cl, pl float64) {
+			logProgress(step, cl, pl)
+			abs := done + step
+			if *ckpt != "" && abs%*ckptEvery == 0 {
+				if err := learner.SaveCheckpointRotate(*ckpt, abs, *ckptKeep); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+		})
+	}
 	meter.Finish()
 	if emit != nil {
 		if err := emit.Flush(); err != nil {

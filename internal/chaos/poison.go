@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+
+	"sage/internal/collector"
+)
+
+// PoisonKind names one way a stored trajectory can be corrupted. The
+// kinds mirror real collection failures: a worker that crashes mid-write
+// (truncation), a monitor that wedges (frozen states), float corruption
+// in transit (NaN/Inf fields), and a broken reward pipeline (huge
+// rewards).
+type PoisonKind string
+
+const (
+	PoisonNaNReward    PoisonKind = "nan-reward"
+	PoisonInfState     PoisonKind = "inf-state"
+	PoisonNaNAction    PoisonKind = "nan-action"
+	PoisonZeroAction   PoisonKind = "zero-action"
+	PoisonHugeReward   PoisonKind = "huge-reward"
+	PoisonTruncate     PoisonKind = "truncate"
+	PoisonFrozenStates PoisonKind = "frozen-states"
+)
+
+// allPoisonKinds is the round-robin injection order. The most virulent
+// kinds come first so even a small poisoned fraction exercises both
+// infection paths: NaN rewards corrupt the critic, NaN actions corrupt
+// the policy-regression gradients directly.
+var allPoisonKinds = []PoisonKind{
+	PoisonNaNReward, PoisonNaNAction, PoisonInfState, PoisonZeroAction,
+	PoisonHugeReward, PoisonTruncate, PoisonFrozenStates,
+}
+
+// PoisonedTraj records one injected corruption for test assertions.
+type PoisonedTraj struct {
+	Index int
+	Kind  PoisonKind
+}
+
+// PoisonPool corrupts roughly frac of the pool's trajectories in place,
+// cycling through every poison kind, and returns the ledger of what was
+// done where. Deterministic for a given seed. It is the data-side
+// analogue of PoisonPolicy: the fault the collector's quality gate and
+// the training sentinel exist to survive.
+func PoisonPool(p *collector.Pool, frac float64, seed int64) []PoisonedTraj {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(float64(len(p.Trajs))*frac + 0.5)
+	if n == 0 && frac > 0 && len(p.Trajs) > 0 {
+		n = 1
+	}
+	perm := rng.Perm(len(p.Trajs))
+	var ledger []PoisonedTraj
+	for i := 0; i < n && i < len(perm); i++ {
+		idx := perm[i]
+		kind := allPoisonKinds[i%len(allPoisonKinds)]
+		poisonTraj(&p.Trajs[idx], kind, rng)
+		ledger = append(ledger, PoisonedTraj{Index: idx, Kind: kind})
+	}
+	return ledger
+}
+
+func poisonTraj(tr *collector.Trajectory, kind PoisonKind, rng *rand.Rand) {
+	if len(tr.Steps) == 0 {
+		return
+	}
+	at := rng.Intn(len(tr.Steps))
+	switch kind {
+	case PoisonNaNReward:
+		for i := at; i < len(tr.Steps); i++ {
+			tr.Steps[i].Reward = math.NaN()
+		}
+	case PoisonInfState:
+		st := tr.Steps[at].State
+		if len(st) > 0 {
+			st[rng.Intn(len(st))] = math.Inf(1)
+		}
+	case PoisonNaNAction:
+		tr.Steps[at].Action = math.NaN()
+	case PoisonZeroAction:
+		tr.Steps[at].Action = 0 // a window cannot multiply by zero
+	case PoisonHugeReward:
+		tr.Steps[at].Reward = 1e12
+	case PoisonTruncate:
+		tr.Steps = tr.Steps[:1] // crashed mid-write: a single orphan step
+	case PoisonFrozenStates:
+		// Wedged monitor: replay the first state for the whole episode.
+		first := tr.Steps[0].State
+		for i := range tr.Steps {
+			tr.Steps[i].State = append([]float64(nil), first...)
+		}
+	}
+}

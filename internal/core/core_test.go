@@ -96,10 +96,13 @@ func TestAgentRespectsBounds(t *testing.T) {
 func TestWrapPolicyAndEmbedding(t *testing.T) {
 	pool := tinyPool(t)
 	ds := rl.BuildDataset(pool, nil)
-	bc := rl.TrainBC(ds, rl.BCConfig{
+	bc, err := rl.TrainBC(ds, rl.BCConfig{
 		Policy: nn.PolicyConfig{Enc: 12, Hidden: 6, ResBlocks: 1, K: 2},
 		Steps:  30, Batch: 4, SeqLen: 4,
 	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	model := WrapPolicy(bc, nil, gr.Config{})
 	agent := model.NewAgent(0)
 	emb := agent.LastHiddenEmbedding(pool.Trajs[0].Steps[0].State)

@@ -12,6 +12,7 @@ import (
 	"sage/internal/eval"
 	"sage/internal/gr"
 	"sage/internal/netem"
+	"sage/internal/nn"
 	"sage/internal/rl"
 	"sage/internal/rollout"
 )
@@ -105,6 +106,17 @@ func mustCollect(p *collector.Pool, err error) *collector.Pool {
 	return p
 }
 
+// mustPol unwraps a baseline trainer result. The trainers only error on
+// divergence (non-finite loss or weights); inside the experiment suite
+// that is unrecoverable and should fail the run loudly rather than let a
+// NaN policy skew every downstream table.
+func mustPol(p *nn.Policy, err error) *nn.Policy {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // Baseline builds (once) the named learning baseline of the ML league.
 // Unknown names return an error listing the known baselines instead of
 // panicking mid-suite.
@@ -151,30 +163,30 @@ func (a *Artifacts) baseline(name string) *core.Model {
 		switch name {
 		case "bc":
 			ds := rl.BuildDataset(a.Pool(), nil)
-			return core.WrapPolicy(rl.TrainBC(ds, bcCfg(), nil), nil, gr.Config{})
+			return core.WrapPolicy(mustPol(rl.TrainBC(ds, bcCfg(), nil)), nil, gr.Config{})
 		case "bc-top":
 			pool := a.Pool()
 			sub := pool.FilterSchemes(pool.TopSchemes(1)...)
 			ds := rl.BuildDataset(sub, nil)
-			return core.WrapPolicy(rl.TrainBC(ds, bcCfg(), nil), nil, gr.Config{})
+			return core.WrapPolicy(mustPol(rl.TrainBC(ds, bcCfg(), nil)), nil, gr.Config{})
 		case "bc-top3":
 			pool := a.Pool()
 			sub := pool.FilterSchemes(pool.TopSchemes(3)...)
 			ds := rl.BuildDataset(sub, nil)
-			return core.WrapPolicy(rl.TrainBC(ds, bcCfg(), nil), nil, gr.Config{})
+			return core.WrapPolicy(mustPol(rl.TrainBC(ds, bcCfg(), nil)), nil, gr.Config{})
 		case "bcv2":
 			ds := rl.BuildDataset(a.Pool().WinnersPerEnv(), nil)
-			return core.WrapPolicy(rl.TrainBC(ds, bcCfg(), nil), nil, gr.Config{})
+			return core.WrapPolicy(mustPol(rl.TrainBC(ds, bcCfg(), nil)), nil, gr.Config{})
 		case "onlinerl":
 			scens := append(s.SetI(), s.SetII()...)
-			return core.WrapPolicy(rl.TrainOnlineRL(onlineCfg("pure", scens)), nil, gr.Config{})
+			return core.WrapPolicy(mustPol(rl.TrainOnlineRL(onlineCfg("pure", scens))), nil, gr.Config{})
 		case "orca":
 			// Orca: hybrid over Cubic, original single-flow-reward training.
-			return core.WrapPolicy(rl.TrainOnlineRL(onlineCfg("cubic", s.SetI())), nil, gr.Config{})
+			return core.WrapPolicy(mustPol(rl.TrainOnlineRL(onlineCfg("cubic", s.SetI()))), nil, gr.Config{})
 		case "orcav2":
 			// Orcav2: retrained with both rewards over Set I and Set II.
 			scens := append(s.SetI(), s.SetII()...)
-			return core.WrapPolicy(rl.TrainOnlineRL(onlineCfg("cubic", scens)), nil, gr.Config{})
+			return core.WrapPolicy(mustPol(rl.TrainOnlineRL(onlineCfg("cubic", scens))), nil, gr.Config{})
 		case "deepcc":
 			// DeepCC: hybrid plugin trained on variable-link scenarios only.
 			var steps []netem.Scenario
@@ -186,31 +198,31 @@ func (a *Artifacts) baseline(name string) *core.Model {
 			if len(steps) == 0 {
 				steps = s.SetI()
 			}
-			return core.WrapPolicy(rl.TrainOnlineRL(onlineCfg("cubic", steps)), nil, gr.Config{})
+			return core.WrapPolicy(mustPol(rl.TrainOnlineRL(onlineCfg("cubic", steps))), nil, gr.Config{})
 		case "aurora":
-			pol := rl.TrainAurora(rl.AuroraConfig{
+			pol := mustPol(rl.TrainAurora(rl.AuroraConfig{
 				Policy: s.Policy, Scenarios: s.SetI(), Episodes: s.Episodes, Seed: s.Seed,
-			})
+			}))
 			return core.WrapPolicy(pol, nil, gr.Config{})
 		case "genet":
 			scens := append(s.SetI(), s.SetII()...)
-			pol := rl.TrainAurora(rl.AuroraConfig{
+			pol := mustPol(rl.TrainAurora(rl.AuroraConfig{
 				Policy: s.Policy, Scenarios: scens, Episodes: s.Episodes,
 				Curriculum: true, Seed: s.Seed,
-			})
+			}))
 			return core.WrapPolicy(pol, nil, gr.Config{})
 		case "indigo":
-			pol := rl.TrainIndigo(rl.IndigoConfig{
+			pol := mustPol(rl.TrainIndigo(rl.IndigoConfig{
 				Policy: s.Policy, Scenarios: capScens(s.SetI(), 12),
 				DaggerIters: s.DaggerIters, Seed: s.Seed,
-			})
+			}))
 			return core.WrapPolicy(pol, nil, gr.Config{})
 		case "indigov2":
 			scens := append(capScens(s.SetI(), 8), capScens(s.SetII(), 8)...)
-			pol := rl.TrainIndigo(rl.IndigoConfig{
+			pol := mustPol(rl.TrainIndigo(rl.IndigoConfig{
 				Policy: s.Policy, Scenarios: scens,
 				DaggerIters: s.DaggerIters, Seed: s.Seed,
-			})
+			}))
 			return core.WrapPolicy(pol, nil, gr.Config{})
 		}
 		// Unreachable: Baseline validated name against baselineNames.

@@ -105,28 +105,44 @@ type Normalizer struct {
 }
 
 // FitNormalizer estimates per-feature mean and standard deviation.
+// Non-finite values are excluded per feature: one NaN/Inf observation in
+// a poisoned trajectory must not corrupt the statistics every state in
+// the pool is standardized with. On all-finite data the result is
+// bitwise-identical to the naive fit.
 func FitNormalizer(samples [][]float64) *Normalizer {
 	if len(samples) == 0 {
 		return &Normalizer{}
 	}
 	dim := len(samples[0])
 	n := &Normalizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	cnt := make([]float64, dim)
 	for _, s := range samples {
 		for i, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
 			n.Mean[i] += v
+			cnt[i]++
 		}
 	}
 	for i := range n.Mean {
-		n.Mean[i] /= float64(len(samples))
+		if cnt[i] > 0 {
+			n.Mean[i] /= cnt[i]
+		}
 	}
 	for _, s := range samples {
 		for i, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
 			d := v - n.Mean[i]
 			n.Std[i] += d * d
 		}
 	}
 	for i := range n.Std {
-		n.Std[i] = math.Sqrt(n.Std[i] / float64(len(samples)))
+		if cnt[i] > 0 {
+			n.Std[i] = math.Sqrt(n.Std[i] / cnt[i])
+		}
 		if n.Std[i] < 1e-6 {
 			n.Std[i] = 1
 		}

@@ -146,6 +146,13 @@ func (c *Critic) Project(r, gamma float64, nextProbs []float64) []float64 {
 			tz = c.Cfg.VMax
 		}
 		b := (tz - c.Cfg.VMin) / dz
+		if math.IsNaN(b) {
+			// A non-finite reward or next-distribution must not turn into a
+			// wild slice index. Fold the NaN into the target distribution so
+			// the loss goes non-finite and the training sentinel can trip.
+			m[0] += b
+			continue
+		}
 		l := int(math.Floor(b))
 		u := int(math.Ceil(b))
 		if l < 0 {

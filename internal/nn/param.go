@@ -104,6 +104,20 @@ func GradNorm(m Module) float64 {
 	return math.Sqrt(s)
 }
 
+// FiniteParams reports whether every parameter of the module is finite —
+// the corruption sweep guards and the training sentinel run between
+// optimizer steps.
+func FiniteParams(m Module) bool {
+	for _, p := range m.Params() {
+		for _, v := range p.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // ClipGrads scales gradients so their global norm is at most maxNorm.
 func ClipGrads(m Module, maxNorm float64) {
 	n := GradNorm(m)

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -59,7 +60,10 @@ func difficulty(sc netem.Scenario) float64 {
 }
 
 // TrainAurora runs REINFORCE with a mean baseline and returns the policy.
-func TrainAurora(cfg AuroraConfig) *nn.Policy {
+// Non-finite returns or gradients (the divergence mode Jay et al. report
+// for exactly this training loop) abort with an error instead of letting
+// a NaN update silently corrupt the policy.
+func TrainAurora(cfg AuroraConfig) (*nn.Policy, error) {
 	cfg = cfg.fill()
 	rng := rand.New(rand.NewSource(cfg.Seed + 777))
 	scens := append([]netem.Scenario(nil), cfg.Scenarios...)
@@ -118,6 +122,9 @@ func TrainAurora(cfg AuroraConfig) *nn.Policy {
 			mean += r
 		}
 		mean /= float64(n)
+		if !finite(mean) {
+			return nil, fmt.Errorf("rl: aurora diverged at episode %d: non-finite return", ep)
+		}
 
 		for i := 0; i < n; i++ {
 			head, _, cache := pol.Forward(ctl.States[i], nil)
@@ -128,8 +135,11 @@ func TrainAurora(cfg AuroraConfig) *nn.Policy {
 			}
 			pol.Backward(cache, dp, nil)
 		}
+		if !finite(nn.GradNorm(pol)) {
+			return nil, fmt.Errorf("rl: aurora diverged at episode %d: non-finite gradient", ep)
+		}
 		nn.ClipGrads(pol, 10)
 		opt.Step(pol)
 	}
-	return pol
+	return pol, nil
 }

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"fmt"
 	"math/rand"
 
 	"sage/internal/nn"
@@ -36,7 +37,9 @@ func (c BCConfig) Fill() BCConfig {
 }
 
 // TrainBC trains a policy by log-likelihood on the dataset and returns it.
-func TrainBC(ds *Dataset, cfg BCConfig, progress func(step int, nll float64)) *nn.Policy {
+// A non-finite loss (NaN/Inf from poisoned data or a diverged update)
+// fails fast with an error instead of silently emitting a NaN policy.
+func TrainBC(ds *Dataset, cfg BCConfig, progress func(step int, nll float64)) (*nn.Policy, error) {
 	cfg = cfg.Fill()
 	cfg.Policy.InDim = ds.InDim()
 	cfg.Policy.Seed = cfg.Seed
@@ -67,11 +70,14 @@ func TrainBC(ds *Dataset, cfg BCConfig, progress func(step int, nll float64)) *n
 				dHidden = pol.Backward(caches[i], dp, dHidden)
 			}
 		}
+		if !finite(nll) {
+			return nil, fmt.Errorf("rl: BC diverged at step %d: non-finite loss", step)
+		}
 		nn.ClipGrads(pol, 10)
 		opt.Step(pol)
 		if progress != nil {
 			progress(step, nll/float64(cfg.Batch*cfg.SeqLen))
 		}
 	}
-	return pol
+	return pol, nil
 }

@@ -42,6 +42,9 @@ type CRRConfig struct {
 	// window moves (default 0.5): backoffs are <1% of the pool but carry
 	// the congestion response the policy must learn.
 	EventFrac float64
+	// ClipNorm is the global L2 gradient-clip threshold applied to both
+	// networks before each optimizer step (default 10).
+	ClipNorm float64
 	// Workers shards each batch across goroutines with per-worker network
 	// clones (gradients are summed before the optimizer step) — the
 	// repository's analogue of the paper's general-purpose-cluster
@@ -94,6 +97,9 @@ func (c CRRConfig) Fill() CRRConfig {
 	if c.EventFrac == 0 {
 		c.EventFrac = 0.5
 	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 10
+	}
 	return c
 }
 
@@ -116,6 +122,7 @@ type CRR struct {
 	// worker set is (lazily) built.
 	resumeWorkerRNG []uint64
 	stepIdx         int
+	lastBatchID     uint64 // sampler stream position before the current batch
 	// Diagnostics updated each Train step.
 	LastCriticLoss float64
 	LastPolicyLoss float64
@@ -127,6 +134,13 @@ type CRR struct {
 	// It runs on the training goroutine after the optimizer step;
 	// mutating the learner from it is not supported.
 	OnStep func(TrainStats)
+	// GradGate, when set, inspects each step's stats after gradients are
+	// accumulated but before clipping and the optimizer step. Returning
+	// false discards the batch: gradients are zeroed, the parameters are
+	// untouched, and the step is recorded with Skipped=true. This is the
+	// sentinel's hook for rejecting batches whose loss or gradients have
+	// gone non-finite before they can poison the weights.
+	GradGate func(TrainStats) bool
 }
 
 // TrainStats is the per-gradient-step diagnostic record: losses, the
@@ -134,17 +148,23 @@ type CRR struct {
 // pre-clip gradient norms, and (under Workers>1) per-worker busy time
 // for utilization accounting.
 type TrainStats struct {
-	Step         int       // 1-based step index within this learner
-	CriticLoss   float64   // mean TD/CE loss per transition
-	PolicyLoss   float64   // mean filtered −logπ per transition
-	MeanFilter   float64   // mean CRR filter weight f
-	FilterAccept float64   // fraction of transitions with f > 0
-	AdvMean      float64   // mean advantage Q(s,a) − V̂(s)
-	AdvStd       float64   // advantage standard deviation
-	GradNormPi   float64   // policy gradient L2 norm, before clipping
-	GradNormQ    float64   // critic gradient L2 norm, before clipping
-	Workers      int       // goroutines that produced the gradients (≥1)
-	WorkerBusy   []float64 // per-worker busy seconds (nil when serial)
+	Step           int       // 1-based step index within this learner
+	CriticLoss     float64   // mean TD/CE loss per transition
+	PolicyLoss     float64   // mean filtered −logπ per transition
+	MeanFilter     float64   // mean CRR filter weight f
+	FilterAccept   float64   // fraction of transitions with f > 0
+	AdvMean        float64   // mean advantage Q(s,a) − V̂(s)
+	AdvStd         float64   // advantage standard deviation
+	GradNormPi     float64   // policy gradient L2 norm, before clipping
+	GradNormQ      float64   // critic gradient L2 norm, before clipping
+	GradNormPiClip float64   // policy gradient L2 norm after clipping (0 when skipped)
+	GradNormQClip  float64   // critic gradient L2 norm after clipping (0 when skipped)
+	LRPolicy       float64   // policy learning rate in effect this step
+	LRCritic       float64   // critic learning rate in effect this step
+	BatchID        uint64    // sampler stream position that produced this batch
+	Skipped        bool      // true when GradGate rejected the batch (no optimizer step)
+	Workers        int       // goroutines that produced the gradients (≥1)
+	WorkerBusy     []float64 // per-worker busy seconds (nil when serial)
 }
 
 // shardStats accumulates one batch shard's raw sums; shards from
@@ -165,7 +185,7 @@ func (a *shardStats) add(b shardStats) {
 	a.accepted += b.accepted
 }
 
-// NewCRR builds the learner for a dataset: network input sizes and
+// / NewCRR builds the learner for a dataset: network input sizes and
 // normalizers come from the data.
 func NewCRR(ds *Dataset, cfg CRRConfig) *CRR {
 	cfg = cfg.Fill()
@@ -223,23 +243,32 @@ func (l *CRR) Train(ctx context.Context, ds *Dataset, progress func(step int, cr
 		if ctx != nil && ctx.Err() != nil {
 			return
 		}
-		cl, pl := l.step(ds)
+		st := l.TrainStep(ds)
 		if progress != nil {
-			progress(step, cl, pl)
-		}
-		// Target syncs are scheduled on the absolute step index (stepIdx
-		// survives checkpoint resume), so a resumed run syncs at the same
-		// global steps as an uninterrupted one.
-		if l.stepIdx%l.Cfg.TargetEvery == 0 {
-			nn.CopyParams(l.targetPolicy, l.Policy)
-			if l.Critic != nil {
-				nn.CopyParams(l.targetCritic, l.Critic)
-			}
-			if l.NAF != nil {
-				nn.CopyParams(l.targetNAF, l.NAF)
-			}
+			progress(step, st.CriticLoss, st.PolicyLoss)
 		}
 	}
+}
+
+// TrainStep runs exactly one gradient step (including any due target
+// sync) and returns its stats. Train is a loop over TrainStep; the
+// divergence sentinel drives TrainStep directly so it can inspect every
+// step and roll back between them.
+func (l *CRR) TrainStep(ds *Dataset) TrainStats {
+	l.step(ds)
+	// Target syncs are scheduled on the absolute step index (stepIdx
+	// survives checkpoint resume), so a resumed run syncs at the same
+	// global steps as an uninterrupted one.
+	if l.stepIdx%l.Cfg.TargetEvery == 0 {
+		nn.CopyParams(l.targetPolicy, l.Policy)
+		if l.Critic != nil {
+			nn.CopyParams(l.targetCritic, l.Critic)
+		}
+		if l.NAF != nil {
+			nn.CopyParams(l.targetNAF, l.NAF)
+		}
+	}
+	return l.LastStats
 }
 
 // StepsDone returns the absolute number of gradient steps this learner has
@@ -275,6 +304,7 @@ func (l *CRR) step(ds *Dataset) (criticLoss, policyLoss float64) {
 	if cfg.Workers > 1 {
 		return l.stepParallel(ds)
 	}
+	l.lastBatchID = l.rngSrc.State()
 	nets := netSet{policy: l.Policy, critic: l.Critic, naf: l.NAF}
 	st := l.processSeqs(nets, ds, l.rng, cfg.Batch)
 	l.finishStep(st, nil)
@@ -379,16 +409,13 @@ func (l *CRR) processSeqs(nets netSet, ds *Dataset, rng *rand.Rand, nSeqs int) (
 	return st
 }
 
-// finishStep clips, applies the optimizer, and updates diagnostics.
-// workerBusy carries per-worker busy seconds under parallel training.
+// finishStep clips, applies the optimizer (unless GradGate rejects the
+// batch), and updates diagnostics. workerBusy carries per-worker busy
+// seconds under parallel training.
 func (l *CRR) finishStep(st shardStats, workerBusy []float64) {
 	cfg := l.Cfg
 	gradQ := nn.GradNorm(l.criticModule())
 	gradPi := nn.GradNorm(l.Policy)
-	nn.ClipGrads(l.criticModule(), 10)
-	nn.ClipGrads(l.Policy, 10)
-	l.optQ.Step(l.criticModule())
-	l.optPi.Step(l.Policy)
 
 	n := float64(cfg.Batch * cfg.SeqLen)
 	l.LastCriticLoss = st.cLoss / n
@@ -404,6 +431,9 @@ func (l *CRR) finishStep(st shardStats, workerBusy []float64) {
 		MeanFilter: l.LastMeanFilter,
 		GradNormPi: gradPi,
 		GradNormQ:  gradQ,
+		LRPolicy:   l.optPi.LR,
+		LRCritic:   l.optQ.LR,
+		BatchID:    l.lastBatchID,
 		Workers:    1,
 		WorkerBusy: workerBusy,
 	}
@@ -419,9 +449,64 @@ func (l *CRR) finishStep(st shardStats, workerBusy []float64) {
 			stats.AdvStd = math.Sqrt(variance)
 		}
 	}
+	if l.GradGate != nil && !l.GradGate(stats) {
+		// Rejected: drop the accumulated gradients on the floor so the
+		// parameters (and Adam's moments) never see them.
+		stats.Skipped = true
+		nn.ZeroGrads(l.Policy)
+		nn.ZeroGrads(l.criticModule())
+	} else {
+		nn.ClipGrads(l.criticModule(), cfg.ClipNorm)
+		nn.ClipGrads(l.Policy, cfg.ClipNorm)
+		stats.GradNormQClip = nn.GradNorm(l.criticModule())
+		stats.GradNormPiClip = nn.GradNorm(l.Policy)
+		l.optQ.Step(l.criticModule())
+		l.optPi.Step(l.Policy)
+	}
 	l.LastStats = stats
 	if l.OnStep != nil {
 		l.OnStep(stats)
+	}
+}
+
+// LearningRates returns the optimizers' current step sizes (policy, critic).
+func (l *CRR) LearningRates() (pi, q float64) { return l.optPi.LR, l.optQ.LR }
+
+// SetLearningRates overrides the optimizers' step sizes — the sentinel's
+// backoff/recovery lever. Adam's moments are preserved.
+func (l *CRR) SetLearningRates(pi, q float64) {
+	l.optPi.LR = pi
+	l.optQ.LR = q
+}
+
+// CriticModule returns whichever critic variant is active, as a module —
+// for parameter sweeps and diagnostics outside the package.
+func (l *CRR) CriticModule() nn.Module { return l.criticModule() }
+
+// ParamsFinite reports whether every parameter of the online networks is
+// finite — the sentinel's corruption sweep. (The targets are periodic
+// copies of the online networks, so they cannot be corrupt while the
+// online ones are clean.)
+func (l *CRR) ParamsFinite() bool {
+	return nn.FiniteParams(l.Policy) && nn.FiniteParams(l.criticModule())
+}
+
+// SkipBatch deterministically advances every batch-sampler stream by one
+// draw, changing the composition of the next sampled batch without
+// consuming a gradient step — the sentinel's "skip the offending batch"
+// primitive after a rollback. The shift is a pure function of the stream
+// state, so a run that rolls back and skips is itself reproducible.
+func (l *CRR) SkipBatch() {
+	l.rngSrc.Uint64()
+	for _, w := range l.workerSet {
+		w.src.Uint64()
+	}
+	// Workers not built yet (fresh from a checkpoint): advance the
+	// checkpointed positions they will be built from.
+	for i, s := range l.resumeWorkerRNG {
+		src := &rngSource{s: s}
+		src.Uint64()
+		l.resumeWorkerRNG[i] = src.State()
 	}
 }
 
@@ -434,3 +519,6 @@ func clampU(u float64) float64 {
 	}
 	return u
 }
+
+// finite reports whether x is a usable number (not NaN, not ±Inf).
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"fmt"
 	"math/rand"
 
 	"sage/internal/cc"
@@ -89,8 +90,9 @@ func (o *oracleController) Control(now sim.Time, conn *tcp.Conn, state []float64
 }
 
 // TrainIndigo runs DAgger-style imitation of the oracle and returns the
-// policy.
-func TrainIndigo(cfg IndigoConfig) *nn.Policy {
+// policy. A non-finite imitation loss fails fast with an error instead of
+// silently emitting a NaN policy.
+func TrainIndigo(cfg IndigoConfig) (*nn.Policy, error) {
 	cfg = cfg.fill()
 	rng := rand.New(rand.NewSource(cfg.Seed + 888))
 	cfg.Policy.InDim = len(cfg.Mask)
@@ -128,6 +130,7 @@ func TrainIndigo(cfg IndigoConfig) *nn.Policy {
 		}
 		// Supervised regression on the aggregated dataset.
 		for step := 0; step < cfg.StepsPer; step++ {
+			nll := 0.0
 			for b := 0; b < cfg.Batch; b++ {
 				tr, start := ds.sampleSeq(rng, cfg.SeqLen)
 				h := pol.InitHidden()
@@ -138,7 +141,8 @@ func TrainIndigo(cfg IndigoConfig) *nn.Policy {
 				}
 				var dHidden []float64
 				for i := cfg.SeqLen - 1; i >= 0; i-- {
-					_, dp := pol.GMM.LogProbGrad(heads[i], tr.Actions[start+i])
+					logp, dp := pol.GMM.LogProbGrad(heads[i], tr.Actions[start+i])
+					nll += -logp
 					w := -1.0 / float64(cfg.Batch*cfg.SeqLen)
 					for k := range dp {
 						dp[k] *= w
@@ -146,9 +150,12 @@ func TrainIndigo(cfg IndigoConfig) *nn.Policy {
 					dHidden = pol.Backward(caches[i], dp, dHidden)
 				}
 			}
+			if !finite(nll) {
+				return nil, fmt.Errorf("rl: indigo diverged at iteration %d step %d: non-finite loss", iter, step)
+			}
 			nn.ClipGrads(pol, 10)
 			opt.Step(pol)
 		}
 	}
-	return pol
+	return pol, nil
 }

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 
 	"sage/internal/cc"
@@ -46,7 +47,10 @@ func (c OnlineRLConfig) fill() OnlineRLConfig {
 // TrainOnlineRL runs the online loop: rollout the current (stochastic)
 // policy on a random training environment, append the experience to the
 // replay data, and take gradient steps. It returns the trained policy.
-func TrainOnlineRL(cfg OnlineRLConfig) *nn.Policy {
+// Divergence — a non-finite loss or non-finite weights after a round of
+// updates — aborts with an error instead of silently emitting a NaN
+// policy (the failure mode Section 6.2 observes for this paradigm).
+func TrainOnlineRL(cfg OnlineRLConfig) (*nn.Policy, error) {
 	cfg = cfg.fill()
 	rng := rand.New(rand.NewSource(cfg.Seed + 555))
 
@@ -98,12 +102,15 @@ func TrainOnlineRL(cfg OnlineRLConfig) *nn.Policy {
 		learner.Cfg.Steps = steps
 		learner.Train(context.Background(), ds, nil)
 		learner.Cfg.Steps = saved
+		if !finite(learner.LastCriticLoss) || !finite(learner.LastPolicyLoss) || !learner.ParamsFinite() {
+			return nil, fmt.Errorf("rl: online RL diverged in round %d: non-finite loss or weights", round)
+		}
 	}
 	if learner == nil {
 		// Degenerate config; return an untrained policy of the right shape.
 		pc := crrCfg.Fill().Policy
 		pc.InDim = len(cfg.Mask)
-		return nn.NewPolicy(pc)
+		return nn.NewPolicy(pc), nil
 	}
-	return learner.Policy
+	return learner.Policy, nil
 }

@@ -54,6 +54,13 @@ func (l *CRR) stepParallel(ds *Dataset) (criticLoss, policyLoss float64) {
 	cfg := l.Cfg
 	ds.buildEventIndex() // before fan-out: the lazy index must not race
 	ws := l.workers()
+	// Batch identity under data parallelism is the fold of the per-worker
+	// sampler positions (the main stream is not consumed here).
+	id := l.rngSrc.State()
+	for _, w := range ws {
+		id = id*31 + w.src.State()
+	}
+	l.lastBatchID = id
 	// Refresh worker parameters and clear their gradients.
 	for _, w := range ws {
 		nn.CopyParams(w.nets.policy, l.Policy)

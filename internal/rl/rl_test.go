@@ -69,7 +69,10 @@ func TestBCConvergesOnConstantPolicy(t *testing.T) {
 	}
 	ds.Trajs = []Traj{tr}
 	ds.Norm = nn.FitNormalizer(tr.States)
-	pol := TrainBC(ds, BCConfig{Policy: nn.PolicyConfig{Enc: 8, Hidden: 4, ResBlocks: 1, K: 2}, Steps: 250, Batch: 4, SeqLen: 4}, nil)
+	pol, err := TrainBC(ds, BCConfig{Policy: nn.PolicyConfig{Enc: 8, Hidden: 4, ResBlocks: 1, K: 2}, Steps: 250, Batch: 4, SeqLen: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	head, _, _ := pol.Forward([]float64{1, -1}, pol.InitHidden())
 	if got := pol.GMM.Mean(head); math.Abs(got-0.5) > 0.15 {
 		t.Fatalf("BC mean action %v, want ~0.5", got)
@@ -130,7 +133,7 @@ func TestPolicyControllerDrivesFlow(t *testing.T) {
 }
 
 func TestTrainOnlineRLProducesUsablePolicy(t *testing.T) {
-	pol := TrainOnlineRL(OnlineRLConfig{
+	pol, err := TrainOnlineRL(OnlineRLConfig{
 		CRR: CRRConfig{
 			Policy: tinyPolicyCfg(),
 			Critic: nn.CriticConfig{Hidden: 12, Atoms: 11},
@@ -141,6 +144,9 @@ func TestTrainOnlineRLProducesUsablePolicy(t *testing.T) {
 		StepsPer:  10,
 		Seed:      2,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pol == nil {
 		t.Fatal("nil policy")
 	}
@@ -154,13 +160,16 @@ func TestTrainOnlineRLProducesUsablePolicy(t *testing.T) {
 
 func TestTrainAuroraAndGenet(t *testing.T) {
 	for _, curriculum := range []bool{false, true} {
-		pol := TrainAurora(AuroraConfig{
+		pol, err := TrainAurora(AuroraConfig{
 			Policy:     tinyPolicyCfg(),
 			Scenarios:  tinyScenarios(),
 			Episodes:   4,
 			Curriculum: curriculum,
 			Seed:       5,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if pol == nil {
 			t.Fatal("nil policy")
 		}
@@ -177,13 +186,16 @@ func TestTrainAuroraAndGenet(t *testing.T) {
 
 func TestTrainIndigoImitatesOracle(t *testing.T) {
 	scens := tinyScenarios()[:2]
-	pol := TrainIndigo(IndigoConfig{
+	pol, err := TrainIndigo(IndigoConfig{
 		Policy:      tinyPolicyCfg(),
 		Scenarios:   scens,
 		DaggerIters: 2,
 		StepsPer:    60,
 		Seed:        4,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctl := NewPolicyController(pol, nil, false, 1)
 	res := rollout.Run(scens[0], cc.MustNew("pure"), rollout.Options{Controller: ctl})
 	if res.ThroughputBps <= 0 {
