@@ -1,0 +1,106 @@
+// Command sage-serve runs the batched policy-serving daemon: one process
+// holding one policy, serving cwnd decisions for any number of flows over
+// a Unix domain socket. Concurrent requests are coalesced into batched
+// forward passes (internal/serve), so a fleet of thin per-flow clients
+// shares the inference cost instead of each paying for its own network.
+//
+// Usage:
+//
+//	sage-serve -socket /run/sage.sock -model sage.model
+//	sage-serve -socket /tmp/sage.sock -max-batch 512 -deadline 100us -pprof :6060
+//
+// Without -model a freshly initialized (untrained) policy is served —
+// useful for protocol smoke tests and load benchmarks. SIGINT/SIGTERM
+// drain gracefully: queued decisions complete, clients are hung up, and
+// a final metrics snapshot is printed.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sage/internal/core"
+	"sage/internal/gr"
+	"sage/internal/nn"
+	"sage/internal/serve"
+	"sage/internal/telemetry"
+)
+
+func main() {
+	var (
+		socket      = flag.String("socket", "/tmp/sage-serve.sock", "unix socket path to listen on")
+		modelPath   = flag.String("model", "", "trained model file (empty = fresh untrained policy)")
+		maxBatch    = flag.Int("max-batch", 256, "max flows per batched forward pass")
+		deadline    = flag.Duration("deadline", 200*time.Microsecond, "micro-batch deadline")
+		workers     = flag.Int("workers", 0, "forward-pass workers (0 = GOMAXPROCS)")
+		maxSessions = flag.Int("max-sessions", 4096, "resident session cap (LRU eviction beyond)")
+		stochastic  = flag.Bool("stochastic", false, "sample actions from the GMM instead of its mean")
+		seed        = flag.Int64("seed", 1, "RNG seed for stochastic serving")
+		pprofAddr   = flag.String("pprof", "", "serve pprof + /debug/vars on this addr")
+	)
+	flag.Parse()
+
+	var (
+		pol  *nn.Policy
+		mask []int
+	)
+	if *modelPath != "" {
+		model, err := core.LoadModel(*modelPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pol, mask = model.Policy, model.Mask
+	} else {
+		cfg := nn.PolicyConfig{InDim: gr.StateDim}
+		pol = nn.NewPolicy(cfg)
+		fmt.Fprintln(os.Stderr, "sage-serve: no -model given, serving a fresh untrained policy")
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.PublishExpvar("sage-serve")
+	if *pprofAddr != "" {
+		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	eng := serve.NewEngine(serve.Config{
+		Policy:        pol,
+		Mask:          mask,
+		Stochastic:    *stochastic,
+		Seed:          *seed,
+		MaxSessions:   *maxSessions,
+		MaxBatch:      *maxBatch,
+		BatchDeadline: *deadline,
+		Workers:       *workers,
+		Metrics:       reg,
+	})
+	srv := serve.NewServer(eng)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "sage-serve: %v, draining\n", sig)
+		srv.Shutdown()
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "sage-serve: listening on %s\n", *socket)
+	if err := srv.ListenAndServe(*socket); err != nil && !errors.Is(err, net.ErrClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-done
+	os.Remove(*socket)
+	fmt.Fprintf(os.Stderr, "sage-serve: final metrics\n%s", reg)
+}

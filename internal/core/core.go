@@ -62,8 +62,10 @@ func Train(pool *collector.Pool, cfg Config, progress func(step int, criticLoss,
 type Agent struct {
 	model      *Model
 	hidden     []float64
-	Stochastic bool // sample from the GMM instead of taking its mean
-	UseMode    bool // act on the highest-weight component instead of the mixture mean
+	maskBuf    []float64 // scratch for the masked state (reused every interval)
+	meanBuf    []float64 // scratch for GMM weight normalization
+	Stochastic bool      // sample from the GMM instead of taking its mean
+	UseMode    bool      // act on the highest-weight component instead of the mixture mean
 	rng        *rand.Rand
 
 	MinCwnd float64
@@ -84,10 +86,12 @@ func (m *Model) NewAgent(seed int64) *Agent {
 // Reset clears the recurrent state (call between flows).
 func (a *Agent) Reset() { a.hidden = a.model.Policy.InitHidden() }
 
-// Control implements rollout.Controller.
+// Control implements rollout.Controller. The mask projection and mixture
+// mean reuse per-agent scratch so the per-interval decision path allocates
+// only what Policy.Forward itself needs.
 func (a *Agent) Control(now sim.Time, conn *tcp.Conn, state []float64) {
-	masked := gr.ApplyMask(state, a.model.Mask)
-	head, h, _ := a.model.Policy.Forward(masked, a.hidden)
+	a.maskBuf = gr.ApplyMaskInto(a.maskBuf, state, a.model.Mask)
+	head, h, _ := a.model.Policy.Forward(a.maskBuf, a.hidden)
 	a.hidden = h
 	var u float64
 	switch {
@@ -96,7 +100,10 @@ func (a *Agent) Control(now sim.Time, conn *tcp.Conn, state []float64) {
 	case a.UseMode:
 		u = a.model.Policy.GMM.Mode(head)
 	default:
-		u = a.model.Policy.GMM.Mean(head)
+		if cap(a.meanBuf) < a.model.Policy.GMM.K {
+			a.meanBuf = make([]float64, a.model.Policy.GMM.K)
+		}
+		u = a.model.Policy.GMM.MeanInto(head, a.meanBuf[:a.model.Policy.GMM.K])
 	}
 	conn.SetCwnd(tcp.ClampCwnd(conn.Cwnd*rl.UToRatio(u), a.MinCwnd, a.MaxCwnd))
 }

@@ -70,9 +70,19 @@ func maskDroppingRange(lo, hi int) []int {
 
 // ApplyMask projects state onto the kept indices.
 func ApplyMask(state []float64, mask []int) []float64 {
-	out := make([]float64, len(mask))
-	for i, j := range mask {
-		out[i] = state[j]
+	return ApplyMaskInto(make([]float64, len(mask)), state, mask)
+}
+
+// ApplyMaskInto is ApplyMask writing into dst, growing it only when it is
+// too small. Controllers on the per-interval decision path keep a scratch
+// buffer and call this to stay allocation-free.
+func ApplyMaskInto(dst, state []float64, mask []int) []float64 {
+	if cap(dst) < len(mask) {
+		dst = make([]float64, len(mask))
 	}
-	return out
+	dst = dst[:len(mask)]
+	for i, j := range mask {
+		dst[i] = state[j]
+	}
+	return dst
 }

@@ -38,6 +38,20 @@ type Controller interface {
 // of one poisoned by the episode that tripped it.
 type resettable interface{ Reset() }
 
+// Flusher mirrors rollout.BatchFlusher (redeclared locally, like
+// Controller, to avoid an import cycle): a controller that defers its
+// decisions into a shared batching engine and applies them on flush.
+type Flusher interface {
+	FlushBatch(now sim.Time)
+}
+
+// BatchController is a controller whose decisions go through a batching
+// engine (serve.Controller).
+type BatchController interface {
+	Controller
+	Flusher
+}
+
 // Config tunes the guardian. The zero value is usable: every field has a
 // conservative default.
 type Config struct {
@@ -156,6 +170,31 @@ type GuardedController struct {
 func New(inner Controller, cfg Config) *GuardedController {
 	return &GuardedController{inner: inner, cfg: cfg.fill()}
 }
+
+// BatchGuarded is a GuardedController over a batching controller. It
+// forwards FlushBatch so rollout's per-interval flush still reaches the
+// shared engine when the policy path is guarded. It is a separate type —
+// rather than a FlushBatch method on GuardedController — so that only
+// genuinely batching controllers satisfy rollout.BatchFlusher; rollout
+// skips its inline Kick for flushers, which would stall a non-batching
+// guarded flow.
+//
+// A tripped guard never calls the inner controller, so a tripped flow
+// simply contributes no row to the batch: the remaining flows' batch
+// proceeds without stalling on it.
+type BatchGuarded struct {
+	*GuardedController
+	flusher Flusher
+}
+
+// NewBatched wraps a batching controller (e.g. serve.Controller) in a
+// guardian that keeps the flush path intact.
+func NewBatched(inner BatchController, cfg Config) *BatchGuarded {
+	return &BatchGuarded{GuardedController: New(inner, cfg), flusher: inner}
+}
+
+// FlushBatch implements rollout.BatchFlusher.
+func (b *BatchGuarded) FlushBatch(now sim.Time) { b.flusher.FlushBatch(now) }
 
 // Control implements rollout.Controller.
 func (g *GuardedController) Control(now sim.Time, conn *tcp.Conn, state []float64) {

@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// Batched inference must match the sequential path within 1e-12 for every
+// architecture variant (in practice the kernels are bitwise identical;
+// the tolerance guards against future loop-order changes).
+func TestPolicyBatchForwardMatchesSequential(t *testing.T) {
+	cfgs := map[string]PolicyConfig{
+		"full":      {InDim: 69, Enc: 32, Hidden: 24, ResBlocks: 2, K: 5, Seed: 1},
+		"noGRU":     {InDim: 69, Enc: 32, Hidden: 24, ResBlocks: 2, K: 5, NoGRU: true, Seed: 2},
+		"noEncoder": {InDim: 69, Enc: 32, Hidden: 24, ResBlocks: 2, K: 5, NoEncoder: true, Seed: 3},
+		"k1":        {InDim: 12, Enc: 16, Hidden: 8, ResBlocks: 1, K: 1, Seed: 4},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			p := NewPolicy(cfg)
+			rng := rand.New(rand.NewSource(99))
+			// Non-trivial normalizer so BatchApply is exercised.
+			var fit [][]float64
+			for i := 0; i < 32; i++ {
+				fit = append(fit, randVec(rng, cfg.InDim))
+			}
+			p.Norm = FitNormalizer(fit)
+
+			const B = 33
+			hidDim := len(p.InitHidden())
+			states := NewMat(B, cfg.InDim)
+			hidden := NewMat(B, hidDim)
+			seqH := make([][]float64, B)
+			for r := 0; r < B; r++ {
+				states.SetRow(r, randVec(rng, cfg.InDim))
+				h := p.InitHidden()
+				for i := range h {
+					h[i] = rng.NormFloat64()
+				}
+				seqH[r] = h
+				hidden.SetRow(r, h)
+			}
+
+			scratch := p.NewBatchScratch()
+			heads, hNew := p.BatchForward(states, hidden, scratch)
+
+			wbuf := make([]float64, p.GMM.K)
+			for r := 0; r < B; r++ {
+				head, h2, _ := p.Forward(states.Row(r), seqH[r])
+				for i := range head {
+					if d := math.Abs(head[i] - heads.Row(r)[i]); d > 1e-12 {
+						t.Fatalf("row %d head[%d]: batched %v vs sequential %v (Δ=%g)",
+							r, i, heads.Row(r)[i], head[i], d)
+					}
+				}
+				if hidDim > 0 {
+					for i := range h2 {
+						if d := math.Abs(h2[i] - hNew.Row(r)[i]); d > 1e-12 {
+							t.Fatalf("row %d hidden[%d]: Δ=%g", r, i, d)
+						}
+					}
+				}
+				if mu, ms := p.GMM.Mean(head), p.GMM.MeanInto(heads.Row(r), wbuf); math.Abs(mu-ms) > 1e-12 {
+					t.Fatalf("row %d mean: batched %v vs sequential %v", r, ms, mu)
+				}
+			}
+		})
+	}
+}
+
+// Multi-step: hidden state threaded through BatchForward calls must track
+// the sequential recurrence exactly.
+func TestPolicyBatchForwardRecurrent(t *testing.T) {
+	cfg := PolicyConfig{InDim: 20, Enc: 16, Hidden: 12, ResBlocks: 2, K: 3, Seed: 11}
+	p := NewPolicy(cfg)
+	rng := rand.New(rand.NewSource(5))
+
+	const B, steps = 7, 9
+	hid := NewMat(B, cfg.Hidden)
+	seqH := make([][]float64, B)
+	for r := range seqH {
+		seqH[r] = p.InitHidden()
+	}
+	scratch := p.NewBatchScratch()
+	states := NewMat(B, cfg.InDim)
+	for s := 0; s < steps; s++ {
+		for r := 0; r < B; r++ {
+			states.SetRow(r, randVec(rng, cfg.InDim))
+		}
+		heads, hNew := p.BatchForward(states, hid, scratch)
+		for r := 0; r < B; r++ {
+			head, h2, _ := p.Forward(states.Row(r), seqH[r])
+			seqH[r] = h2
+			for i := range head {
+				if math.Abs(head[i]-heads.Row(r)[i]) > 1e-12 {
+					t.Fatalf("step %d row %d head[%d] diverged", s, r, i)
+				}
+			}
+		}
+		// hNew aliases scratch: copy it back into the persistent mat the
+		// way the serving engine does.
+		hid.Reset(B, cfg.Hidden)
+		copy(hid.Data, hNew.Data)
+	}
+}
+
+// After warm-up a batched forward must not allocate: the engine reuses
+// one scratch per worker across every batch it serves.
+func TestPolicyBatchForwardNoAllocs(t *testing.T) {
+	cfg := PolicyConfig{InDim: 30, Enc: 16, Hidden: 12, ResBlocks: 2, K: 3, Seed: 21}
+	p := NewPolicy(cfg)
+	rng := rand.New(rand.NewSource(6))
+	const B = 16
+	states := NewMat(B, cfg.InDim)
+	hidden := NewMat(B, cfg.Hidden)
+	for r := 0; r < B; r++ {
+		states.SetRow(r, randVec(rng, cfg.InDim))
+	}
+	scratch := p.NewBatchScratch()
+	hPersist := NewMat(B, cfg.Hidden)
+	step := func() {
+		heads, hNew := p.BatchForward(states, hidden, scratch)
+		copy(hPersist.Data, hNew.Data)
+		_ = heads
+	}
+	step() // warm the scratch buffers
+	if allocs := testing.AllocsPerRun(50, step); allocs > 0 {
+		t.Fatalf("BatchForward allocates %.1f objects/op after warm-up, want 0", allocs)
+	}
+}
+
+func TestMatReset(t *testing.T) {
+	m := NewMat(4, 8)
+	data := &m.Data[0]
+	m.Reset(2, 8)
+	if &m.Data[0] != data {
+		t.Fatal("shrinking Reset reallocated")
+	}
+	m.Reset(16, 8)
+	if m.Rows != 16 || m.Cols != 8 || len(m.Data) != 128 {
+		t.Fatalf("grow: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+func benchBatchPolicy() *Policy {
+	return NewPolicy(PolicyConfig{InDim: 69, Enc: 64, Hidden: 32, ResBlocks: 2, K: 5, Seed: 1})
+}
+
+// BenchmarkPolicyBatchForward measures one batched decision round at
+// various fleet sizes; compare per-flow cost against
+// BenchmarkPolicySequentialForward at the same size.
+func BenchmarkPolicyBatchForward(b *testing.B) {
+	for _, B := range []int{10, 100, 1000} {
+		B := B
+		b.Run(fmt.Sprintf("flows=%d", B), func(b *testing.B) {
+			p := benchBatchPolicy()
+			rng := rand.New(rand.NewSource(2))
+			states := NewMat(B, 69)
+			hidden := NewMat(B, 32)
+			for r := 0; r < B; r++ {
+				states.SetRow(r, randVec(rng, 69))
+			}
+			scratch := p.NewBatchScratch()
+			wbuf := make([]float64, p.GMM.K)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				heads, hNew := p.BatchForward(states, hidden, scratch)
+				copy(hidden.Data, hNew.Data)
+				for r := 0; r < B; r++ {
+					_ = p.GMM.MeanInto(heads.Row(r), wbuf)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPolicySequentialForward is the per-flow baseline the batched
+// path is judged against: N independent Forward calls per round, as the
+// per-flow controllers do today.
+func BenchmarkPolicySequentialForward(b *testing.B) {
+	for _, B := range []int{10, 100, 1000} {
+		B := B
+		b.Run(fmt.Sprintf("flows=%d", B), func(b *testing.B) {
+			p := benchBatchPolicy()
+			rng := rand.New(rand.NewSource(2))
+			states := make([][]float64, B)
+			hidden := make([][]float64, B)
+			for r := 0; r < B; r++ {
+				states[r] = randVec(rng, 69)
+				hidden[r] = p.InitHidden()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < B; r++ {
+					head, h, _ := p.Forward(states[r], hidden[r])
+					hidden[r] = h
+					_ = p.GMM.Mean(head)
+				}
+			}
+		})
+	}
+}

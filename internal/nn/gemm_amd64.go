@@ -1,0 +1,25 @@
+//go:build amd64
+
+package nn
+
+// useAVX2 gates the vectorized GEMM tile kernel. The AVX2 path is
+// bitwise identical to the scalar path: each SIMD lane carries one batch
+// row's accumulator through the same mul-then-add sequence (no FMA — a
+// fused multiply-add rounds differently, which would break the batched ==
+// sequential equivalence contract).
+var useAVX2 = x86CpuidAVX2()
+
+// x86CpuidAVX2 reports OS-enabled AVX2 (OSXSAVE + YMM state + CPUID.7
+// EBX[5]); implemented in gemm_amd64.s.
+func x86CpuidAVX2() bool
+
+// dotTile16 accumulates, for one weight row w[0:n] against a 16-row
+// transposed tile xt (layout xt[j*16+l] = x_l[j]):
+//
+//	acc[l] = acc[l] + w[0]·x_l[0] + w[1]·x_l[1] + … (in j order)
+//
+// Each lane's operation order matches the scalar dot product exactly.
+// Implemented in gemm_amd64.s; only called when useAVX2 is true.
+//
+//go:noescape
+func dotTile16(w *float64, xt *float64, n int, acc *[16]float64)

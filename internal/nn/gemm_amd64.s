@@ -1,0 +1,79 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func x86CpuidAVX2() bool
+TEXT ·x86CpuidAVX2(SB), NOSPLIT, $0-1
+	// CPUID.1: ECX[27] = OSXSAVE (XGETBV available and OS uses it).
+	MOVQ $1, AX
+	XORQ CX, CX
+	CPUID
+	MOVQ CX, R8
+	SHRQ $27, R8
+	ANDQ $1, R8
+	JZ   no
+
+	// XGETBV(0): EAX[2:1] = XMM and YMM state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	// CPUID.7.0: EBX[5] = AVX2.
+	MOVQ $7, AX
+	XORQ CX, CX
+	CPUID
+	SHRQ $5, BX
+	ANDQ $1, BX
+	MOVB BX, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotTile16(w *float64, xt *float64, n int, acc *[16]float64)
+//
+// Four YMM accumulators carry 16 batch rows. Per element j: broadcast
+// w[j], then for each 4-lane group multiply by the tile column and add.
+// VMULPD+VADDPD (not VFMADD) so every lane performs the exact scalar
+// sequence acc = acc + (w[j] * x[j]) with intermediate rounding.
+TEXT ·dotTile16(SB), NOSPLIT, $0-32
+	MOVQ w+0(FP), SI
+	MOVQ xt+8(FP), DI
+	MOVQ n+16(FP), CX
+	MOVQ acc+24(FP), DX
+
+	VMOVUPD (DX), Y0
+	VMOVUPD 32(DX), Y1
+	VMOVUPD 64(DX), Y2
+	VMOVUPD 96(DX), Y3
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	VBROADCASTSD (SI), Y4
+
+	VMULPD (DI), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(DI), Y4, Y6
+	VADDPD Y6, Y1, Y1
+	VMULPD 64(DI), Y4, Y7
+	VADDPD Y7, Y2, Y2
+	VMULPD 96(DI), Y4, Y8
+	VADDPD Y8, Y3, Y3
+
+	ADDQ $8, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VZEROUPPER
+	RET

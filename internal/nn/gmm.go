@@ -101,8 +101,29 @@ func (g GMM) Sample(p []float64, rng *rand.Rand) float64 {
 // Mean returns the mixture mean (the deterministic action used at
 // deployment).
 func (g GMM) Mean(p []float64) float64 {
+	return g.MeanInto(p, make([]float64, g.K))
+}
+
+// MeanInto is Mean with a caller-supplied softmax scratch buffer (len ≥ K)
+// so batched serving can take the mixture mean without allocating. The
+// arithmetic is identical to Mean's, operation for operation.
+func (g GMM) MeanInto(p, w []float64) float64 {
 	logits, means, _ := g.split(p)
-	w := Softmax(logits)
+	w = w[:g.K]
+	mx := logits[0]
+	for _, v := range logits {
+		if v > mx {
+			mx = v
+		}
+	}
+	s := 0.0
+	for i, v := range logits {
+		w[i] = math.Exp(v - mx)
+		s += w[i]
+	}
+	for i := range w {
+		w[i] /= s
+	}
 	m := 0.0
 	for k := 0; k < g.K; k++ {
 		m += w[k] * means[k]

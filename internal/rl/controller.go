@@ -17,8 +17,10 @@ type PolicyController struct {
 	Mask       []int
 	Stochastic bool
 
-	hidden []float64
-	rng    *rand.Rand
+	hidden  []float64
+	maskBuf []float64 // scratch for the masked state (reused every interval)
+	meanBuf []float64 // scratch for GMM weight normalization
+	rng     *rand.Rand
 
 	// Recorded trajectory (for online learners).
 	Record  bool
@@ -44,19 +46,24 @@ func NewPolicyController(pol *nn.Policy, mask []int, stochastic bool, seed int64
 // runtime guardian re-admits the policy after a fallback episode).
 func (pc *PolicyController) Reset() { pc.hidden = pc.Policy.InitHidden() }
 
-// Control implements rollout.Controller.
+// Control implements rollout.Controller. The mask projection and mixture
+// mean reuse per-controller scratch, so the decision path allocates only
+// what Policy.Forward itself needs (and a trajectory copy when recording).
 func (pc *PolicyController) Control(now sim.Time, conn *tcp.Conn, state []float64) {
-	masked := gr.ApplyMask(state, pc.Mask)
-	head, h, _ := pc.Policy.Forward(masked, pc.hidden)
+	pc.maskBuf = gr.ApplyMaskInto(pc.maskBuf, state, pc.Mask)
+	head, h, _ := pc.Policy.Forward(pc.maskBuf, pc.hidden)
 	pc.hidden = h
 	var u float64
 	if pc.Stochastic {
 		u = clampU(pc.Policy.GMM.Sample(head, pc.rng))
 	} else {
-		u = clampU(pc.Policy.GMM.Mean(head))
+		if cap(pc.meanBuf) < pc.Policy.GMM.K {
+			pc.meanBuf = make([]float64, pc.Policy.GMM.K)
+		}
+		u = clampU(pc.Policy.GMM.MeanInto(head, pc.meanBuf[:pc.Policy.GMM.K]))
 	}
 	if pc.Record {
-		pc.States = append(pc.States, masked)
+		pc.States = append(pc.States, append([]float64(nil), pc.maskBuf...))
 		pc.Actions = append(pc.Actions, u)
 	}
 	conn.SetCwnd(tcp.ClampCwnd(conn.Cwnd*UToRatio(u), 2, 0))

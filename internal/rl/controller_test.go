@@ -1,0 +1,66 @@
+package rl
+
+import (
+	"testing"
+
+	"sage/internal/cc"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/nn"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+func controllerFixture(tb testing.TB) (*PolicyController, *tcp.Conn, []float64) {
+	tb.Helper()
+	pol := nn.NewPolicy(nn.PolicyConfig{InDim: gr.StateDim, Seed: 1})
+	pc := NewPolicyController(pol, nil, false, 0)
+	loop := sim.NewLoop()
+	sc := netem.Scenario{
+		Name: "ctl", Rate: netem.FlatRate(netem.Mbps(48)),
+		MinRTT: 20 * sim.Millisecond, QueueBytes: 1 << 20, Duration: sim.Second,
+	}
+	n := sc.Build(loop)
+	fl := tcp.NewFlow(loop, n, 1, cc.MustNew("pure"), tcp.Options{})
+	state := make([]float64, gr.StateDim)
+	for i := range state {
+		state[i] = float64(i%7) * 0.25
+	}
+	return pc, fl.Conn, state
+}
+
+// Recording must snapshot the masked state: the controller reuses one
+// scratch buffer across intervals, so the trajectory entries have to be
+// copies, not views of it.
+func TestControllerRecordCopiesState(t *testing.T) {
+	pc, conn, state := controllerFixture(t)
+	pc.Record = true
+	pc.Control(sim.Second, conn, state)
+	first := append([]float64(nil), pc.States[0]...)
+	state[0] += 100 // next interval's observation differs
+	pc.Control(2*sim.Second, conn, state)
+	if len(pc.States) != 2 {
+		t.Fatalf("recorded %d states, want 2", len(pc.States))
+	}
+	for i := range first {
+		if pc.States[0][i] != first[i] {
+			t.Fatalf("recorded state 0 mutated at %d: %v != %v", i, pc.States[0][i], first[i])
+		}
+	}
+	if pc.States[1][0] == pc.States[0][0] {
+		t.Error("recorded states alias one buffer")
+	}
+}
+
+// BenchmarkControllerControl pins the per-interval allocation budget of
+// the hot decision path. The mask projection and mixture mean reuse
+// controller scratch; what remains is Policy.Forward's internal
+// allocations (the batched serve path eliminates those too).
+func BenchmarkControllerControl(b *testing.B) {
+	pc, conn, state := controllerFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.Control(sim.Second, conn, state)
+	}
+}

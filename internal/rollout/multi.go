@@ -1,10 +1,13 @@
 package rollout
 
 import (
+	"context"
+
 	"sage/internal/gr"
 	"sage/internal/netem"
 	"sage/internal/sim"
 	"sage/internal/tcp"
+	"sage/internal/telemetry"
 )
 
 // FlowSpec describes one flow of a multi-flow run: its congestion control
@@ -24,6 +27,9 @@ type FlowResult struct {
 	ThroughputBps float64 // over the flow's own active window
 	AvgOWD        sim.Time
 	Series        []Sample // per SamplePeriod, throughput over the period
+	// Interrupted reports that MultiOptions.Ctx was cancelled mid-run: the
+	// aggregates cover only the simulated window that actually ran.
+	Interrupted bool
 }
 
 // MultiOptions tunes a multi-flow run.
@@ -31,6 +37,14 @@ type MultiOptions struct {
 	GR           gr.Config
 	SamplePeriod sim.Time
 	TCP          tcp.Options
+	// Trace, when non-nil, receives one telemetry.FlowSample per GR tick
+	// for every controller-driven flow (distinguished by the Flow field) —
+	// the multi-flow counterpart of Options.Trace.
+	Trace *telemetry.FlowTrace
+	// Ctx, when non-nil, is polled once per GR interval; cancellation stops
+	// the simulation early and marks every FlowResult Interrupted, matching
+	// Run's drain semantics.
+	Ctx context.Context
 }
 
 // RunMulti runs an arbitrary set of flows over one scenario's bottleneck —
@@ -73,6 +87,23 @@ func RunMulti(sc netem.Scenario, flows []FlowSpec, opt MultiOptions) []FlowResul
 		}
 	}
 
+	// Several flows may share one batching controller (serve.Controller);
+	// flush each distinct flusher once per interval, after every flow has
+	// enqueued its decision.
+	flushers := make(map[BatchFlusher]bool)
+	for _, spec := range flows {
+		if bf, ok := spec.Controller.(BatchFlusher); ok {
+			flushers[bf] = true
+		}
+	}
+	flushOrder := make([]BatchFlusher, 0, len(flushers))
+	for _, spec := range flows {
+		if bf, ok := spec.Controller.(BatchFlusher); ok && flushers[bf] {
+			flushers[bf] = false
+			flushOrder = append(flushOrder, bf)
+		}
+	}
+
 	interval := opt.GR.Interval
 	nextSample := opt.SamplePeriod
 	results := make([]FlowResult, len(flows))
@@ -80,6 +111,12 @@ func RunMulti(sc netem.Scenario, flows []FlowSpec, opt MultiOptions) []FlowResul
 		results[i].Name = flows[i].Name
 	}
 	for now := interval; now <= sc.Duration; now += interval {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			for i := range results {
+				results[i].Interrupted = true
+			}
+			break
+		}
 		loop.RunUntil(now)
 		for _, st := range states {
 			if !st.started || (st.spec.Stop > 0 && now > st.spec.Stop) {
@@ -88,8 +125,35 @@ func RunMulti(sc netem.Scenario, flows []FlowSpec, opt MultiOptions) []FlowResul
 			if st.mon != nil {
 				step := st.mon.Tick(now)
 				st.spec.Controller.Control(now, st.flow.Conn, step.State)
-				st.flow.Conn.Kick(now)
+				if _, ok := st.spec.Controller.(BatchFlusher); !ok {
+					// Batching controllers apply + kick in their flush;
+					// kicking here would send at the pre-decision window.
+					st.flow.Conn.Kick(now)
+				}
+				if opt.Trace != nil {
+					cs := st.flow.Conn.Stats()
+					q := n.Link.Queue()
+					opt.Trace.Record(telemetry.FlowSample{
+						AtUs:         int64(now),
+						Flow:         st.flow.Conn.ID,
+						Cwnd:         cs.Cwnd,
+						SRTTMs:       cs.SRTT.Millis(),
+						RTTVarMs:     cs.RTTVar.Millis(),
+						InflightPkts: cs.InflightPkts,
+						DeliveryBps:  cs.DeliveryRate * 8,
+						LostPkts:     cs.LostPkts,
+						Retrans:      cs.RTOs,
+						Recoveries:   cs.Recoveries,
+						QueuePkts:    q.Len(),
+						QueueBytes:   q.Bytes(),
+						Action:       step.Action,
+						Reward:       step.Reward,
+					})
+				}
 			}
+		}
+		for _, bf := range flushOrder {
+			bf.FlushBatch(now)
 		}
 		if opt.SamplePeriod > 0 && now >= nextSample {
 			for i, st := range states {

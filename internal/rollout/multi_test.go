@@ -1,12 +1,14 @@
 package rollout
 
 import (
+	"context"
 	"testing"
 
 	"sage/internal/cc"
 	"sage/internal/netem"
 	"sage/internal/sim"
 	"sage/internal/tcp"
+	"sage/internal/telemetry"
 )
 
 func TestRunMultiStaggeredShares(t *testing.T) {
@@ -129,4 +131,62 @@ type ctrlRecord struct {
 func (c ctrlRecord) Control(now sim.Time, conn *tcp.Conn, state []float64) {
 	conn.SetCwnd(c.w)
 	*c.dst = append(*c.dst, conn.Cwnd)
+}
+
+// Ctx cancellation must stop a multi-flow run early and mark every
+// result, matching Run's drain semantics.
+func TestRunMultiCtxCancel(t *testing.T) {
+	sc := netem.Scenario{
+		Name:       "cancel",
+		Rate:       netem.FlatRate(netem.Mbps(24)),
+		MinRTT:     20 * sim.Millisecond,
+		QueueBytes: 1 << 20,
+		Duration:   30 * sim.Second,
+	}
+	specs := []FlowSpec{
+		{Name: "a", CC: cc.MustNew("cubic"), Start: 0},
+		{Name: "b", CC: cc.MustNew("cubic"), Start: 0},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first interval: nothing should run
+	res := RunMulti(sc, specs, MultiOptions{Ctx: ctx})
+	for i, r := range res {
+		if !r.Interrupted {
+			t.Errorf("flow %d not marked Interrupted", i)
+		}
+		if r.ThroughputBps != 0 {
+			t.Errorf("flow %d moved data after cancellation: %v bps", i, r.ThroughputBps)
+		}
+	}
+}
+
+// Trace must receive per-tick samples for every controller-driven flow.
+func TestRunMultiTrace(t *testing.T) {
+	sc := netem.Scenario{
+		Name:       "trace",
+		Rate:       netem.FlatRate(netem.Mbps(24)),
+		MinRTT:     20 * sim.Millisecond,
+		QueueBytes: 1 << 20,
+		Duration:   2 * sim.Second,
+	}
+	specs := []FlowSpec{
+		{Name: "ctl", CC: cc.MustNew("pure"), Controller: &ctrlHalf{w: 20}, Start: 0},
+		{Name: "bg", CC: cc.MustNew("cubic"), Start: 0},
+	}
+	tr := telemetry.NewFlowTrace(0)
+	res := RunMulti(sc, specs, MultiOptions{Trace: tr})
+	if res[0].ThroughputBps <= 0 {
+		t.Fatal("controlled flow moved no data")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("trace recorded no samples")
+	}
+	for _, s := range tr.Samples() {
+		if s.Flow != 1 {
+			t.Fatalf("trace recorded flow %d; only the controller-driven flow (1) should appear", s.Flow)
+		}
+		if s.Cwnd <= 0 {
+			t.Fatalf("sample with non-positive cwnd: %+v", s)
+		}
+	}
 }

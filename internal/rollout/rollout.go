@@ -24,6 +24,18 @@ type Controller interface {
 	Control(now sim.Time, conn *tcp.Conn, state []float64)
 }
 
+// BatchFlusher is implemented by controllers that defer their decisions
+// into a shared batching engine (serve.Controller). Run and RunMulti call
+// FlushBatch once per GR interval after every flow's Control hook has
+// enqueued its state, letting one batched forward pass serve all flows;
+// the flusher applies each flow's cwnd update and kicks its connection.
+// Within an interval no simulation events run between the Control calls
+// and the flush, so deferred application is semantically identical to
+// acting inline.
+type BatchFlusher interface {
+	FlushBatch(now sim.Time)
+}
+
 // IntervalStats scores one quarter of the test window (Appendix D computes
 // per-interval scores so transient behaviour is not smoothed away).
 type IntervalStats struct {
@@ -164,7 +176,15 @@ func Run(sc netem.Scenario, ccUnderTest tcp.CongestionControl, opt Options) Resu
 		step := mon.Tick(now)
 		if opt.Controller != nil {
 			opt.Controller.Control(now, ut.Conn, step.State)
-			ut.Conn.Kick(now)
+			if bf, ok := opt.Controller.(BatchFlusher); ok {
+				// A batching controller only enqueued its decision; the
+				// flush applies the cwnd update and kicks the connection.
+				// Kicking here with the pre-decision window could send
+				// packets the decision would not have allowed.
+				bf.FlushBatch(now)
+			} else {
+				ut.Conn.Kick(now)
+			}
 		}
 		if opt.CollectSteps {
 			res.Steps = append(res.Steps, step)

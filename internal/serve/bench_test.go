@@ -1,0 +1,130 @@
+package serve_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sage/internal/cc"
+	"sage/internal/gr"
+	"sage/internal/nn"
+	"sage/internal/rl"
+	"sage/internal/rollout"
+	"sage/internal/serve"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// benchFleet builds n standalone connections plus a per-flow random
+// state sequence — everything both serving paths need for one control
+// interval over the whole fleet.
+type benchFleet struct {
+	conns  []*tcp.Conn
+	states [][]float64
+}
+
+// benchPolicy uses the production default architecture (Enc 64, Hidden
+// 32, 2 res blocks, K 5) rather than the smaller test policy, so the
+// scaling numbers reflect what a deployment serves.
+func benchPolicy() *nn.Policy {
+	p := nn.NewPolicy(nn.PolicyConfig{InDim: gr.StateDim, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	var fit [][]float64
+	for i := 0; i < 64; i++ {
+		fit = append(fit, randState(rng))
+	}
+	p.Norm = nn.FitNormalizer(fit)
+	return p
+}
+
+func newBenchFleet(tb testing.TB, n int) *benchFleet {
+	tb.Helper()
+	loop := sim.NewLoop()
+	net := testScenario(sim.Second).Build(loop)
+	rng := rand.New(rand.NewSource(1))
+	f := &benchFleet{}
+	for i := 0; i < n; i++ {
+		fl := tcp.NewFlow(loop, net, i+1, cc.MustNew("pure"), tcp.Options{})
+		f.conns = append(f.conns, fl.Conn)
+		f.states = append(f.states, randState(rng))
+	}
+	return f
+}
+
+// BenchmarkServe{10,100,1000}Flows vs BenchmarkSequential*Flows pins the
+// engine's scaling claim: one interval of decisions for the whole fleet,
+// batched through the shared engine versus run as N independent
+// rl.PolicyController forwards. The acceptance bar for this subsystem is
+// batched >= 3x sequential at 1000 flows.
+func benchmarkServe(b *testing.B, flows int) {
+	pol := benchPolicy()
+	fleet := newBenchFleet(b, flows)
+	eng := serve.NewEngine(serve.Config{Policy: pol, MaxBatch: 1024, MaxSessions: flows + 1})
+	ctls := make([]*serve.Controller, flows)
+	for i := range ctls {
+		ctls[i] = serve.NewController(eng)
+	}
+	now := sim.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, c := range ctls {
+			c.Control(now, fleet.conns[j], fleet.states[j])
+		}
+		ctls[0].FlushBatch(now)
+	}
+}
+
+func benchmarkSequential(b *testing.B, flows int) {
+	pol := benchPolicy()
+	fleet := newBenchFleet(b, flows)
+	ctls := make([]*rl.PolicyController, flows)
+	for i := range ctls {
+		ctls[i] = rl.NewPolicyController(pol, nil, false, int64(i))
+	}
+	now := sim.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, c := range ctls {
+			c.Control(now, fleet.conns[j], fleet.states[j])
+		}
+	}
+}
+
+func BenchmarkServe10Flows(b *testing.B)        { benchmarkServe(b, 10) }
+func BenchmarkServe100Flows(b *testing.B)       { benchmarkServe(b, 100) }
+func BenchmarkServe1000Flows(b *testing.B)      { benchmarkServe(b, 1000) }
+func BenchmarkSequential10Flows(b *testing.B)   { benchmarkSequential(b, 10) }
+func BenchmarkSequential100Flows(b *testing.B)  { benchmarkSequential(b, 100) }
+func BenchmarkSequential1000Flows(b *testing.B) { benchmarkSequential(b, 1000) }
+
+// BenchmarkRunMulti measures the end-to-end simulation win: a full
+// multi-flow fairness run served batched vs sequentially.
+func benchmarkRunMulti(b *testing.B, flows int, batched bool) {
+	pol := benchPolicy()
+	sc := testScenario(2 * sim.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var eng *serve.Engine
+		if batched {
+			eng = serve.NewEngine(serve.Config{Policy: pol, MaxBatch: 1024, MaxSessions: flows + 1})
+		}
+		specs := make([]rollout.FlowSpec, flows)
+		for j := range specs {
+			var ctl rollout.Controller
+			if batched {
+				ctl = serve.NewController(eng)
+			} else {
+				ctl = rl.NewPolicyController(pol, nil, false, int64(j))
+			}
+			specs[j] = rollout.FlowSpec{
+				Name: fmt.Sprintf("f%d", j), CC: cc.MustNew("pure"), Controller: ctl,
+			}
+		}
+		rollout.RunMulti(sc, specs, rollout.MultiOptions{})
+	}
+}
+
+func BenchmarkRunMulti32Batched(b *testing.B)    { benchmarkRunMulti(b, 32, true) }
+func BenchmarkRunMulti32Sequential(b *testing.B) { benchmarkRunMulti(b, 32, false) }

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"sage/internal/sim"
+	"sage/internal/tcp"
+)
+
+// Controller adapts one flow onto a shared Engine: it implements
+// rollout.Controller and rollout.BatchFlusher, so a RunMulti fleet where
+// every FlowSpec carries its own serve.NewController(eng) transparently
+// serves all flows from one batched forward pass per interval.
+//
+// Control only enqueues the flow's state; rollout calls FlushBatch after
+// the whole control sweep, which runs the batch and applies every cwnd
+// decision (SetCwnd + Kick) in enqueue order. Several controllers share
+// one engine; the first FlushBatch of an interval serves everyone and the
+// rest are no-ops on an empty queue.
+//
+// In deterministic mode the decisions are bitwise identical to giving
+// each flow its own rl.PolicyController (see TestEngineMatchesSequential).
+// For guarded deployments wrap it with guard.NewBatched, which preserves
+// the flush path and resets only this flow's session on re-admission.
+type Controller struct {
+	eng *Engine
+	sid uint64
+}
+
+// NewController binds a fresh engine session to a new per-flow controller.
+func NewController(eng *Engine) *Controller {
+	return &Controller{eng: eng, sid: eng.NewSessionID()}
+}
+
+// SessionID exposes the engine session this flow owns.
+func (c *Controller) SessionID() uint64 { return c.sid }
+
+// Control implements rollout.Controller by deferring the decision into
+// the engine's current batch.
+func (c *Controller) Control(now sim.Time, conn *tcp.Conn, state []float64) {
+	c.eng.Enqueue(c.sid, conn, state)
+}
+
+// FlushBatch implements rollout.BatchFlusher.
+func (c *Controller) FlushBatch(now sim.Time) { c.eng.Flush(now) }
+
+// Reset clears this flow's recurrent state (guard re-admission, or reuse
+// across runs).
+func (c *Controller) Reset() { c.eng.ResetSession(c.sid) }

@@ -1,0 +1,32 @@
+// Package serve is the batched policy-serving engine: one inference
+// service multiplexing any number of concurrent flows onto shared batched
+// forward passes.
+//
+// A per-flow controller (rl.PolicyController, core.Agent) runs one full
+// network forward per flow per control interval; at fleet scale that is
+// thousands of small GEMV calls that thrash the cache and re-derive every
+// scratch buffer. The Engine instead keeps one session per flow — just
+// the recurrent hidden state plus bookkeeping — and folds all flows due
+// for a decision into one matrix forward pass (nn.Policy.BatchForward),
+// which is bitwise identical to the sequential path per row and several
+// times faster in aggregate.
+//
+// Three ways in:
+//
+//   - serve.Controller implements rollout.Controller + rollout.BatchFlusher,
+//     so fairness/friendliness RunMulti experiments transparently share one
+//     engine: each flow's Control enqueues its state, and the end-of-interval
+//     flush runs one batched pass and applies every cwnd decision.
+//   - The sage-serve daemon (cmd/sage-serve) serves decisions over a Unix
+//     socket with a length-prefixed binary protocol (proto.go, server.go),
+//     micro-batching concurrent requests under a deadline.
+//   - Direct library use: Engine.Decide (async, after Start) or the
+//     enqueue/Flush pair (synchronous, deterministic).
+//
+// Safety: a session whose state vector or inferred action is non-finite
+// falls back to a no-op decision (ratio 1.0, hidden state untouched) and
+// increments serve.fallbacks — one poisoned flow never stalls or corrupts
+// the rest of its batch. Guard integration: wrap each flow's Controller
+// with guard.NewBatched; a tripped guard stops enqueuing (its flow simply
+// contributes no row) and re-admission resets only that flow's session.
+package serve

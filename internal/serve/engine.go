@@ -1,0 +1,520 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sage/internal/gr"
+	"sage/internal/nn"
+	"sage/internal/rl"
+	"sage/internal/sim"
+	"sage/internal/tcp"
+	"sage/internal/telemetry"
+)
+
+// Engine errors.
+var (
+	// ErrSessionBusy reports a Decide for a session that already has a
+	// request in flight. One outstanding request per session is the
+	// concurrency contract that keeps recurrent state single-writer.
+	ErrSessionBusy = errors.New("serve: session busy")
+	// ErrClosed reports a Decide after Close started draining.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// Metric names the engine publishes (nil Registry costs nothing).
+const (
+	MetricDecisions   = "serve.decisions"
+	MetricFallbacks   = "serve.fallbacks"
+	MetricBatches     = "serve.batches"
+	MetricBatchSize   = "serve.batch_size"
+	MetricBatchWaitUs = "serve.batch_wait_us"
+	MetricQueueDepth  = "serve.queue_depth"
+	MetricSessions    = "serve.sessions"
+	MetricSessOpened  = "serve.sessions_opened"
+	MetricSessEvicted = "serve.sessions_evicted"
+	MetricSessReset   = "serve.sessions_reset"
+)
+
+// Config tunes an Engine. The zero value of every field but Policy is
+// usable.
+type Config struct {
+	Policy *nn.Policy
+	Mask   []int // input subset (nil = full 69-signal vector)
+
+	// Stochastic samples actions from the GMM instead of taking its mean.
+	// Deterministic mode is bitwise identical to a per-flow
+	// rl.PolicyController; stochastic mode draws from per-worker RNG
+	// streams, so individual draws differ from any per-flow sequence.
+	Stochastic bool
+	Seed       int64
+
+	MinCwnd float64 // cwnd floor in packets (default 2, matching rl.PolicyController)
+	MaxCwnd float64 // cwnd ceiling in packets (default 0 = none)
+
+	// MaxSessions caps resident sessions; beyond it the least-recently
+	// used idle session is evicted and a later request for its id starts
+	// from a fresh hidden state (default 4096).
+	MaxSessions int
+	// MaxBatch bounds one batched forward pass (default 256). The
+	// synchronous Flush path chunks larger backlogs; the async dispatcher
+	// closes a batch early when it fills.
+	MaxBatch int
+	// BatchDeadline is how long the async dispatcher holds an open batch
+	// waiting for more requests before running it (default 200µs).
+	BatchDeadline time.Duration
+	// Workers is the async forward-pass pool size (default GOMAXPROCS).
+	Workers int
+
+	// Metrics, when non-nil, receives the serve.* counters above.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) fill() Config {
+	if c.Mask == nil {
+		c.Mask = gr.MaskFull()
+	}
+	if c.MinCwnd == 0 {
+		c.MinCwnd = 2
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 4096
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.BatchDeadline == 0 {
+		c.BatchDeadline = 200 * time.Microsecond
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// session is one flow's resident state: the recurrent hidden vector plus
+// lifecycle bookkeeping. Sessions are created on first use, reset on
+// guard re-admission, and LRU-evicted past Config.MaxSessions.
+type session struct {
+	id     uint64
+	hidden []float64
+	// stateBuf holds the raw state between enqueue and Flush on the
+	// synchronous path (the monitor's slice is not ours to keep).
+	stateBuf []float64
+	busy     bool // one outstanding async request per session
+	elem     *list.Element
+}
+
+// pendingDecision is one enqueued synchronous decision.
+type pendingDecision struct {
+	sess *session
+	conn *tcp.Conn
+}
+
+// request is one in-flight async decision.
+type request struct {
+	sess  *session
+	state []float64
+	done  chan asyncResult
+}
+
+type asyncResult struct {
+	ratio    float64
+	fallback bool
+}
+
+// batchBuf is the per-worker scratch for one batched pass: input and
+// hidden matrices plus the policy's own scratch set. After warm-up a pass
+// allocates nothing.
+type batchBuf struct {
+	states, hidden nn.Mat
+	scratch        *nn.PolicyBatchScratch
+	meanBuf        []float64
+	flags          []bool // per-row fallback flags
+	rng            *rand.Rand
+}
+
+// Engine multiplexes flows onto shared batched forward passes.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	lru      list.List // front = most recently used
+	pending  []pendingDecision
+
+	nextID atomic.Uint64
+
+	syncBuf batchBuf // synchronous Flush path (single caller: the sim loop)
+
+	// Async machinery (Start/Decide/Close).
+	closeMu sync.RWMutex
+	closed  bool
+	started bool
+	reqCh   chan *request
+	workCh  chan []*request
+	wg      sync.WaitGroup
+	queued  atomic.Int64
+}
+
+// NewEngine builds an engine around a policy. Panics if cfg.Policy is nil.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Policy == nil {
+		panic("serve: Config.Policy is required")
+	}
+	cfg = cfg.fill()
+	e := &Engine{cfg: cfg, sessions: make(map[uint64]*session)}
+	e.syncBuf = e.newBatchBuf(0)
+	return e
+}
+
+func (e *Engine) newBatchBuf(worker int) batchBuf {
+	return batchBuf{
+		scratch: e.cfg.Policy.NewBatchScratch(),
+		meanBuf: make([]float64, e.cfg.Policy.GMM.K),
+		rng:     rand.New(rand.NewSource(e.cfg.Seed + 7919*int64(worker+1))),
+	}
+}
+
+// NewSessionID allocates a session id no other caller holds. Sessions
+// themselves materialize lazily on first use; ids chosen by external
+// clients (the daemon protocol) work the same way.
+func (e *Engine) NewSessionID() uint64 { return e.nextID.Add(1) }
+
+// sessionLocked returns the session for id, creating it (and evicting the
+// LRU idle session past the cap) as needed. Caller holds e.mu.
+func (e *Engine) sessionLocked(id uint64) *session {
+	if s, ok := e.sessions[id]; ok {
+		e.lru.MoveToFront(s.elem)
+		return s
+	}
+	for len(e.sessions) >= e.cfg.MaxSessions {
+		if !e.evictLocked() {
+			break // everything is busy; admit over cap rather than deadlock
+		}
+	}
+	s := &session{id: id, hidden: e.cfg.Policy.InitHidden()}
+	s.elem = e.lru.PushFront(s)
+	e.sessions[id] = s
+	e.cfg.Metrics.Counter(MetricSessOpened).Inc()
+	e.cfg.Metrics.Gauge(MetricSessions).Set(float64(len(e.sessions)))
+	return s
+}
+
+// evictLocked removes the least-recently-used non-busy session. Returns
+// false when every resident session is busy.
+func (e *Engine) evictLocked() bool {
+	for el := e.lru.Back(); el != nil; el = el.Prev() {
+		s := el.Value.(*session)
+		if s.busy {
+			continue
+		}
+		e.lru.Remove(el)
+		delete(e.sessions, s.id)
+		e.cfg.Metrics.Counter(MetricSessEvicted).Inc()
+		e.cfg.Metrics.Gauge(MetricSessions).Set(float64(len(e.sessions)))
+		return true
+	}
+	return false
+}
+
+// ResetSession clears a session's recurrent state (between flows, or when
+// the runtime guardian re-admits the policy). A session that was evicted
+// or never used is a no-op: it would start fresh anyway.
+func (e *Engine) ResetSession(id uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.sessions[id]; ok {
+		for i := range s.hidden {
+			s.hidden[i] = 0
+		}
+		e.cfg.Metrics.Counter(MetricSessReset).Inc()
+	}
+}
+
+// CloseSession frees a session's resident state.
+func (e *Engine) CloseSession(id uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.sessions[id]; ok && !s.busy {
+		e.lru.Remove(s.elem)
+		delete(e.sessions, id)
+		e.cfg.Metrics.Gauge(MetricSessions).Set(float64(len(e.sessions)))
+	}
+}
+
+// Sessions reports the resident session count.
+func (e *Engine) Sessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous path: enqueue during the control sweep, Flush at interval end.
+
+// Enqueue records that session id's flow wants a decision on state this
+// interval; the decision is computed and applied (SetCwnd + Kick) by the
+// next Flush, in enqueue order. The state slice is copied.
+func (e *Engine) Enqueue(id uint64, conn *tcp.Conn, state []float64) {
+	e.mu.Lock()
+	s := e.sessionLocked(id)
+	if cap(s.stateBuf) < len(state) {
+		s.stateBuf = make([]float64, len(state))
+	}
+	s.stateBuf = s.stateBuf[:len(state)]
+	copy(s.stateBuf, state)
+	e.pending = append(e.pending, pendingDecision{sess: s, conn: conn})
+	e.mu.Unlock()
+}
+
+// Flush runs the batched forward pass over everything enqueued since the
+// last Flush and applies each flow's cwnd decision in enqueue order.
+// Within one GR interval no simulation events run between the control
+// sweep and the flush, so deferred application is semantically identical
+// to deciding inline — and in deterministic mode bitwise identical to a
+// per-flow rl.PolicyController. Not safe for concurrent use (the sim loop
+// is single-threaded); concurrent servers use Start/Decide instead.
+func (e *Engine) Flush(now sim.Time) {
+	e.mu.Lock()
+	pend := e.pending
+	e.pending = e.pending[len(e.pending):]
+	e.mu.Unlock()
+	if len(pend) == 0 {
+		return
+	}
+	for lo := 0; lo < len(pend); lo += e.cfg.MaxBatch {
+		hi := lo + e.cfg.MaxBatch
+		if hi > len(pend) {
+			hi = len(pend)
+		}
+		chunk := pend[lo:hi]
+		e.forwardChunk(chunk, &e.syncBuf, func(i int, ratio float64) {
+			c := chunk[i].conn
+			c.SetCwnd(tcp.ClampCwnd(c.Cwnd*ratio, e.cfg.MinCwnd, e.cfg.MaxCwnd))
+			c.Kick(now)
+		})
+	}
+	e.mu.Lock()
+	if len(e.pending) == 0 {
+		e.pending = pend[:0] // reclaim the backing array for the next interval
+	}
+	e.mu.Unlock()
+}
+
+// forwardChunk runs one batched pass over chunk and hands each row's cwnd
+// ratio to apply, in order. Fallback rows (non-finite state or action)
+// get ratio 1.0 and keep their previous hidden state.
+func (e *Engine) forwardChunk(chunk []pendingDecision, buf *batchBuf, apply func(i int, ratio float64)) {
+	n := len(chunk)
+	inDim := len(e.cfg.Mask)
+	hDim := len(chunk[0].sess.hidden)
+	buf.states.Reset(n, inDim)
+	buf.hidden.Reset(n, hDim)
+	fallback := buf.ensureFlags(n)
+	for i, p := range chunk {
+		fallback[i] = !finiteVec(p.sess.stateBuf)
+		if fallback[i] {
+			zero(buf.states.Row(i))
+		} else {
+			gr.ApplyMaskInto(buf.states.Row(i), p.sess.stateBuf, e.cfg.Mask)
+		}
+		buf.hidden.SetRow(i, p.sess.hidden)
+	}
+	heads, hNew := e.cfg.Policy.BatchForward(&buf.states, &buf.hidden, buf.scratch)
+	for i := range chunk {
+		ratio := 1.0
+		if !fallback[i] {
+			var u float64
+			if e.cfg.Stochastic {
+				u = e.cfg.Policy.GMM.Sample(heads.Row(i), buf.rng)
+			} else {
+				u = e.cfg.Policy.GMM.MeanInto(heads.Row(i), buf.meanBuf)
+			}
+			r := rl.UToRatio(u)
+			if math.IsNaN(u) || math.IsNaN(r) || math.IsInf(r, 0) {
+				fallback[i] = true
+			} else {
+				ratio = r
+				copy(chunk[i].sess.hidden, hNew.Row(i))
+			}
+		}
+		if fallback[i] {
+			e.cfg.Metrics.Counter(MetricFallbacks).Inc()
+		}
+		e.cfg.Metrics.Counter(MetricDecisions).Inc()
+		apply(i, ratio)
+	}
+	e.cfg.Metrics.Counter(MetricBatches).Inc()
+	e.cfg.Metrics.Histogram(MetricBatchSize).Observe(float64(n))
+}
+
+// ensureFlags returns a reusable []bool of length n.
+func (b *batchBuf) ensureFlags(n int) []bool {
+	if cap(b.flags) < n {
+		b.flags = make([]bool, n)
+	}
+	b.flags = b.flags[:n]
+	return b.flags
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous path: a deadline micro-batcher in front of a worker pool.
+
+// Start spins up the dispatcher and worker pool behind Decide. Safe to
+// call once; the synchronous Enqueue/Flush path does not need it.
+func (e *Engine) Start() {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.started || e.closed {
+		return
+	}
+	e.started = true
+	e.reqCh = make(chan *request, 4*e.cfg.MaxBatch)
+	e.workCh = make(chan []*request, e.cfg.Workers)
+	e.wg.Add(1 + e.cfg.Workers)
+	go e.dispatch()
+	for w := 0; w < e.cfg.Workers; w++ {
+		buf := e.newBatchBuf(w + 1)
+		go e.worker(buf)
+	}
+}
+
+// Decide blocks until the engine has batched and served a decision for
+// session id: it returns the new cwnd for a flow currently at cwnd whose
+// state vector is state. fallback reports that the decision was a safety
+// no-op (non-finite state or action). A session with a request already in
+// flight gets ErrSessionBusy — retry after the outstanding call returns.
+func (e *Engine) Decide(id uint64, cwnd float64, state []float64) (newCwnd float64, fallback bool, err error) {
+	e.closeMu.RLock()
+	if e.closed || !e.started {
+		e.closeMu.RUnlock()
+		return cwnd, false, ErrClosed
+	}
+	e.mu.Lock()
+	s := e.sessionLocked(id)
+	if s.busy {
+		e.mu.Unlock()
+		e.closeMu.RUnlock()
+		return cwnd, false, ErrSessionBusy
+	}
+	s.busy = true
+	e.mu.Unlock()
+
+	req := &request{sess: s, state: append([]float64(nil), state...), done: make(chan asyncResult, 1)}
+	e.queued.Add(1)
+	e.cfg.Metrics.Gauge(MetricQueueDepth).Set(float64(e.queued.Load()))
+	e.reqCh <- req
+	e.closeMu.RUnlock() // the dispatcher now owns the request; drain will serve it
+
+	res := <-req.done
+	w := tcp.ClampCwnd(cwnd*res.ratio, e.cfg.MinCwnd, e.cfg.MaxCwnd)
+	return w, res.fallback, nil
+}
+
+// dispatch coalesces requests into batches: a batch opens on the first
+// request and closes when it reaches MaxBatch or BatchDeadline elapses.
+func (e *Engine) dispatch() {
+	defer e.wg.Done()
+	defer close(e.workCh)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, open := <-e.reqCh
+		if !open {
+			return
+		}
+		batch := []*request{first}
+		timer.Reset(e.cfg.BatchDeadline)
+		start := time.Now()
+	fill:
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case r, more := <-e.reqCh:
+				if !more {
+					break fill
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		e.cfg.Metrics.Histogram(MetricBatchWaitUs).Observe(float64(time.Since(start).Microseconds()))
+		e.workCh <- batch
+	}
+}
+
+// worker runs batched passes and completes each request's future.
+func (e *Engine) worker(buf batchBuf) {
+	defer e.wg.Done()
+	var chunk []pendingDecision
+	for batch := range e.workCh {
+		chunk = chunk[:0]
+		for _, r := range batch {
+			// Reuse the session stateBuf slot so forwardChunk sees one code
+			// path; busy=true guarantees exclusive access.
+			r.sess.stateBuf = r.state
+			chunk = append(chunk, pendingDecision{sess: r.sess})
+		}
+		e.forwardChunk(chunk, &buf, func(i int, ratio float64) {
+			r := batch[i]
+			fb := buf.flags[i]
+			e.mu.Lock()
+			r.sess.busy = false
+			e.mu.Unlock()
+			e.queued.Add(-1)
+			e.cfg.Metrics.Gauge(MetricQueueDepth).Set(float64(e.queued.Load()))
+			r.done <- asyncResult{ratio: ratio, fallback: fb}
+		})
+	}
+}
+
+// Close drains the async path: queued and in-flight decisions complete,
+// then the dispatcher and workers exit. Decide afterwards returns
+// ErrClosed. Safe to call multiple times; a never-Started engine just
+// flips the closed flag.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return
+	}
+	e.closed = true
+	started := e.started
+	if started {
+		close(e.reqCh)
+	}
+	e.closeMu.Unlock()
+	if started {
+		e.wg.Wait()
+	}
+}
+
+func finiteVec(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}

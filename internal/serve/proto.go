@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// Wire protocol of the sage-serve daemon: length-prefixed binary frames
+// over a stream socket (Unix domain in practice).
+//
+//	frame    := u32(BE) payload length | payload
+//	request  := u8 version | u8 op | u64(BE) session id | body
+//	  OpDecide body: f64(BE) cwnd | u16(BE) dim | dim × f64(BE) state
+//	  OpReset, OpCloseSession: empty body
+//	response := u8 version | u8 status | f64(BE) new cwnd | u16(BE) len | msg
+//
+// All floats are IEEE-754 bits, big-endian. Session ids are chosen by the
+// client (one per flow); an id the server has evicted silently restarts
+// from a fresh hidden state, mirroring Engine session semantics.
+const (
+	ProtoVersion = 1
+
+	OpDecide       = 1
+	OpReset        = 2
+	OpCloseSession = 3
+
+	StatusOK       = 0 // decision served from the policy
+	StatusFallback = 1 // decision served, but as a safety no-op (ratio 1)
+	StatusBusy     = 2 // session already has a request in flight
+	StatusError    = 3 // malformed request or draining server; msg explains
+
+	// maxFrame bounds a frame payload (a 69-signal Decide is ~600 bytes;
+	// anything near this limit is a corrupt or hostile frame).
+	maxFrame = 1 << 16
+)
+
+var errFrameTooBig = errors.New("serve: frame exceeds size limit")
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return errFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame into buf (grown as needed) and returns the
+// payload slice.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errFrameTooBig
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendDecideRequest encodes an OpDecide request payload.
+func appendDecideRequest(b []byte, sid uint64, cwnd float64, state []float64) []byte {
+	b = append(b, ProtoVersion, OpDecide)
+	b = binary.BigEndian.AppendUint64(b, sid)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(cwnd))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(state)))
+	for _, v := range state {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// appendSessionRequest encodes an OpReset / OpCloseSession payload.
+func appendSessionRequest(b []byte, op byte, sid uint64) []byte {
+	b = append(b, ProtoVersion, op)
+	return binary.BigEndian.AppendUint64(b, sid)
+}
+
+// appendResponse encodes a response payload.
+func appendResponse(b []byte, status byte, cwnd float64, msg string) []byte {
+	b = append(b, ProtoVersion, status)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(cwnd))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// decodedRequest is a parsed request frame. State aliases the read buffer
+// and is only valid until the next read.
+type decodedRequest struct {
+	Op    byte
+	SID   uint64
+	Cwnd  float64
+	State []float64
+}
+
+// parseRequest decodes a request payload; stateBuf is reused for the
+// state vector.
+func parseRequest(p []byte, stateBuf []float64) (decodedRequest, []float64, error) {
+	var req decodedRequest
+	if len(p) < 10 {
+		return req, stateBuf, errors.New("serve: short request")
+	}
+	if p[0] != ProtoVersion {
+		return req, stateBuf, fmt.Errorf("serve: protocol version %d, want %d", p[0], ProtoVersion)
+	}
+	req.Op = p[1]
+	req.SID = binary.BigEndian.Uint64(p[2:10])
+	p = p[10:]
+	switch req.Op {
+	case OpReset, OpCloseSession:
+		return req, stateBuf, nil
+	case OpDecide:
+		if len(p) < 10 {
+			return req, stateBuf, errors.New("serve: short decide body")
+		}
+		req.Cwnd = math.Float64frombits(binary.BigEndian.Uint64(p[:8]))
+		dim := int(binary.BigEndian.Uint16(p[8:10]))
+		p = p[10:]
+		if len(p) != 8*dim {
+			return req, stateBuf, fmt.Errorf("serve: state dim %d but %d payload bytes", dim, len(p))
+		}
+		if cap(stateBuf) < dim {
+			stateBuf = make([]float64, dim)
+		}
+		stateBuf = stateBuf[:dim]
+		for i := 0; i < dim; i++ {
+			stateBuf[i] = math.Float64frombits(binary.BigEndian.Uint64(p[8*i : 8*i+8]))
+		}
+		req.State = stateBuf
+		return req, stateBuf, nil
+	default:
+		return req, stateBuf, fmt.Errorf("serve: unknown op %d", req.Op)
+	}
+}
+
+// Client talks the sage-serve protocol over one connection. Methods are
+// serialized by an internal mutex; use one Client per concurrent flow (or
+// one per goroutine) to let the server batch across them.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	wbuf []byte
+	rbuf []byte
+}
+
+// Dial connects to a sage-serve daemon's Unix socket.
+func Dial(socketPath string) (*Client, error) {
+	conn, err := net.Dial("unix", socketPath)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Decide requests a cwnd decision for session sid currently at cwnd with
+// observation state. status is one of the Status* constants; for StatusOK
+// and StatusFallback newCwnd is the window to apply.
+func (c *Client) Decide(sid uint64, cwnd float64, state []float64) (newCwnd float64, status byte, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendDecideRequest(c.wbuf[:0], sid, cwnd, state)
+	return c.roundTrip()
+}
+
+// Reset clears session sid's recurrent state on the server.
+func (c *Client) Reset(sid uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendSessionRequest(c.wbuf[:0], OpReset, sid)
+	_, status, err := c.roundTrip()
+	return statusErr(status, err)
+}
+
+// CloseSession frees session sid on the server.
+func (c *Client) CloseSession(sid uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendSessionRequest(c.wbuf[:0], OpCloseSession, sid)
+	_, status, err := c.roundTrip()
+	return statusErr(status, err)
+}
+
+// Close closes the connection (server-side sessions persist until evicted
+// or explicitly closed).
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip() (float64, byte, error) {
+	if err := writeFrame(c.conn, c.wbuf); err != nil {
+		return 0, StatusError, err
+	}
+	p, err := readFrame(c.conn, c.rbuf)
+	if err != nil {
+		return 0, StatusError, err
+	}
+	c.rbuf = p[:0]
+	if len(p) < 12 {
+		return 0, StatusError, errors.New("serve: short response")
+	}
+	if p[0] != ProtoVersion {
+		return 0, StatusError, fmt.Errorf("serve: protocol version %d, want %d", p[0], ProtoVersion)
+	}
+	status := p[1]
+	cwnd := math.Float64frombits(binary.BigEndian.Uint64(p[2:10]))
+	if status == StatusError {
+		msgLen := int(binary.BigEndian.Uint16(p[10:12]))
+		msg := "server error"
+		if 12+msgLen <= len(p) && msgLen > 0 {
+			msg = string(p[12 : 12+msgLen])
+		}
+		return cwnd, status, errors.New("serve: " + msg)
+	}
+	return cwnd, status, nil
+}
+
+func statusErr(status byte, err error) error {
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("serve: unexpected status %d", status)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+)
+
+// Server exposes an Engine over a stream listener (a Unix domain socket
+// for the sage-serve daemon). Each client connection is handled by one
+// goroutine that decodes frames sequentially; concurrency across
+// connections is what the engine's micro-batcher coalesces.
+type Server struct {
+	eng *Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an engine. The engine's async path is started on Serve.
+func NewServer(eng *Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on a Unix socket at path (removing a stale
+// socket file first) and serves until Shutdown.
+func (s *Server) ListenAndServe(path string) error {
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.eng.Start()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return net.ErrClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let queued and in-flight
+// decisions complete (Engine.Close), then hang up on idle clients and
+// wait for every handler to exit. Safe to call from a signal handler
+// goroutine and to call more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+
+	// Drain the engine first: handlers blocked in Decide get their
+	// responses out before connections are torn down.
+	s.eng.Close()
+
+	// Hang up the read side only: a handler mid-request still writes its
+	// response over the intact write side, then exits on the next read.
+	// Closing outright here would race the final response write.
+	s.mu.Lock()
+	for c := range s.conns {
+		if rc, ok := c.(interface{ CloseRead() error }); ok {
+			rc.CloseRead()
+		} else {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// handle serves one client connection until EOF or Shutdown.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	var (
+		rbuf     []byte
+		wbuf     []byte
+		stateBuf []float64
+	)
+	for {
+		p, err := readFrame(conn, rbuf)
+		if err != nil {
+			return // EOF, hangup, or oversized frame: drop the connection
+		}
+		rbuf = p[:0]
+		req, sb, err := parseRequest(p, stateBuf)
+		stateBuf = sb
+		if err != nil {
+			wbuf = appendResponse(wbuf[:0], StatusError, 0, err.Error())
+			if writeFrame(conn, wbuf) != nil {
+				return
+			}
+			continue
+		}
+		switch req.Op {
+		case OpDecide:
+			newCwnd, fallback, err := s.eng.Decide(req.SID, req.Cwnd, req.State)
+			switch {
+			case errors.Is(err, ErrSessionBusy):
+				wbuf = appendResponse(wbuf[:0], StatusBusy, req.Cwnd, "")
+			case errors.Is(err, ErrClosed):
+				wbuf = appendResponse(wbuf[:0], StatusError, req.Cwnd, "server draining")
+			case err != nil:
+				wbuf = appendResponse(wbuf[:0], StatusError, req.Cwnd, err.Error())
+			case fallback:
+				wbuf = appendResponse(wbuf[:0], StatusFallback, newCwnd, "")
+			default:
+				wbuf = appendResponse(wbuf[:0], StatusOK, newCwnd, "")
+			}
+		case OpReset:
+			s.eng.ResetSession(req.SID)
+			wbuf = appendResponse(wbuf[:0], StatusOK, 0, "")
+		case OpCloseSession:
+			s.eng.CloseSession(req.SID)
+			wbuf = appendResponse(wbuf[:0], StatusOK, 0, "")
+		}
+		if writeFrame(conn, wbuf) != nil {
+			return
+		}
+	}
+}
