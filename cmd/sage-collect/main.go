@@ -26,6 +26,12 @@
 // <out>.partial alongside a <out>.manifest ledger, and exit with status
 // 130; rerunning with -resume skips the finished cells and produces a pool
 // identical to an uninterrupted run.
+//
+// With -agent, the process is a distributed collection agent instead: it
+// connects to a sage-coord coordinator, leases cells, and ships shards
+// back until the campaign completes. Exit status: 0 campaign complete,
+// 4 lease revoked (the coordinator evicted this session — relaunch for a
+// fresh one), 130 signal drain, 1 fatal error.
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 
 	"sage/internal/cc"
 	"sage/internal/collector"
+	"sage/internal/dist"
 	"sage/internal/gr"
 	"sage/internal/netem"
 	"sage/internal/sim"
@@ -75,11 +82,16 @@ func main() {
 		doctor    = flag.String("doctor", "", "examine an existing pool file instead of collecting: quarantine report to <pool>.quarantine.jsonl, exit 3 if bad trajectories found")
 		clean     = flag.String("clean", "", "with -doctor: also write the sanitized pool to this file")
 		quality   = flag.Bool("quality", true, "quarantine bad trajectories from the collected pool before saving (report: <out>.quarantine.jsonl)")
+		agent     = flag.String("agent", "", "run as a distributed collection agent against the sage-coord coordinator at this address (host:port or unix:/path)")
+		agentID   = flag.String("agent-id", "", "agent identity for leases and eviction (default host:pid)")
 	)
 	flag.Parse()
 
 	if *doctor != "" {
 		os.Exit(runDoctor(*doctor, *clean))
+	}
+	if *agent != "" {
+		os.Exit(runAgent(*agent, *agentID, *parallel, *pprofAddr))
 	}
 
 	if *pprofAddr != "" {
@@ -90,7 +102,7 @@ func main() {
 		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	lvl, err := parseLevel(*level)
+	lvl, err := netem.ParseLevel(*level)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -308,14 +320,58 @@ func runDoctor(path, cleanOut string) int {
 	return 3
 }
 
-func parseLevel(s string) (netem.GridLevel, error) {
-	switch s {
-	case "tiny":
-		return netem.GridTiny, nil
-	case "small":
-		return netem.GridSmall, nil
-	case "full":
-		return netem.GridFull, nil
+// runAgent is the -agent mode: one distributed collection agent driven
+// by a sage-coord coordinator. Exit status: 0 campaign complete, 4 lease
+// revoked (session evicted), 130 signal drain, 1 fatal error, 2 usage.
+func runAgent(coordAddr, id string, parallel int, pprofAddr string) int {
+	// A bad coordinator address must fail before any connection attempt
+	// burns through its redial budget.
+	if _, _, err := dist.ParseAddr(coordAddr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
-	return 0, fmt.Errorf("unknown level %q (want tiny|small|full)", s)
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "agent"
+		}
+		id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if pprofAddr != "" {
+		if _, err := telemetry.ServeDebug(pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", pprofAddr)
+	}
+	reg := telemetry.NewRegistry()
+	reg.PublishExpvar("sage-collect-agent")
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	fmt.Printf("agent %s: joining coordinator %s\n", id, coordAddr)
+	err := dist.RunAgent(ctx, dist.AgentConfig{
+		Coordinator: coordAddr,
+		ID:          id,
+		Parallel:    parallel,
+		Metrics:     reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	switch {
+	case err == nil:
+		fmt.Printf("agent %s: campaign complete\n", id)
+		return 0
+	case errors.Is(err, dist.ErrRevoked):
+		// Distinct from both clean completion and a crash: the session is
+		// dead but the host is fine, so a supervisor should relaunch.
+		fmt.Fprintf(os.Stderr, "agent %s: %v\n", id, err)
+		return 4
+	case errors.Is(err, context.Canceled), ctx.Err() != nil:
+		fmt.Printf("agent %s: drained on signal\n", id)
+		return 130
+	default:
+		fmt.Fprintf(os.Stderr, "agent %s: %v\n", id, err)
+		return 1
+	}
 }

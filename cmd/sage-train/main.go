@@ -10,6 +10,12 @@
 // filter acceptance, advantage stats, gradient norms, steps/sec); with
 // -progress, a throttled progress/ETA line is printed; with -pprof, the
 // Go profiling endpoints and /debug/vars are served for the run.
+//
+// With -worker, the process is one data-parallel training worker
+// instead: it connects to a sage-coord coordinator (mode train), builds
+// its dataset from -pool with the coordinator's announced mask and
+// config, and loops compute-shard → submit → install-broadcast until the
+// run completes. Exit status: 0 run complete, 130 signal drain, 1 fatal.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"sage/internal/collector"
 	"sage/internal/core"
+	"sage/internal/dist"
 	"sage/internal/gr"
 	"sage/internal/nn"
 	"sage/internal/rl"
@@ -75,11 +82,17 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
 		sanitize  = flag.Bool("sanitize", false, "quarantine bad trajectories (non-finite/out-of-range/frozen/truncated) before training; report goes to <pool>.quarantine.jsonl")
 		useSent   = flag.Bool("sentinel", true, "train under the divergence sentinel (batch gating, checkpoint rollback, LR backoff)")
+		worker    = flag.String("worker", "", "run as a distributed training worker against the sage-coord coordinator at this address (host:port or unix:/path)")
+		workerIdx = flag.Int("worker-index", 0, "with -worker: this worker's slot [0, train-workers)")
 	)
 	flag.Parse()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+
+	if *worker != "" {
+		os.Exit(runWorker(ctx, *worker, *workerIdx, *poolPath, *logEvery))
+	}
 
 	if *pprofAddr != "" {
 		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
@@ -337,4 +350,51 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (policy: %d params)\n", *out, nn.ParamCount(model.Policy))
+}
+
+// runWorker is the -worker mode: one data-parallel shard worker driven
+// by a sage-coord coordinator. The coordinator announces the training
+// config and mask, so only the pool and worker slot are local decisions.
+func runWorker(ctx context.Context, coordAddr string, index int, poolPath string, logEvery int) int {
+	// Validate the address before loading a multi-GB pool.
+	if _, _, err := dist.ParseAddr(coordAddr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pool, err := collector.Load(poolPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	id := fmt.Sprintf("%s:%d", host, os.Getpid())
+	fmt.Printf("worker %d (%s): joining coordinator %s\n", index, id, coordAddr)
+	err = dist.RunTrainWorker(ctx, dist.TrainWorkerConfig{
+		Coordinator: coordAddr,
+		ID:          id,
+		Index:       index,
+		Pool:        pool,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+		OnStep: func(step int) {
+			if logEvery > 0 && step%logEvery == 0 {
+				fmt.Printf("worker %d: step %6d applied\n", index, step)
+			}
+		},
+	})
+	switch {
+	case err == nil:
+		fmt.Printf("worker %d: run complete\n", index)
+		return 0
+	case ctx.Err() != nil:
+		fmt.Printf("worker %d: drained on signal\n", index)
+		return 130
+	default:
+		fmt.Fprintf(os.Stderr, "worker %d: %v\n", index, err)
+		return 1
+	}
 }

@@ -208,6 +208,31 @@ dispatch:
 	return p, ctx.Err()
 }
 
+// CollectCell runs exactly one (scheme, env) rollout with the same
+// panic-recovery-and-retry semantics as a Collect worker — the unit of
+// work a distributed collection agent (internal/dist) executes per lease.
+// The trajectory is a pure function of (scheme, scenario, GR config), so
+// a cell collected on a remote agent is identical to the same cell
+// collected in-process.
+func CollectCell(ctx context.Context, scheme string, sc netem.Scenario, opt Options) (Trajectory, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cc.Validate(scheme); err != nil {
+		return Trajectory{}, fmt.Errorf("collector: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Trajectory{}, fmt.Errorf("collector: %w", err)
+	}
+	opt.GR = opt.GR.Fill()
+	tr, err := runCell(ctx, scheme, sc, opt)
+	var pe *panicError
+	if errors.As(err, &pe) && ctx.Err() == nil {
+		tr, err = runCell(ctx, scheme, sc, opt) // one retry, like Collect
+	}
+	return tr, err
+}
+
 // runCell runs one (scheme, env) rollout, converting a worker panic into
 // an error so one poisoned cell cannot kill the whole campaign.
 func runCell(ctx context.Context, scheme string, sc netem.Scenario, opt Options) (tr Trajectory, err error) {
@@ -256,21 +281,97 @@ func meanReward(steps []gr.Step) float64 {
 // trajectories sampled at different intervals or window sizes are not
 // comparable training data, so a mismatch is an error rather than a
 // silently mixed pool. Configs are compared after Fill, so an unset
-// field and its explicit default are the same config.
+// field and its explicit default are the same config. For merging shard
+// files off disk, use MergeShardFiles, which streams one shard at a time
+// instead of requiring every pool in memory at once.
 func Merge(pools ...*Pool) (*Pool, error) {
-	if len(pools) == 0 {
-		return &Pool{}, nil
-	}
-	out := &Pool{GR: pools[0].GR}
-	want := pools[0].GR.Fill()
+	m := newMerger()
 	for i, p := range pools {
-		if got := p.GR.Fill(); got != want {
-			return nil, fmt.Errorf("collector: merge: pool %d GR config %+v differs from pool 0 %+v", i, got, want)
+		if err := m.add(fmt.Sprintf("pool %d", i), p); err != nil {
+			return nil, err
 		}
-		out.Trajs = append(out.Trajs, p.Trajs...)
-		out.Failed = append(out.Failed, p.Failed...)
 	}
-	return out, nil
+	return m.result(), nil
+}
+
+// merger accumulates pools one at a time, deduplicating by cell so a
+// shard re-collected by a revived agent cannot double a trajectory, and
+// dropping Failed entries for cells another shard did complete.
+type merger struct {
+	out       *Pool
+	seen      map[CellKey]bool
+	failedSet map[CellKey]bool
+	first     bool
+	want      gr.Config
+}
+
+func newMerger() *merger {
+	return &merger{out: &Pool{}, seen: map[CellKey]bool{}, failedSet: map[CellKey]bool{}, first: true}
+}
+
+func (m *merger) add(name string, p *Pool) error {
+	if m.first {
+		m.out.GR = p.GR
+		m.want = p.GR.Fill()
+		m.first = false
+	} else if got := p.GR.Fill(); got != m.want {
+		return fmt.Errorf("collector: merge: %s GR config %+v differs from first pool %+v", name, got, m.want)
+	}
+	for _, tr := range p.Trajs {
+		key := CellKey{tr.Scheme, tr.Env}
+		if m.seen[key] {
+			continue // duplicate cell (revived agent, overlapping shards): first wins
+		}
+		m.seen[key] = true
+		m.out.Trajs = append(m.out.Trajs, tr)
+	}
+	for _, f := range p.Failed {
+		key := CellKey{f.Scheme, f.Env}
+		if m.failedSet[key] {
+			continue
+		}
+		m.failedSet[key] = true
+		m.out.Failed = append(m.out.Failed, f)
+	}
+	return nil
+}
+
+// result finalizes the merge: a cell that failed on one agent but was
+// completed by another (lease reassignment) is not a failure of the
+// campaign, so its Failed entry is dropped.
+func (m *merger) result() *Pool {
+	if m.first {
+		return &Pool{}
+	}
+	kept := m.out.Failed[:0]
+	for _, f := range m.out.Failed {
+		if !m.seen[CellKey{f.Scheme, f.Env}] {
+			kept = append(kept, f)
+		}
+	}
+	m.out.Failed = kept
+	return m.out
+}
+
+// MergeShardFiles streams the shard pools at paths into one deduplicated
+// pool. Shards are loaded, appended, and released one at a time, so peak
+// memory is one shard plus the accumulating result — not the sum of all
+// shards, which at paper scale (>60M transitions across hundreds of
+// shards) would not fit. A shard that fails checksum verification (or
+// any load/config check) is identified by path in the returned error, so
+// an operator can delete or re-collect exactly the bad shard.
+func MergeShardFiles(paths ...string) (*Pool, error) {
+	m := newMerger()
+	for _, path := range paths {
+		p, err := Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("collector: merge: shard %s: %w", path, err)
+		}
+		if err := m.add("shard "+path, p); err != nil {
+			return nil, err
+		}
+	}
+	return m.result(), nil
 }
 
 // SortByCell orders trajectories canonically by (scheme, env). Resumed

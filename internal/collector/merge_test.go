@@ -1,0 +1,123 @@
+package collector
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sage/internal/safeio"
+)
+
+// TestMergeDeduplicatesCells: merging pools that share cells keeps the
+// first copy (cells are deterministic, so copies are identical), and a
+// Failed entry for a cell that succeeded elsewhere is dropped.
+func TestMergeDeduplicatesCells(t *testing.T) {
+	sc := tinyScenarios()[:2]
+	a := mustCollect(t, []string{"cubic"}, sc, Options{Parallel: 2})
+	b := mustCollect(t, []string{"cubic"}, sc[:1], Options{Parallel: 2}) // duplicates one cell
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trajs) != 2 {
+		t.Fatalf("merged = %d trajs, want 2 (duplicate cell kept)", len(m.Trajs))
+	}
+
+	// A failure superseded by a success (lease reassignment after a flaky
+	// agent) must not survive the merge.
+	fail := &Pool{GR: a.GR, Failed: []FailedCell{{Scheme: "cubic", Env: a.Trajs[0].Env, Err: "agent died"}}}
+	m2, err := Merge(fail, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Failed) != 0 {
+		t.Fatalf("superseded failure survived: %v", m2.Failed)
+	}
+	if len(m2.Trajs) != 2 {
+		t.Fatalf("merged = %d trajs", len(m2.Trajs))
+	}
+
+	// A failure nothing supersedes is kept exactly once.
+	fail2 := &Pool{GR: a.GR, Failed: []FailedCell{{Scheme: "vegas", Env: "nowhere", Err: "x"}}}
+	m3, err := Merge(fail2, fail2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m3.Failed) != 1 {
+		t.Fatalf("failures = %v, want exactly one", m3.Failed)
+	}
+}
+
+// TestMergeShardFiles: the streaming merge over shard files equals the
+// in-memory merge of the same pools.
+func TestMergeShardFiles(t *testing.T) {
+	sc := tinyScenarios()[:2]
+	a := mustCollect(t, []string{"cubic"}, sc[:1], Options{Parallel: 2})
+	b := mustCollect(t, []string{"cubic"}, sc[1:2], Options{Parallel: 2})
+	c := mustCollect(t, []string{"vegas"}, sc[:1], Options{Parallel: 2})
+
+	dir := t.TempDir()
+	paths := make([]string, 0, 3)
+	for i, p := range []*Pool{a, b, c} {
+		path := filepath.Join(dir, "shard-"+string(rune('a'+i))+".pool")
+		if err := p.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+
+	streamed, err := MergeShardFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem, err := Merge(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed.SortByCell()
+	inMem.SortByCell()
+	if !reflect.DeepEqual(streamed, inMem) {
+		t.Fatal("streamed merge differs from in-memory merge")
+	}
+
+	empty, err := MergeShardFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Trajs) != 0 {
+		t.Fatalf("empty merge has %d trajs", len(empty.Trajs))
+	}
+}
+
+// TestMergeShardFilesNamesFailingShard: a corrupt shard's error names the
+// file, so an operator knows which shard to delete or re-collect.
+func TestMergeShardFilesNamesFailingShard(t *testing.T) {
+	sc := tinyScenarios()[:1]
+	a := mustCollect(t, []string{"cubic"}, sc, Options{Parallel: 2})
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.pool")
+	bad := filepath.Join(dir, "bad.pool")
+	if err := a.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save(bad); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(bad)
+	raw[len(raw)/2] ^= 0x40
+	os.WriteFile(bad, raw, 0o644)
+
+	_, err := MergeShardFiles(good, bad)
+	if err == nil {
+		t.Fatal("corrupt shard merged silently")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Fatalf("error does not name the failing shard: %v", err)
+	}
+	if !errors.Is(err, safeio.ErrCorrupt) {
+		t.Fatalf("error lost the corruption cause: %v", err)
+	}
+}

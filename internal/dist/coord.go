@@ -1,0 +1,552 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sage/internal/collector"
+	"sage/internal/gr"
+	"sage/internal/rl"
+	"sage/internal/safeio"
+	"sage/internal/telemetry"
+)
+
+// TrainConfig configures the coordinator's data-parallel training
+// service.
+type TrainConfig struct {
+	// Learner is the master: it owns the optimizer moments and applies
+	// every all-reduced step. Its Cfg.Workers must equal Workers.
+	Learner *rl.CRR
+	Workers int
+	// StepsTotal is the absolute step index to stop at (the learner may
+	// already be past zero when resumed from a checkpoint).
+	StepsTotal int
+	// Mask is the input mask workers must build their datasets with.
+	Mask []int
+	// OnStep receives every applied step's stats on the applying
+	// handler's goroutine — the checkpoint/metrics hook.
+	OnStep func(rl.TrainStats)
+}
+
+// CoordConfig configures a Coordinator. Campaign enables the collection
+// service, Train the training service; either or both may be set.
+type CoordConfig struct {
+	Campaign *Campaign
+	// ShardDir is where verified pool shards are persisted (collection).
+	ShardDir string
+	// ManifestPath is the campaign's JSONL cell ledger — the same format
+	// sage-collect -resume reads, reused here for coordinator restarts.
+	ManifestPath string
+	// LeaseTTL bounds how long a silent agent keeps its cells
+	// (default 30s). Agents heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// Resume re-admits cells whose manifest entry says "ok" AND whose
+	// shard file verifies; anything less is re-collected.
+	Resume bool
+
+	Train *TrainConfig
+
+	Metrics  *telemetry.Registry
+	Fleet    *telemetry.Fleet
+	Progress *telemetry.Progress
+	Logf     func(format string, args ...any)
+}
+
+// Coordinator serves the distributed control plane: cell leases and
+// shard intake for collection agents, gradient all-reduce for training
+// workers. One goroutine per connection decodes request frames
+// sequentially, mirroring internal/serve's server shape.
+type Coordinator struct {
+	cfg      CoordConfig
+	tracker  *Tracker
+	manifest *collector.Manifest
+	grCfg    gr.Config
+	total    int
+	resumed  int
+	train    *trainState
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+}
+
+// NewCoordinator validates the configuration, rebuilds resume state from
+// the manifest and shard directory, and returns a coordinator ready to
+// Serve.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Campaign == nil && cfg.Train == nil {
+		return nil, errors.New("dist: coordinator needs a campaign, a training config, or both")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		conns:  map[net.Conn]struct{}{},
+		doneCh: make(chan struct{}),
+	}
+	if cfg.Campaign != nil {
+		if err := cfg.Campaign.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.ShardDir == "" || cfg.ManifestPath == "" {
+			return nil, errors.New("dist: collection coordinator needs ShardDir and ManifestPath")
+		}
+		if err := os.MkdirAll(cfg.ShardDir, 0o755); err != nil {
+			return nil, fmt.Errorf("dist: shard dir: %w", err)
+		}
+		cells, err := cfg.Campaign.Cells()
+		if err != nil {
+			return nil, err
+		}
+		c.total = len(cells)
+		c.grCfg = cfg.Campaign.GR().Fill()
+		c.tracker = NewTracker(cells, cfg.LeaseTTL)
+		if !cfg.Resume {
+			os.Remove(cfg.ManifestPath)
+		}
+		manifest, recorded, err := collector.OpenManifest(cfg.ManifestPath)
+		if err != nil {
+			return nil, err
+		}
+		c.manifest = manifest
+		if cfg.Resume {
+			// A cell is finished only when the ledger and a verified
+			// shard agree — the ledger alone could claim a cell whose
+			// shard never reached disk (crash between record and fsync
+			// ordering is write-shard-first, but trust nothing).
+			for cell, status := range recorded {
+				if status != "ok" {
+					continue
+				}
+				if c.shardHasCell(cell) {
+					c.tracker.MarkDone(cell)
+					c.resumed++
+				}
+			}
+		}
+	}
+	if cfg.Train != nil {
+		ts, err := newTrainState(cfg.Train, c.checkDone)
+		if err != nil {
+			return nil, err
+		}
+		c.train = ts
+	}
+	c.checkDone()
+	return c, nil
+}
+
+// Resumed reports how many cells were re-admitted from a previous
+// coordinator's manifest and shards.
+func (c *Coordinator) Resumed() int { return c.resumed }
+
+// TotalCells reports the campaign's cell count.
+func (c *Coordinator) TotalCells() int { return c.total }
+
+// Tracker exposes the lease table (status reporting, tests).
+func (c *Coordinator) Tracker() *Tracker { return c.tracker }
+
+func (c *Coordinator) shardPath(cell collector.CellKey) string {
+	return filepath.Join(c.cfg.ShardDir, ShardName(cell))
+}
+
+// shardHasCell verifies that the shard file for cell exists, passes
+// checksum verification, and actually contains that cell.
+func (c *Coordinator) shardHasCell(cell collector.CellKey) bool {
+	p, err := collector.Load(c.shardPath(cell))
+	return err == nil && p.Cells()[cell]
+}
+
+// checkDone closes the completion channel once every configured service
+// has finished.
+func (c *Coordinator) checkDone() {
+	if c.tracker != nil && !c.tracker.Done() {
+		return
+	}
+	if c.train != nil && !c.train.finished() {
+		return
+	}
+	c.doneOnce.Do(func() { close(c.doneCh) })
+}
+
+// Wait blocks until the campaign (and/or training run) completes or ctx
+// is cancelled.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// DoneCh exposes the completion channel.
+func (c *Coordinator) DoneCh() <-chan struct{} { return c.doneCh }
+
+// Serve accepts connections on ln until Shutdown. Always returns a
+// non-nil error; after Shutdown it is net.ErrClosed.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return net.ErrClosed
+			}
+			return err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		c.conns[conn] = struct{}{}
+		c.wg.Add(1)
+		c.mu.Unlock()
+		go c.handle(conn)
+	}
+}
+
+// ListenAndServe listens on the address spec ("host:port" or
+// "unix:/path") and serves until Shutdown.
+func (c *Coordinator) ListenAndServe(spec string) error {
+	network, addr, err := ParseAddr(spec)
+	if err != nil {
+		return err
+	}
+	if network == "unix" {
+		if err := os.Remove(addr); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	return c.Serve(ln)
+}
+
+// DrainAgents keeps serving until every agent connection has closed or
+// the grace period expires. Agents hang up on their own once told the
+// campaign (or training run) is done; draining before Shutdown lets them
+// observe that verdict instead of a vanished coordinator, so supervised
+// agents exit 0 rather than churning through redials.
+func (c *Coordinator) DrainAgents(grace time.Duration) {
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		n := len(c.conns)
+		c.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Shutdown stops accepting, closes every connection, wakes blocked
+// training handlers, and waits for handlers to exit. The manifest and
+// shard files stay on disk — a future coordinator resumes from them.
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	if c.train != nil {
+		c.train.abort()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	if c.manifest != nil {
+		c.manifest.Close()
+	}
+}
+
+// handle serves one agent connection until EOF, error, or Shutdown.
+func (c *Coordinator) handle(conn net.Conn) {
+	agentID := ""
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+		// A vanished connection releases its leases immediately (faster
+		// than TTL expiry) without eviction: the agent may simply redial.
+		if agentID != "" && c.tracker != nil {
+			c.tracker.Release(agentID)
+		}
+		c.wg.Done()
+	}()
+	for {
+		req, err := readMsg(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.cfg.Logf("coord: %s: read: %v", agentID, err)
+			}
+			return
+		}
+		if req.Type == MsgHello {
+			agentID = req.AgentID
+		}
+		resp := c.dispatch(req)
+		if err := writeMsg(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func errMsg(format string, args ...any) *Message {
+	return &Message{Type: MsgError, Err: fmt.Sprintf(format, args...)}
+}
+
+func (c *Coordinator) dispatch(req *Message) *Message {
+	switch req.Type {
+	case MsgHello:
+		return c.handleHello(req)
+	case MsgRequestCell:
+		return c.handleRequestCell(req)
+	case MsgHeartbeat:
+		return c.handleHeartbeat(req)
+	case MsgCellDone:
+		return c.handleCellDone(req)
+	case MsgCellFailed:
+		return c.handleCellFailed(req)
+	case MsgGrads:
+		return c.handleGrads(req)
+	default:
+		return errMsg("unknown message type %d", req.Type)
+	}
+}
+
+func (c *Coordinator) handleHello(req *Message) *Message {
+	if req.AgentID == "" {
+		return errMsg("hello without agent id")
+	}
+	switch req.Role {
+	case "collect":
+		if c.tracker == nil {
+			return errMsg("no collection campaign configured")
+		}
+		c.tracker.Register(req.AgentID)
+		c.cfg.Metrics.Counter("coord.hellos").Inc()
+		c.cfg.Logf("coord: agent %s joined", req.AgentID)
+		return &Message{Type: MsgWelcome, Campaign: c.cfg.Campaign, LeaseTTL: c.cfg.LeaseTTL}
+	case "train":
+		if c.train == nil {
+			return errMsg("no training run configured")
+		}
+		return c.train.welcome(req)
+	default:
+		return errMsg("unknown role %q", req.Role)
+	}
+}
+
+func (c *Coordinator) handleRequestCell(req *Message) *Message {
+	if c.tracker == nil {
+		return errMsg("no collection campaign configured")
+	}
+	if c.tracker.Evicted(req.AgentID) {
+		c.cfg.Metrics.Counter("coord.evicted_rejections").Inc()
+		return &Message{Type: MsgWait, Verdict: VerdictEvicted}
+	}
+	cell, res := c.tracker.Acquire(req.AgentID)
+	switch res {
+	case AcquireGranted:
+		c.cfg.Metrics.Counter("coord.leases_granted").Inc()
+		return &Message{Type: MsgAssign, Scheme: cell.Scheme, Env: cell.Env, Verdict: VerdictOK}
+	case AcquireWait:
+		backoff := c.cfg.LeaseTTL / 4
+		if backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+		return &Message{Type: MsgWait, Verdict: VerdictOK, Backoff: backoff}
+	default:
+		c.checkDone()
+		return &Message{Type: MsgCampaignDone, Verdict: VerdictOK}
+	}
+}
+
+func (c *Coordinator) handleHeartbeat(req *Message) *Message {
+	if c.tracker == nil {
+		return errMsg("no collection campaign configured")
+	}
+	c.cfg.Fleet.Update(req.AgentID, req.Metrics)
+	if c.tracker.Evicted(req.AgentID) {
+		c.cfg.Metrics.Counter("coord.evicted_rejections").Inc()
+		return &Message{Type: MsgHeartbeatAck, Verdict: VerdictEvicted}
+	}
+	c.tracker.Renew(req.AgentID)
+	c.cfg.Metrics.Counter("coord.heartbeats").Inc()
+	return &Message{Type: MsgHeartbeatAck, Verdict: VerdictOK}
+}
+
+func (c *Coordinator) handleCellDone(req *Message) *Message {
+	if c.tracker == nil {
+		return errMsg("no collection campaign configured")
+	}
+	if c.tracker.Evicted(req.AgentID) {
+		c.cfg.Metrics.Counter("coord.evicted_rejections").Inc()
+		return &Message{Type: MsgCellAck, Verdict: VerdictEvicted}
+	}
+	cell := collector.CellKey{Scheme: req.Scheme, Env: req.Env}
+	if ChecksumShard(req.Shard) != req.Checksum {
+		c.cfg.Metrics.Counter("coord.shard_checksum_mismatches").Inc()
+		c.cfg.Logf("coord: shard %s/%s failed wire checksum; asking %s to resend", cell.Scheme, cell.Env, req.AgentID)
+		return &Message{Type: MsgCellAck, Verdict: VerdictRetry}
+	}
+	// The shard must decode and actually contain the cell it claims —
+	// a confused agent must not poison the campaign's shard store.
+	if err := verifyShardPayload(req.Shard, cell, c.grCfg); err != nil {
+		return errMsg("shard %s/%s rejected: %v", cell.Scheme, cell.Env, err)
+	}
+	// Durability order: shard bytes reach disk (atomically, checksummed)
+	// before the cell can be declared done anywhere.
+	path := c.shardPath(cell)
+	err := safeio.WriteFile(path, func(w io.Writer) error {
+		_, werr := w.Write(req.Shard)
+		return werr
+	})
+	if err != nil {
+		c.cfg.Logf("coord: persist shard %s: %v", path, err)
+		return &Message{Type: MsgCellAck, Verdict: VerdictRetry}
+	}
+	verdict := c.tracker.Complete(req.AgentID, cell)
+	if verdict == VerdictOK {
+		c.manifest.Record(cell.Scheme, cell.Env, nil)
+		c.cfg.Metrics.Counter("coord.cells_done").Inc()
+		c.cfg.Metrics.Counter("coord.shard_bytes").Add(int64(len(req.Shard)))
+		c.cfg.Progress.Add(1)
+		c.checkDone()
+	} else {
+		c.cfg.Metrics.Counter("coord.duplicate_completions").Inc()
+	}
+	return &Message{Type: MsgCellAck, Verdict: verdict}
+}
+
+func (c *Coordinator) handleCellFailed(req *Message) *Message {
+	if c.tracker == nil {
+		return errMsg("no collection campaign configured")
+	}
+	if c.tracker.Evicted(req.AgentID) {
+		c.cfg.Metrics.Counter("coord.evicted_rejections").Inc()
+		return &Message{Type: MsgCellAck, Verdict: VerdictEvicted}
+	}
+	cell := collector.CellKey{Scheme: req.Scheme, Env: req.Env}
+	verdict := c.tracker.Fail(req.AgentID, cell, req.Err)
+	if verdict == VerdictOK {
+		c.manifest.Record(cell.Scheme, cell.Env, errors.New(req.Err))
+		c.cfg.Metrics.Counter("coord.cells_failed").Inc()
+		c.cfg.Progress.Add(1)
+		c.cfg.Logf("coord: cell %s/%s failed permanently: %s", cell.Scheme, cell.Env, req.Err)
+		c.checkDone()
+	}
+	return &Message{Type: MsgCellAck, Verdict: verdict}
+}
+
+func (c *Coordinator) handleGrads(req *Message) *Message {
+	if c.train == nil {
+		return errMsg("no training run configured")
+	}
+	if req.GradShard == nil {
+		return errMsg("grads message without a shard")
+	}
+	return c.train.submit(req.GradShard)
+}
+
+// verifyShardPayload decodes a shard payload and checks it carries
+// exactly the claimed cell under the campaign's GR config.
+func verifyShardPayload(payload []byte, cell collector.CellKey, want gr.Config) error {
+	p, err := decodeShard(payload)
+	if err != nil {
+		return err
+	}
+	if got := p.GR.Fill(); got != want {
+		return fmt.Errorf("GR config %+v differs from campaign %+v", got, want)
+	}
+	if len(p.Trajs) != 1 && len(p.Failed) == 0 {
+		return fmt.Errorf("shard has %d trajectories, want 1", len(p.Trajs))
+	}
+	if !p.Cells()[cell] {
+		return fmt.Errorf("shard does not contain cell %s/%s", cell.Scheme, cell.Env)
+	}
+	return nil
+}
+
+// MergedPool streams the completed cells' shard files into the final
+// deduplicated pool, appends the campaign's permanent failures, and
+// sorts canonically — byte-identical to a single-process run over the
+// same campaign once saved.
+func (c *Coordinator) MergedPool() (*collector.Pool, error) {
+	if c.tracker == nil {
+		return nil, errors.New("dist: no collection campaign configured")
+	}
+	cells := c.tracker.DoneCells()
+	paths := make([]string, len(cells))
+	for i, cell := range cells {
+		paths[i] = c.shardPath(cell)
+	}
+	pool, err := collector.MergeShardFiles(paths...)
+	if err != nil {
+		return nil, err
+	}
+	if len(pool.Trajs) == 0 {
+		pool.GR = c.grCfg
+	}
+	pool.Failed = append(pool.Failed, c.tracker.Failures()...)
+	pool.SortByCell()
+	return pool, nil
+}
+
+// CleanupResumeState removes the manifest and shard files after the
+// final pool is safely saved.
+func (c *Coordinator) CleanupResumeState() {
+	if c.manifest != nil {
+		c.manifest.Close()
+	}
+	if c.cfg.ManifestPath != "" {
+		os.Remove(c.cfg.ManifestPath)
+	}
+	if c.cfg.ShardDir != "" {
+		os.RemoveAll(c.cfg.ShardDir)
+	}
+}

@@ -1,0 +1,272 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"sage/internal/collector"
+)
+
+// CellStatus is a tracked cell's lifecycle state.
+type CellStatus int
+
+// Cell lifecycle.
+const (
+	CellPending CellStatus = iota
+	CellLeased
+	CellDone
+	CellFailed
+)
+
+// AcquireResult reports what Acquire found.
+type AcquireResult int
+
+// Acquire outcomes.
+const (
+	AcquireGranted  AcquireResult = iota // a cell was leased to the caller
+	AcquireWait                          // all remaining cells are leased out; retry later
+	AcquireComplete                      // every cell is done or failed
+)
+
+// Tracker is the coordinator's lease table: every campaign cell with its
+// status, holder, and lease deadline. Leases are renewed by heartbeat;
+// a lease that reaches its deadline un-renewed returns the cell to the
+// pending set and marks the holder evicted, so a stalled or dead agent's
+// work is reassigned instead of wedging the campaign. All methods are
+// safe for concurrent use from connection handlers.
+type Tracker struct {
+	mu      sync.Mutex
+	order   []collector.CellKey
+	cells   map[collector.CellKey]*cellInfo
+	evicted map[string]bool
+	ttl     time.Duration
+	now     func() time.Time
+}
+
+type cellInfo struct {
+	status  CellStatus
+	agent   string
+	expires time.Time
+	err     string
+}
+
+// NewTracker builds the table over the campaign's cells with the given
+// lease TTL.
+func NewTracker(cells []collector.CellKey, ttl time.Duration) *Tracker {
+	t := &Tracker{
+		order:   append([]collector.CellKey(nil), cells...),
+		cells:   make(map[collector.CellKey]*cellInfo, len(cells)),
+		evicted: map[string]bool{},
+		ttl:     ttl,
+		now:     time.Now,
+	}
+	for _, c := range t.order {
+		t.cells[c] = &cellInfo{}
+	}
+	return t
+}
+
+// SetClock overrides the time source (tests drive lease expiry without
+// sleeping).
+func (t *Tracker) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// expireLocked sweeps leases past their deadline: the cell goes back to
+// pending and the delinquent holder is marked evicted. Called lazily at
+// the top of every mutating operation, so expiry needs no timer
+// goroutine — any agent activity (and there is always activity while an
+// agent lives, because idle agents poll) advances the sweep.
+func (t *Tracker) expireLocked() {
+	now := t.now()
+	for _, ci := range t.cells {
+		if ci.status == CellLeased && now.After(ci.expires) {
+			t.evicted[ci.agent] = true
+			ci.status = CellPending
+			ci.agent = ""
+		}
+	}
+}
+
+// Register opens (or re-opens) a session for agent: a fresh Hello clears
+// any eviction, so a relaunched agent under the same id starts clean.
+func (t *Tracker) Register(agent string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.evicted, agent)
+}
+
+// Evicted reports whether the agent's session has been declared dead.
+func (t *Tracker) Evicted(agent string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	return t.evicted[agent]
+}
+
+// Acquire leases the first pending cell to agent.
+func (t *Tracker) Acquire(agent string) (collector.CellKey, AcquireResult) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	open := false
+	for _, key := range t.order {
+		ci := t.cells[key]
+		switch ci.status {
+		case CellPending:
+			ci.status = CellLeased
+			ci.agent = agent
+			ci.expires = t.now().Add(t.ttl)
+			return key, AcquireGranted
+		case CellLeased:
+			open = true
+		}
+	}
+	if open {
+		return collector.CellKey{}, AcquireWait
+	}
+	return collector.CellKey{}, AcquireComplete
+}
+
+// Renew extends every lease agent holds.
+func (t *Tracker) Renew(agent string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	deadline := t.now().Add(t.ttl)
+	for _, ci := range t.cells {
+		if ci.status == CellLeased && ci.agent == agent {
+			ci.expires = deadline
+		}
+	}
+}
+
+// Release returns every cell agent holds to the pending set without
+// evicting it — the clean-disconnect path (connection closed), where the
+// agent is expected to redial and re-register.
+func (t *Tracker) Release(agent string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ci := range t.cells {
+		if ci.status == CellLeased && ci.agent == agent {
+			ci.status = CellPending
+			ci.agent = ""
+		}
+	}
+}
+
+// Complete marks a cell done. The first completion wins regardless of
+// who currently holds the lease (cells are deterministic, so a result
+// from a lapsed lease is still the correct result); later completions
+// report VerdictDuplicate so a revived agent knows to discard its copy.
+func (t *Tracker) Complete(agent string, cell collector.CellKey) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	ci, ok := t.cells[cell]
+	if !ok {
+		return VerdictDuplicate // not a campaign cell; nothing to record
+	}
+	if ci.status == CellDone {
+		return VerdictDuplicate
+	}
+	ci.status = CellDone
+	ci.agent = agent
+	ci.err = ""
+	return VerdictOK
+}
+
+// Fail marks a cell permanently failed (unless it already completed
+// elsewhere).
+func (t *Tracker) Fail(agent string, cell collector.CellKey, errMsg string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	ci, ok := t.cells[cell]
+	if !ok || ci.status == CellDone {
+		return VerdictDuplicate
+	}
+	ci.status = CellFailed
+	ci.agent = agent
+	ci.err = errMsg
+	return VerdictOK
+}
+
+// MarkDone pre-completes a cell (coordinator resume from manifest +
+// shard files).
+func (t *Tracker) MarkDone(cell collector.CellKey) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ci, ok := t.cells[cell]; ok {
+		ci.status = CellDone
+	}
+}
+
+// Done reports whether every cell has reached a terminal state.
+func (t *Tracker) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	for _, ci := range t.cells {
+		if ci.status == CellPending || ci.status == CellLeased {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts returns how many cells are in each state.
+func (t *Tracker) Counts() (pending, leased, done, failed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.expireLocked()
+	for _, ci := range t.cells {
+		switch ci.status {
+		case CellPending:
+			pending++
+		case CellLeased:
+			leased++
+		case CellDone:
+			done++
+		case CellFailed:
+			failed++
+		}
+	}
+	return
+}
+
+// DoneCells returns the completed cells, in campaign order.
+func (t *Tracker) DoneCells() []collector.CellKey {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []collector.CellKey
+	for _, key := range t.order {
+		if t.cells[key].status == CellDone {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// Failures returns the permanently failed cells in canonical (scheme,
+// env) order — the Pool.Failed a single-process run would report.
+func (t *Tracker) Failures() []collector.FailedCell {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []collector.FailedCell
+	for _, key := range t.order {
+		if ci := t.cells[key]; ci.status == CellFailed {
+			out = append(out, collector.FailedCell{Scheme: key.Scheme, Env: key.Env, Err: ci.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		return out[i].Env < out[j].Env
+	})
+	return out
+}

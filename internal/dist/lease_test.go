@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/collector"
+)
+
+func cellList(n int) []collector.CellKey {
+	out := make([]collector.CellKey, n)
+	for i := range out {
+		out[i] = collector.CellKey{Scheme: "cubic", Env: string(rune('a' + i))}
+	}
+	return out
+}
+
+func TestTrackerAcquireRenewComplete(t *testing.T) {
+	tr := NewTracker(cellList(2), time.Minute)
+	c1, res := tr.Acquire("a1")
+	if res != AcquireGranted {
+		t.Fatalf("acquire = %v", res)
+	}
+	c2, res := tr.Acquire("a1")
+	if res != AcquireGranted || c2 == c1 {
+		t.Fatalf("second acquire = %v (%v)", res, c2)
+	}
+	if _, res := tr.Acquire("a2"); res != AcquireWait {
+		t.Fatalf("exhausted acquire = %v, want wait", res)
+	}
+	if v := tr.Complete("a1", c1); v != VerdictOK {
+		t.Fatalf("complete = %q", v)
+	}
+	if v := tr.Complete("a1", c1); v != VerdictDuplicate {
+		t.Fatalf("re-complete = %q", v)
+	}
+	tr.Complete("a1", c2)
+	if !tr.Done() {
+		t.Fatal("all cells done but tracker disagrees")
+	}
+	if _, res := tr.Acquire("a2"); res != AcquireComplete {
+		t.Fatalf("post-completion acquire = %v", res)
+	}
+}
+
+// TestTrackerLeaseExpiry: an un-renewed lease returns its cell to the
+// pending set and evicts the holder; renewal prevents it; a fresh
+// Register clears the eviction.
+func TestTrackerLeaseExpiry(t *testing.T) {
+	tr := NewTracker(cellList(1), 10*time.Second)
+	now := time.Unix(0, 0)
+	tr.SetClock(func() time.Time { return now })
+
+	cell, res := tr.Acquire("slow")
+	if res != AcquireGranted {
+		t.Fatalf("acquire = %v", res)
+	}
+	now = now.Add(8 * time.Second)
+	tr.Renew("slow")
+	now = now.Add(8 * time.Second) // 16s total, but renewed at 8s
+	if tr.Evicted("slow") {
+		t.Fatal("renewed agent evicted")
+	}
+	now = now.Add(11 * time.Second) // past the renewed deadline
+	cell2, res := tr.Acquire("fast")
+	if res != AcquireGranted || cell2 != cell {
+		t.Fatalf("expired cell not reassigned: %v %v", cell2, res)
+	}
+	if !tr.Evicted("slow") {
+		t.Fatal("delinquent agent not evicted")
+	}
+	tr.Register("slow")
+	if tr.Evicted("slow") {
+		t.Fatal("re-registered agent still evicted")
+	}
+}
+
+// TestTrackerDuplicateCompletionFromRevivedAgent: the lapsed holder's
+// late result is reported as duplicate once someone else completed the
+// cell, and first-completion-wins even when the lapsed holder reports
+// first.
+func TestTrackerDuplicateCompletionFromRevivedAgent(t *testing.T) {
+	tr := NewTracker(cellList(1), time.Second)
+	now := time.Unix(0, 0)
+	tr.SetClock(func() time.Time { return now })
+
+	cell, _ := tr.Acquire("zombie")
+	now = now.Add(2 * time.Second)
+	if c2, res := tr.Acquire("healthy"); res != AcquireGranted || c2 != cell {
+		t.Fatalf("reassignment failed: %v %v", c2, res)
+	}
+	// The zombie finishes first anyway — deterministic cells make its
+	// result correct, so it wins.
+	if v := tr.Complete("zombie", cell); v != VerdictOK {
+		t.Fatalf("first completion = %q", v)
+	}
+	if v := tr.Complete("healthy", cell); v != VerdictDuplicate {
+		t.Fatalf("second completion = %q", v)
+	}
+	if pending, leased, done, failed := tr.Counts(); done != 1 || pending+leased+failed != 0 {
+		t.Fatalf("counts = %d %d %d %d", pending, leased, done, failed)
+	}
+}
+
+// TestTrackerReleaseIsNotEviction: a clean disconnect returns cells to
+// pending without branding the agent.
+func TestTrackerReleaseIsNotEviction(t *testing.T) {
+	tr := NewTracker(cellList(2), time.Minute)
+	tr.Acquire("a1")
+	tr.Release("a1")
+	if tr.Evicted("a1") {
+		t.Fatal("released agent evicted")
+	}
+	if pending, leased, _, _ := tr.Counts(); pending != 2 || leased != 0 {
+		t.Fatalf("counts after release: pending=%d leased=%d", pending, leased)
+	}
+}
+
+func TestTrackerFailAndFailures(t *testing.T) {
+	cells := cellList(3)
+	tr := NewTracker(cells, time.Minute)
+	tr.Acquire("a")
+	tr.Acquire("a")
+	tr.Acquire("a")
+	tr.Fail("a", cells[2], "panic: boom")
+	tr.Fail("a", cells[0], "panic: bust")
+	tr.Complete("a", cells[1])
+	if !tr.Done() {
+		t.Fatal("terminal states not recognized")
+	}
+	fs := tr.Failures()
+	if len(fs) != 2 || fs[0].Env > fs[1].Env {
+		t.Fatalf("failures = %v (want 2, sorted)", fs)
+	}
+	// A failure reported after another agent completed the cell is a
+	// duplicate, not a campaign failure.
+	tr2 := NewTracker(cells[:1], time.Minute)
+	tr2.Acquire("a")
+	tr2.Complete("a", cells[0])
+	if v := tr2.Fail("b", cells[0], "x"); v != VerdictDuplicate {
+		t.Fatalf("late failure verdict = %q", v)
+	}
+}
+
+func TestTrackerMarkDoneResume(t *testing.T) {
+	cells := cellList(2)
+	tr := NewTracker(cells, time.Minute)
+	tr.MarkDone(cells[0])
+	c, res := tr.Acquire("a")
+	if res != AcquireGranted || c != cells[1] {
+		t.Fatalf("resume acquire = %v %v", c, res)
+	}
+	if done := tr.DoneCells(); len(done) != 1 || done[0] != cells[0] {
+		t.Fatalf("done cells = %v", done)
+	}
+}

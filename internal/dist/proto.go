@@ -1,0 +1,219 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"sage/internal/collector"
+	"sage/internal/gr"
+	"sage/internal/rl"
+)
+
+// gob wire type IDs are allocated from a process-global counter in the
+// order types are first encoded. A coordinator exchanges Messages before
+// it saves the merged pool; without care the pool's types would get
+// different IDs than in a single-process sage-collect run, and the two
+// saved pools — identical in content — would differ in bytes. Priming
+// the registry with the pool's type graph first restores the canonical
+// numbering for every binary that links this package.
+func init() {
+	gob.NewEncoder(io.Discard).Encode(&collector.Pool{
+		Trajs:  []collector.Trajectory{{Steps: []gr.Step{{State: []float64{0}}}}},
+		Failed: []collector.FailedCell{{}},
+	})
+}
+
+// Wire protocol of the sage-coord control plane: length-prefixed frames
+// (u32 big-endian payload length, then payload) carrying one gob-encoded
+// Message each — the internal/serve framing idiom with gob bodies, since
+// control-plane messages are low-rate and structured (campaign specs,
+// parameter tensors) rather than per-packet hot-path data. Every
+// exchange is a strict request/response pair initiated by the agent, so
+// one connection serves an agent's work loop and heartbeat goroutine
+// under a client-side mutex.
+const (
+	ProtoVersion = 1
+
+	// maxFrame bounds one frame: big enough for a full parameter
+	// broadcast or a multi-MB pool shard, small enough that a corrupt
+	// length prefix cannot OOM the receiver.
+	maxFrame = 1 << 28
+)
+
+// Message types. Agents send Hello once per connection, then loop on the
+// work messages; the coordinator only ever replies.
+const (
+	MsgHello        = 1  // agent → coord: register a session (Role selects the service)
+	MsgWelcome      = 2  // coord → agent: campaign spec / training state
+	MsgRequestCell  = 3  // agent → coord: lease one collection cell
+	MsgAssign       = 4  // coord → agent: cell lease granted
+	MsgWait         = 5  // coord → agent: nothing assignable now, retry after Backoff
+	MsgCampaignDone = 6  // coord → agent: campaign complete, drain
+	MsgHeartbeat    = 7  // agent → coord: renew leases, ship telemetry snapshot
+	MsgHeartbeatAck = 8  // coord → agent: Verdict ok|evicted
+	MsgCellDone     = 9  // agent → coord: checksummed pool shard for a finished cell
+	MsgCellFailed   = 10 // agent → coord: cell failed permanently
+	MsgCellAck      = 11 // coord → agent: Verdict ok|duplicate|retry|evicted
+	MsgGrads        = 12 // worker → coord: gradient shard for one training step
+	MsgTrainStep    = 13 // coord → worker: post-step params (or resync / done)
+	MsgError        = 14 // coord → agent: request could not be served; Err explains
+)
+
+// Verdicts returned in acks.
+const (
+	VerdictOK        = "ok"
+	VerdictDuplicate = "duplicate" // cell already completed by another lease
+	VerdictRetry     = "retry"     // shard arrived corrupt; resend
+	VerdictEvicted   = "evicted"   // session declared dead; re-register or exit
+)
+
+// Message is the single envelope for every frame. Gob omits zero-value
+// fields, so small control messages stay small even though the struct
+// carries the union of all bodies.
+type Message struct {
+	Version byte
+	Type    byte
+	AgentID string
+	Role    string // "collect" | "train"
+	Err     string
+
+	// Collection service.
+	Campaign    *Campaign
+	LeaseTTL    time.Duration
+	Scheme, Env string
+	Backoff     time.Duration
+	Shard       []byte // gzipped-gob single-cell pool payload
+	Checksum    uint64 // CRC-64/ECMA of Shard
+	Verdict     string
+	Metrics     map[string]float64
+
+	// Training service.
+	WorkerIdx  int
+	Workers    int
+	Step       int // absolute applied-step index the payload corresponds to
+	StepsTotal int
+	CRR        *rl.CRRConfig
+	Mask       []int
+	Params     [][]float64
+	Targets    [][]float64 // non-nil = full resync (join)
+	RNG        uint64
+	GradShard  *rl.GradShard
+	Done       bool
+}
+
+var errFrameTooBig = errors.New("dist: frame exceeds size limit")
+
+// writeMsg writes one length-prefixed gob frame.
+func writeMsg(w io.Writer, m *Message) error {
+	m.Version = ProtoVersion
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return fmt.Errorf("dist: encode: %w", err)
+	}
+	if buf.Len() > maxFrame {
+		return errFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readMsg reads one frame and decodes its message.
+func readMsg(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, errFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("dist: decode: %w", err)
+	}
+	if m.Version != ProtoVersion {
+		return nil, fmt.Errorf("dist: protocol version %d, want %d", m.Version, ProtoVersion)
+	}
+	return &m, nil
+}
+
+// ParseAddr validates and splits a coordinator address spec:
+// "unix:/path/to.sock" for a Unix socket, otherwise "host:port" TCP.
+// CLI flags run it before any work so a typo fails in microseconds, not
+// after a campaign's worth of setup.
+func ParseAddr(spec string) (network, addr string, err error) {
+	if spec == "" {
+		return "", "", errors.New("dist: empty coordinator address")
+	}
+	if p, ok := strings.CutPrefix(spec, "unix:"); ok {
+		if p == "" {
+			return "", "", errors.New("dist: unix: address needs a socket path")
+		}
+		return "unix", p, nil
+	}
+	host, port, err := net.SplitHostPort(spec)
+	if err != nil {
+		return "", "", fmt.Errorf("dist: address %q: %w (want host:port or unix:/path)", spec, err)
+	}
+	if port == "" {
+		return "", "", fmt.Errorf("dist: address %q: missing port", spec)
+	}
+	_ = host // empty host means all interfaces for listeners, loopback resolution for dials
+	return "tcp", spec, nil
+}
+
+// client is one serialized request/response connection to the
+// coordinator, shared by an agent's work and heartbeat goroutines.
+type client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// dial connects to the coordinator at spec.
+func dial(spec string) (*client, error) {
+	network, addr, err := ParseAddr(spec)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &client{conn: conn}, nil
+}
+
+// roundTrip sends req and waits for the coordinator's reply.
+func (c *client) roundTrip(req *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeMsg(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := readMsg(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == MsgError {
+		return resp, fmt.Errorf("dist: coordinator: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+func (c *client) close() error { return c.conn.Close() }

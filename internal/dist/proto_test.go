@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{
+		Type:    MsgCellDone,
+		AgentID: "agent-1",
+		Scheme:  "cubic", Env: "seti-x",
+		Shard: []byte{1, 2, 3}, Checksum: 42,
+		Metrics:  map[string]float64{"cells": 3},
+		LeaseTTL: 30 * time.Second,
+		Params:   [][]float64{{1.5, -2.25}, {0}},
+	}
+	if err := writeMsg(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.AgentID != in.AgentID || out.Checksum != 42 ||
+		len(out.Shard) != 3 || out.Metrics["cells"] != 3 || out.LeaseTTL != in.LeaseTTL {
+		t.Fatalf("round trip mangled message: %+v", out)
+	}
+	// Parameter tensors must survive bit-exactly: distributed training's
+	// bitwise-equivalence guarantee rides on this.
+	if out.Params[0][1] != -2.25 {
+		t.Fatalf("params = %v", out.Params)
+	}
+}
+
+func TestReadMsgRejectsOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, err := readMsg(bytes.NewReader(hdr[:])); err != errFrameTooBig {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadMsgRejectsVersionSkew(t *testing.T) {
+	// Hand-frame a message stamped with a future protocol version.
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&Message{Version: ProtoVersion + 1, Type: MsgHello}); err != nil {
+		t.Fatal(err)
+	}
+	var frame bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	frame.Write(hdr[:])
+	frame.Write(body.Bytes())
+	if _, err := readMsg(&frame); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew accepted: %v", err)
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in, network, addr string
+		ok                bool
+	}{
+		{"127.0.0.1:7070", "tcp", "127.0.0.1:7070", true},
+		{":7070", "tcp", ":7070", true},
+		{"unix:/tmp/coord.sock", "unix", "/tmp/coord.sock", true},
+		{"unix:", "", "", false},
+		{"", "", "", false},
+		{"no-port", "", "", false},
+	}
+	for _, c := range cases {
+		network, addr, err := ParseAddr(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseAddr(%q) err = %v", c.in, err)
+		}
+		if c.ok && (network != c.network || addr != c.addr) {
+			t.Fatalf("ParseAddr(%q) = %q %q", c.in, network, addr)
+		}
+	}
+}

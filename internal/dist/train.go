@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+
+	"sage/internal/rl"
+)
+
+// trainState is the coordinator's side of data-parallel training: a step
+// barrier over the master learner. Worker connection handlers call
+// submit with their gradient shard; the handler that delivers the last
+// missing shard applies the all-reduced step, everyone else blocks on
+// the condition variable until the step lands, and each handler replies
+// with the post-step parameter broadcast. A shard for any step other
+// than the one in flight means the worker and coordinator disagree about
+// history (one of them restarted) and gets a full resync instead.
+type trainState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cfg  *TrainConfig
+
+	pending   map[int]rl.GradShard
+	step      int // absolute applied-step index
+	workerRNG []uint64
+	done      bool
+	closed    bool
+	onDone    func()
+
+	// failedStep/failErr mark a step whose apply errored, so handlers
+	// blocked on that step's barrier wake with the error instead of
+	// waiting for an advance that will never come.
+	failedStep int
+	failErr    string
+}
+
+func newTrainState(cfg *TrainConfig, onDone func()) (*trainState, error) {
+	if cfg.Learner == nil {
+		return nil, errors.New("dist: training config needs a learner")
+	}
+	if cfg.Workers < 2 {
+		return nil, errors.New("dist: distributed training needs at least 2 workers")
+	}
+	if cfg.Learner.Cfg.Workers != cfg.Workers {
+		return nil, errors.New("dist: learner Cfg.Workers must equal the training worker count")
+	}
+	if cfg.StepsTotal <= 0 {
+		return nil, errors.New("dist: training needs a positive StepsTotal")
+	}
+	ts := &trainState{
+		cfg:     cfg,
+		pending: map[int]rl.GradShard{},
+		step:    cfg.Learner.StepsDone(),
+		onDone:  onDone,
+	}
+	ts.cond = sync.NewCond(&ts.mu)
+	// Sampler positions: a resumed checkpoint carries every worker's
+	// stream; a fresh learner starts them at the canonical seeds.
+	ts.workerRNG = cfg.Learner.WorkerRNGStates()
+	if len(ts.workerRNG) != cfg.Workers {
+		ts.workerRNG = rl.InitialWorkerRNGStates(cfg.Learner.Cfg)
+	}
+	if ts.step >= cfg.StepsTotal {
+		ts.done = true
+	}
+	return ts, nil
+}
+
+func (ts *trainState) finished() bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.done
+}
+
+// abort wakes every blocked handler during coordinator shutdown. Workers
+// see an error (not Done), so they keep redialing and resume against the
+// restarted coordinator instead of exiting as if training completed.
+func (ts *trainState) abort() {
+	ts.mu.Lock()
+	ts.closed = true
+	ts.cond.Broadcast()
+	ts.mu.Unlock()
+}
+
+// welcome answers a training worker's Hello with the full join state:
+// config, mask, parameters, targets, step, and the worker's sampler
+// position after the last applied step.
+func (ts *trainState) welcome(req *Message) *Message {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if req.Workers != 0 && req.Workers != ts.cfg.Workers {
+		return errMsg("worker expects %d workers, run has %d", req.Workers, ts.cfg.Workers)
+	}
+	if req.WorkerIdx < 0 || req.WorkerIdx >= ts.cfg.Workers {
+		return errMsg("worker index %d out of range [0,%d)", req.WorkerIdx, ts.cfg.Workers)
+	}
+	cfg := ts.cfg.Learner.Cfg
+	return &Message{
+		Type:       MsgWelcome,
+		WorkerIdx:  req.WorkerIdx,
+		Workers:    ts.cfg.Workers,
+		Step:       ts.step,
+		StepsTotal: ts.cfg.StepsTotal,
+		CRR:        &cfg,
+		Mask:       append([]int(nil), ts.cfg.Mask...),
+		Params:     ts.cfg.Learner.SnapshotParams(),
+		Targets:    ts.cfg.Learner.SnapshotTargets(),
+		RNG:        ts.workerRNG[req.WorkerIdx],
+		Done:       ts.done,
+	}
+}
+
+// submit delivers one worker's gradient shard and blocks until the step
+// it belongs to has been applied (by this handler or another), then
+// returns the post-step broadcast.
+func (ts *trainState) submit(sh *rl.GradShard) *Message {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if sh.Worker < 0 || sh.Worker >= ts.cfg.Workers {
+		return errMsg("shard worker index %d out of range [0,%d)", sh.Worker, ts.cfg.Workers)
+	}
+	if ts.closed {
+		return errMsg("coordinator draining")
+	}
+	if ts.done {
+		return &Message{Type: MsgTrainStep, Step: ts.step, Done: true}
+	}
+	if sh.Step != ts.step+1 {
+		// The worker computed against a different history than the run's
+		// (worker restart recomputing an applied step, or coordinator
+		// restart from an older checkpoint). Resync it to ours.
+		return ts.resyncReplyLocked(sh.Worker)
+	}
+	// A duplicate for the in-flight step (worker reconnected mid-step)
+	// recomputed the identical shard; overwriting is a no-op.
+	ts.pending[sh.Worker] = *sh
+	if len(ts.pending) == ts.cfg.Workers {
+		return ts.applyLocked()
+	}
+	target := sh.Step
+	for !ts.closed && ts.step < target && ts.failedStep != target {
+		ts.cond.Wait()
+	}
+	if ts.closed {
+		return errMsg("coordinator draining")
+	}
+	if ts.failedStep == target {
+		return errMsg("apply step %d: %s", target, ts.failErr)
+	}
+	return ts.stepReplyLocked()
+}
+
+// applyLocked all-reduces the pending shards onto the master learner and
+// advances the barrier. Called with ts.mu held by the handler that
+// delivered the final shard.
+func (ts *trainState) applyLocked() *Message {
+	shards := make([]rl.GradShard, 0, ts.cfg.Workers)
+	for i := 0; i < ts.cfg.Workers; i++ {
+		shards = append(shards, ts.pending[i])
+	}
+	stats, err := ts.cfg.Learner.ApplyShards(shards)
+	for k := range ts.pending {
+		delete(ts.pending, k)
+	}
+	if err != nil {
+		// A malformed shard set is unrecoverable for this round; wake the
+		// waiters with the error instead of an advance.
+		ts.failedStep = ts.step + 1
+		ts.failErr = err.Error()
+		ts.cond.Broadcast()
+		return errMsg("apply step %d: %v", ts.step+1, err)
+	}
+	ts.failedStep, ts.failErr = 0, ""
+	ts.step = ts.cfg.Learner.StepsDone()
+	ts.workerRNG = append(ts.workerRNG[:0], ts.cfg.Learner.WorkerRNGStates()...)
+	if ts.cfg.OnStep != nil {
+		// Runs under the lock: checkpoints taken here see a consistent
+		// (params, step, worker RNG) triple with no step racing past.
+		ts.cfg.OnStep(stats)
+	}
+	if ts.step >= ts.cfg.StepsTotal {
+		ts.done = true
+		if ts.onDone != nil {
+			// Off this goroutine: onDone (Coordinator.checkDone) re-enters
+			// finished(), which needs ts.mu — held here.
+			go ts.onDone()
+		}
+	}
+	ts.cond.Broadcast()
+	return ts.stepReplyLocked()
+}
+
+func (ts *trainState) stepReplyLocked() *Message {
+	return &Message{
+		Type:   MsgTrainStep,
+		Step:   ts.step,
+		Params: ts.cfg.Learner.SnapshotParams(),
+		Done:   ts.done,
+	}
+}
+
+// resyncReplyLocked is the full-state variant of the step reply: Targets
+// and RNG are set, which tells the worker to Join (rewind) rather than
+// Sync.
+func (ts *trainState) resyncReplyLocked(idx int) *Message {
+	m := ts.stepReplyLocked()
+	m.Targets = ts.cfg.Learner.SnapshotTargets()
+	m.RNG = ts.workerRNG[idx]
+	return m
+}

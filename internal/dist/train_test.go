@@ -1,0 +1,317 @@
+package dist
+
+import (
+	"context"
+	"math"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sage/internal/collector"
+	"sage/internal/netem"
+	"sage/internal/nn"
+	"sage/internal/rl"
+	"sage/internal/sim"
+)
+
+var trainPoolOnce struct {
+	sync.Once
+	pool *collector.Pool
+	err  error
+}
+
+func trainPool(t *testing.T) *collector.Pool {
+	t.Helper()
+	trainPoolOnce.Do(func() {
+		scens := netem.SetI(netem.SetIOptions{Level: netem.GridTiny, Duration: 3 * sim.Second})[:3]
+		trainPoolOnce.pool, trainPoolOnce.err = collector.Collect(context.Background(),
+			[]string{"cubic", "vegas"}, scens, collector.Options{Parallel: 4})
+	})
+	if trainPoolOnce.err != nil {
+		t.Fatal(trainPoolOnce.err)
+	}
+	return trainPoolOnce.pool
+}
+
+func trainCfg() rl.CRRConfig {
+	return rl.CRRConfig{
+		Policy:      nn.PolicyConfig{Enc: 8, Hidden: 4, ResBlocks: 1, K: 2},
+		Steps:       6,
+		Batch:       4,
+		SeqLen:      4,
+		TargetEvery: 2,
+		Workers:     2,
+		Seed:        21,
+	}
+}
+
+// referenceParams runs the in-process parallel trainer (Workers=2) for
+// the configured steps and returns its final parameter snapshot — the
+// baseline every distributed run must match bit for bit.
+func referenceParams(t *testing.T, ds *rl.Dataset, cfg rl.CRRConfig, steps int) ([][]float64, rl.TrainStats) {
+	t.Helper()
+	ref := rl.NewCRR(ds, cfg)
+	var last rl.TrainStats
+	for i := 0; i < steps; i++ {
+		last = ref.TrainStep(ds)
+	}
+	return ref.SnapshotParams(), last
+}
+
+func assertParamsEqual(t *testing.T, got, want [][]float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d tensors, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: tensor %d has %d params, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: tensor %d param %d = %v, want %v (bitwise mismatch)",
+					label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestEmulatedShardWorkersMatchInProcess drives the master/ShardWorker
+// split without any RPC: two shard workers against one master must
+// reproduce the in-process Workers=2 run bit for bit. This isolates the
+// all-reduce math from the wire.
+func TestEmulatedShardWorkersMatchInProcess(t *testing.T) {
+	cfg := trainCfg()
+	ds := rl.BuildDataset(trainPool(t), nil)
+	want, _ := referenceParams(t, ds, cfg, cfg.Steps)
+
+	master := rl.NewCRR(ds, cfg)
+	seeds := rl.InitialWorkerRNGStates(cfg)
+	workers := make([]*rl.ShardWorker, cfg.Workers)
+	for i := range workers {
+		w, err := rl.NewShardWorker(ds, cfg, i, cfg.Workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Join(0, master.SnapshotParams(), master.SnapshotTargets(), seeds[i]); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		shards := make([]rl.GradShard, len(workers))
+		for i, w := range workers {
+			shards[i] = w.ComputeShard(ds)
+		}
+		if _, err := master.ApplyShards(shards); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workers {
+			if err := w.Sync(master.StepsDone(), master.SnapshotParams()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	assertParamsEqual(t, master.SnapshotParams(), want, "emulated shard workers")
+}
+
+func startTrainCoordinator(t *testing.T, master *rl.CRR, workers, steps int, onStep func(rl.TrainStats)) (*Coordinator, string) {
+	t.Helper()
+	coord, err := NewCoordinator(CoordConfig{
+		Train: &TrainConfig{Learner: master, Workers: workers, StepsTotal: steps, OnStep: onStep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	return coord, ln.Addr().String()
+}
+
+// TestDistTrainingSurvivesWorkerRestart: the full RPC path with one
+// worker killed mid-run and relaunched on the same slot. The final
+// parameters must still match the uninterrupted in-process run bitwise.
+func TestDistTrainingSurvivesWorkerRestart(t *testing.T) {
+	cfg := trainCfg()
+	pool := trainPool(t)
+	ds := rl.BuildDataset(pool, nil)
+	want, _ := referenceParams(t, ds, cfg, cfg.Steps)
+
+	master := rl.NewCRR(ds, cfg)
+	coord, addr := startTrainCoordinator(t, master, cfg.Workers, cfg.Steps, nil)
+	defer coord.Shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	errs := make(chan error, 1)
+	go func() {
+		errs <- RunTrainWorker(ctx, TrainWorkerConfig{
+			Coordinator: addr, ID: "w1", Index: 1, Workers: cfg.Workers, Pool: pool,
+			RedialBackoff: 20 * time.Millisecond,
+		})
+	}()
+
+	// Worker 0 dies (context cancelled) after two applied steps.
+	dieCtx, die := context.WithCancel(ctx)
+	err := RunTrainWorker(dieCtx, TrainWorkerConfig{
+		Coordinator: addr, ID: "w0", Index: 0, Workers: cfg.Workers, Pool: pool,
+		RedialBackoff: 20 * time.Millisecond,
+		OnStep: func(step int) {
+			if step >= 2 {
+				die()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("killed worker reported success")
+	}
+
+	// Its replacement joins the same slot mid-run; the coordinator resyncs
+	// it and the run finishes.
+	if err := RunTrainWorker(ctx, TrainWorkerConfig{
+		Coordinator: addr, ID: "w0b", Index: 0, Workers: cfg.Workers, Pool: pool,
+		RedialBackoff: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("replacement worker: %v", err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("worker 1: %v", err)
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertParamsEqual(t, master.SnapshotParams(), want, "post worker-restart")
+}
+
+// TestDistTrainingSurvivesCoordinatorRestart: the coordinator checkpoints
+// every applied step, dies mid-run, and a successor resumes from the
+// checkpoint on the same address. Supervised workers redial and the final
+// parameters match the uninterrupted run bitwise.
+func TestDistTrainingSurvivesCoordinatorRestart(t *testing.T) {
+	cfg := trainCfg()
+	pool := trainPool(t)
+	ds := rl.BuildDataset(pool, nil)
+	want, _ := referenceParams(t, ds, cfg, cfg.Steps)
+
+	ckpt := filepath.Join(t.TempDir(), "dist.ckpt")
+	master1 := rl.NewCRR(ds, cfg)
+	crashed := make(chan struct{})
+	var crashOnce sync.Once
+	coord1, err := NewCoordinator(CoordConfig{Train: &TrainConfig{
+		Learner: master1, Workers: cfg.Workers, StepsTotal: cfg.Steps,
+		OnStep: func(rl.TrainStats) {
+			if err := master1.SaveCheckpointRotate(ckpt, master1.StepsDone(), 2); err != nil {
+				t.Errorf("checkpoint: %v", err)
+			}
+			if master1.StepsDone() >= 3 {
+				crashOnce.Do(func() { close(crashed) })
+			}
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go coord1.Serve(ln)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	// Workers run under a supervisor loop: a coordinator restart can
+	// surface as an error (drain reply or dropped connection past the
+	// redial budget), and the supervisor relaunches them — the deployment
+	// contract from the README.
+	supervise := func(idx int) chan error {
+		out := make(chan error, 1)
+		go func() {
+			for {
+				err := RunTrainWorker(ctx, TrainWorkerConfig{
+					Coordinator: addr, ID: "w", Index: idx, Workers: cfg.Workers, Pool: pool,
+					RedialAttempts: 40, RedialBackoff: 25 * time.Millisecond,
+				})
+				if err == nil || ctx.Err() != nil {
+					out <- err
+					return
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+		}()
+		return out
+	}
+	w0 := supervise(0)
+	w1 := supervise(1)
+
+	<-crashed
+	coord1.Shutdown()
+
+	// The successor resumes the master from the newest checkpoint and
+	// listens on the same address the workers keep redialing.
+	master2, stepsDone, _, err := rl.LoadCheckpointAuto(ckpt, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepsDone < 3 || stepsDone >= cfg.Steps {
+		t.Fatalf("resumed at step %d", stepsDone)
+	}
+	coord2, err := NewCoordinator(CoordConfig{Train: &TrainConfig{
+		Learner: master2, Workers: cfg.Workers, StepsTotal: cfg.Steps,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord2.Serve(ln2)
+	defer coord2.Shutdown()
+
+	if err := <-w0; err != nil {
+		t.Fatalf("worker 0: %v", err)
+	}
+	if err := <-w1; err != nil {
+		t.Fatalf("worker 1: %v", err)
+	}
+	if err := coord2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertParamsEqual(t, master2.SnapshotParams(), want, "post coordinator-restart")
+}
+
+// TestDistTrainingTracksSerial: serial (Workers=1) and distributed runs
+// draw different batch streams, so they are not bitwise comparable — but
+// both are deterministic and must land in the same loss regime on the
+// same data.
+func TestDistTrainingTracksSerial(t *testing.T) {
+	cfg := trainCfg()
+	ds := rl.BuildDataset(trainPool(t), nil)
+
+	serial := cfg
+	serial.Workers = 1
+	s := rl.NewCRR(ds, serial)
+	var serialLast rl.TrainStats
+	for i := 0; i < serial.Steps; i++ {
+		serialLast = s.TrainStep(ds)
+	}
+	_, distLast := referenceParams(t, ds, cfg, cfg.Steps)
+
+	for _, v := range []float64{serialLast.CriticLoss, distLast.CriticLoss, serialLast.PolicyLoss, distLast.PolicyLoss} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite loss: serial %+v dist %+v", serialLast, distLast)
+		}
+	}
+	diff := math.Abs(serialLast.CriticLoss - distLast.CriticLoss)
+	scale := math.Max(1, math.Max(math.Abs(serialLast.CriticLoss), math.Abs(distLast.CriticLoss)))
+	if diff > scale {
+		t.Fatalf("critic loss diverged: serial %g vs dist %g", serialLast.CriticLoss, distLast.CriticLoss)
+	}
+}

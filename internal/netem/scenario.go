@@ -135,6 +135,32 @@ const (
 	GridFull
 )
 
+// ParseLevel maps the CLI spelling of a grid density to its GridLevel —
+// shared by sage-collect and sage-coord so a campaign spec serialized by
+// one is guaranteed to mean the same grid to the other.
+func ParseLevel(s string) (GridLevel, error) {
+	switch s {
+	case "tiny":
+		return GridTiny, nil
+	case "small":
+		return GridSmall, nil
+	case "full":
+		return GridFull, nil
+	}
+	return 0, fmt.Errorf("netem: unknown grid level %q (want tiny|small|full)", s)
+}
+
+// LevelName is ParseLevel's inverse, for logs and campaign specs.
+func (l GridLevel) LevelName() string {
+	switch l {
+	case GridSmall:
+		return "small"
+	case GridFull:
+		return "full"
+	}
+	return "tiny"
+}
+
 type gridAxes struct {
 	bwMbps  []float64
 	rttMs   []float64

@@ -76,8 +76,17 @@ func (l *CRR) SaveCheckpoint(path string, stepsDone int) error {
 		blob.Critic = dumpParams(l.NAF)
 		blob.TargetCrit = dumpParams(l.targetNAF)
 	}
-	for _, w := range l.workerSet {
-		blob.WorkerRNG = append(blob.WorkerRNG, w.src.State())
+	if l.workerSet != nil {
+		for _, w := range l.workerSet {
+			blob.WorkerRNG = append(blob.WorkerRNG, w.src.State())
+		}
+	} else {
+		// No live worker goroutines: persist the staged positions instead.
+		// They come from a checkpoint that was resumed before the worker
+		// set was (lazily) rebuilt, or from a distributed coordinator
+		// tracking remote trainer streams (SetWorkerRNGStates) — dropping
+		// them would silently fork the batch sequence on the next resume.
+		blob.WorkerRNG = append(blob.WorkerRNG, l.resumeWorkerRNG...)
 	}
 	if err := safeio.WriteGobGz(path, &blob); err != nil {
 		return fmt.Errorf("rl: checkpoint: %w", err)

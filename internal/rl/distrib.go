@@ -1,0 +1,348 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sage/internal/nn"
+)
+
+// This file is the learner's surface for cross-process data-parallel
+// training (internal/dist): a ShardWorker computes gradient shards in a
+// trainer process, the coordinator's master learner sums them with
+// ApplyShards, and parameter snapshots flow back. The decomposition
+// mirrors stepParallel exactly — same per-worker RNG streams, same shard
+// split, same worker-order gradient reduction — so an N-process
+// distributed step is bitwise-identical to an in-process Workers=N step,
+// and everything the checkpoint machinery already persists (Adam
+// moments, RNG positions, step index) keeps working across restarts.
+
+// ShardSums is the exported raw-sum form of one gradient shard's batch
+// statistics. Shards from all workers add element-wise on the
+// coordinator before normalization, exactly like in-process shardStats.
+type ShardSums struct {
+	CLoss, PLoss           float64
+	FSum, AdvSum, AdvSqSum float64
+	FCnt, Accepted         int
+}
+
+func (s ShardSums) toStats() shardStats {
+	return shardStats{
+		cLoss: s.CLoss, pLoss: s.PLoss,
+		fSum: s.FSum, advSum: s.AdvSum, advSqSum: s.AdvSqSum,
+		fCnt: s.FCnt, accepted: s.Accepted,
+	}
+}
+
+func fromStats(st shardStats) ShardSums {
+	return ShardSums{
+		CLoss: st.cLoss, PLoss: st.pLoss,
+		FSum: st.fSum, AdvSum: st.advSum, AdvSqSum: st.advSqSum,
+		FCnt: st.fCnt, Accepted: st.accepted,
+	}
+}
+
+// GradShard is one worker's contribution to one data-parallel step: the
+// accumulated gradients of its shard, the raw batch-statistic sums, and
+// its sampler positions before/after the shard (before feeds the batch
+// identity fold; after is what a checkpoint must persist so a resumed
+// worker redraws the same future batches).
+type GradShard struct {
+	Worker    int
+	Step      int // 1-based step this shard was computed for
+	Sums      ShardSums
+	Grads     [][]float64
+	RNGBefore uint64
+	RNGAfter  uint64
+	BusySec   float64
+}
+
+// dumpGrads snapshots gradient accumulators in Params order.
+func dumpGrads(ms ...nn.Module) [][]float64 {
+	var out [][]float64
+	for _, m := range ms {
+		for _, p := range m.Params() {
+			out = append(out, append([]float64(nil), p.Grad...))
+		}
+	}
+	return out
+}
+
+// paramModules returns the learner's trainable modules in the canonical
+// snapshot order: policy first, then the active critic.
+func (l *CRR) paramModules() []nn.Module { return []nn.Module{l.Policy, l.criticModule()} }
+
+func (l *CRR) targetModules() []nn.Module {
+	if l.NAF != nil {
+		return []nn.Module{l.targetPolicy, l.targetNAF}
+	}
+	return []nn.Module{l.targetPolicy, l.targetCritic}
+}
+
+func snapshotModules(ms []nn.Module) [][]float64 {
+	var out [][]float64
+	for _, m := range ms {
+		out = append(out, dumpParams(m)...)
+	}
+	return out
+}
+
+func installModules(ms []nn.Module, data [][]float64) error {
+	var ps []*nn.Param
+	for _, m := range ms {
+		ps = append(ps, m.Params()...)
+	}
+	if len(ps) != len(data) {
+		return fmt.Errorf("rl: snapshot has %d tensors, learner has %d", len(data), len(ps))
+	}
+	for i, p := range ps {
+		if len(p.Data) != len(data[i]) {
+			return fmt.Errorf("rl: snapshot tensor %d size mismatch (%d vs %d)", i, len(data[i]), len(p.Data))
+		}
+		copy(p.Data, data[i])
+	}
+	return nil
+}
+
+// SnapshotParams copies the online networks' parameters (policy, then
+// critic) — the payload the coordinator broadcasts after each step.
+func (l *CRR) SnapshotParams() [][]float64 { return snapshotModules(l.paramModules()) }
+
+// SnapshotTargets copies the target networks' parameters. Only needed
+// when a worker (re)joins mid-run: between syncs the targets are a pure
+// function of the step schedule, which workers replicate locally.
+func (l *CRR) SnapshotTargets() [][]float64 { return snapshotModules(l.targetModules()) }
+
+// InstallParams overwrites the online networks from a SnapshotParams
+// payload.
+func (l *CRR) InstallParams(data [][]float64) error { return installModules(l.paramModules(), data) }
+
+// InstallTargets overwrites the target networks from a SnapshotTargets
+// payload.
+func (l *CRR) InstallTargets(data [][]float64) error { return installModules(l.targetModules(), data) }
+
+// SetStepIndex forces the absolute step counter — used when installing a
+// coordinator's state into a joining worker replica.
+func (l *CRR) SetStepIndex(n int) { l.stepIdx = n }
+
+// WorkerRNGStates returns the per-worker sampler positions this learner
+// knows about: live worker streams when in-process workers exist,
+// otherwise the positions staged for checkpointing (a distributed
+// coordinator tracks remote workers' streams through SetWorkerRNGStates).
+func (l *CRR) WorkerRNGStates() []uint64 {
+	if l.workerSet != nil {
+		out := make([]uint64, len(l.workerSet))
+		for i, w := range l.workerSet {
+			out[i] = w.src.State()
+		}
+		return out
+	}
+	return append([]uint64(nil), l.resumeWorkerRNG...)
+}
+
+// SetWorkerRNGStates records per-worker sampler positions so the next
+// SaveCheckpoint persists them. The distributed coordinator calls this
+// after every applied step with the RNGAfter of each shard; on resume the
+// states flow back out through WorkerRNGStates to re-seed remote workers.
+func (l *CRR) SetWorkerRNGStates(states []uint64) {
+	l.resumeWorkerRNG = append(l.resumeWorkerRNG[:0], states...)
+}
+
+// InitialWorkerRNGStates returns the sampler positions fresh workers
+// start from under cfg — what a coordinator hands out when no checkpoint
+// has recorded positions yet. The seeds match NewShardWorker (and the
+// in-process worker streams), so a fresh distributed run draws the same
+// batches as a fresh in-process Workers=N run.
+func InitialWorkerRNGStates(cfg CRRConfig) []uint64 {
+	cfg = cfg.Fill()
+	out := make([]uint64, cfg.Workers)
+	for i := range out {
+		out[i] = newRNG(cfg.Seed + int64(i)*7907 + 11).State()
+	}
+	return out
+}
+
+// ApplyShards runs one coordinator-side optimizer step from the workers'
+// gradient shards: gradients are summed in worker order (the same
+// reduction order as stepParallel, so results are bitwise-comparable to
+// in-process parallel training), then clipped, gated, and applied, with
+// the target networks synced on the usual schedule. Every worker must
+// contribute exactly one shard per step.
+func (l *CRR) ApplyShards(shards []GradShard) (TrainStats, error) {
+	n := l.Cfg.Workers
+	if n < 2 {
+		return TrainStats{}, fmt.Errorf("rl: ApplyShards needs Cfg.Workers >= 2, have %d", n)
+	}
+	if len(shards) != n {
+		return TrainStats{}, fmt.Errorf("rl: got %d shards, want %d (one per worker)", len(shards), n)
+	}
+	bySlot := make([]*GradShard, n)
+	for i := range shards {
+		sh := &shards[i]
+		if sh.Worker < 0 || sh.Worker >= n {
+			return TrainStats{}, fmt.Errorf("rl: shard worker index %d out of range [0,%d)", sh.Worker, n)
+		}
+		if bySlot[sh.Worker] != nil {
+			return TrainStats{}, fmt.Errorf("rl: duplicate shard from worker %d", sh.Worker)
+		}
+		bySlot[sh.Worker] = sh
+	}
+	var ps []*nn.Param
+	for _, m := range l.paramModules() {
+		nn.ZeroGrads(m)
+		ps = append(ps, m.Params()...)
+	}
+	// Batch identity: the fold of the master stream position and every
+	// worker's pre-shard position, in worker order — identical to the
+	// in-process stepParallel fold.
+	id := l.rngSrc.State()
+	var st shardStats
+	busy := make([]float64, n)
+	for w, sh := range bySlot {
+		id = id*31 + sh.RNGBefore
+		if len(sh.Grads) != len(ps) {
+			return TrainStats{}, fmt.Errorf("rl: worker %d shard has %d grad tensors, want %d", w, len(sh.Grads), len(ps))
+		}
+		for i, p := range ps {
+			if len(sh.Grads[i]) != len(p.Grad) {
+				return TrainStats{}, fmt.Errorf("rl: worker %d grad tensor %d size mismatch (%d vs %d)", w, i, len(sh.Grads[i]), len(p.Grad))
+			}
+			for j, g := range sh.Grads[i] {
+				p.Grad[j] += g
+			}
+		}
+		st.add(sh.Sums.toStats())
+		busy[w] = sh.BusySec
+	}
+	l.lastBatchID = id
+	l.finishStep(st, busy)
+	// Target syncs follow the same absolute-step schedule as TrainStep.
+	if l.stepIdx%l.Cfg.TargetEvery == 0 {
+		nn.CopyParams(l.targetPolicy, l.Policy)
+		if l.Critic != nil {
+			nn.CopyParams(l.targetCritic, l.Critic)
+		}
+		if l.NAF != nil {
+			nn.CopyParams(l.targetNAF, l.NAF)
+		}
+	}
+	// Stage the post-shard sampler positions for the next checkpoint.
+	states := make([]uint64, n)
+	for w, sh := range bySlot {
+		states[w] = sh.RNGAfter
+	}
+	l.SetWorkerRNGStates(states)
+	return l.LastStats, nil
+}
+
+// ShardWorker computes gradient shards in a trainer process. It holds a
+// full learner replica (the replica's own optimizer is never stepped —
+// moments live on the coordinator) plus the same sampler stream an
+// in-process worker with the same index would use, so the batches it
+// draws are exactly the in-process worker's batches.
+type ShardWorker struct {
+	learner *CRR
+	idx     int
+	nSeqs   int
+	rng     *rand.Rand
+	src     *rngSource
+}
+
+// NewShardWorker builds the replica for worker idx of total. The config
+// must be the coordinator's (including Workers=total); the dataset must
+// be built from the same pool with the same mask.
+func NewShardWorker(ds *Dataset, cfg CRRConfig, idx, total int) (*ShardWorker, error) {
+	cfg = cfg.Fill()
+	if total < 2 {
+		return nil, fmt.Errorf("rl: shard worker needs total >= 2, have %d", total)
+	}
+	if idx < 0 || idx >= total {
+		return nil, fmt.Errorf("rl: shard worker index %d out of range [0,%d)", idx, total)
+	}
+	if cfg.Workers != total {
+		return nil, fmt.Errorf("rl: config Workers=%d but %d shard workers (the counts must agree for deterministic shard splits)", cfg.Workers, total)
+	}
+	per := cfg.Batch / total
+	if idx < cfg.Batch%total {
+		per++
+	}
+	src := newRNG(cfg.Seed + int64(idx)*7907 + 11) // the in-process worker stream
+	return &ShardWorker{
+		learner: NewCRR(ds, cfg),
+		idx:     idx,
+		nSeqs:   per,
+		rng:     rand.New(src),
+		src:     src,
+	}, nil
+}
+
+// Index returns the worker's slot in the shard split.
+func (w *ShardWorker) Index() int { return w.idx }
+
+// SeqsPerShard returns how many sequences this worker samples per step.
+func (w *ShardWorker) SeqsPerShard() int { return w.nSeqs }
+
+// RNGState exposes the sampler position (for diagnostics and tests).
+func (w *ShardWorker) RNGState() uint64 { return w.src.State() }
+
+// Join installs a full coordinator state into the replica: online and
+// target parameters, the absolute step index, and this worker's sampler
+// position. Called once at connect (and again after a coordinator-led
+// resync, e.g. when the worker restarted mid-run).
+func (w *ShardWorker) Join(step int, params, targets [][]float64, rngState uint64) error {
+	if err := w.learner.InstallParams(params); err != nil {
+		return err
+	}
+	if err := w.learner.InstallTargets(targets); err != nil {
+		return err
+	}
+	w.learner.SetStepIndex(step)
+	w.src.SetState(rngState)
+	return nil
+}
+
+// Sync installs the coordinator's post-step broadcast: the new online
+// parameters and the step they resulted from. The worker replicates the
+// target-sync schedule locally — the targets are copies of the online
+// nets at scheduled steps, so no target payload is needed between joins.
+func (w *ShardWorker) Sync(step int, params [][]float64) error {
+	if err := w.learner.InstallParams(params); err != nil {
+		return err
+	}
+	w.learner.SetStepIndex(step)
+	if step%w.learner.Cfg.TargetEvery == 0 {
+		nn.CopyParams(w.learner.targetPolicy, w.learner.Policy)
+		if w.learner.Critic != nil {
+			nn.CopyParams(w.learner.targetCritic, w.learner.Critic)
+		}
+		if w.learner.NAF != nil {
+			nn.CopyParams(w.learner.targetNAF, w.learner.NAF)
+		}
+	}
+	return nil
+}
+
+// ComputeShard draws this worker's share of the next batch and runs
+// forward/backward over it, returning the accumulated gradients. The
+// replica's parameters are untouched (no optimizer step); gradients are
+// zeroed first so shards never bleed into each other.
+func (w *ShardWorker) ComputeShard(ds *Dataset) GradShard {
+	l := w.learner
+	ds.buildEventIndex()
+	nn.ZeroGrads(l.Policy)
+	nn.ZeroGrads(l.criticModule())
+	before := w.src.State()
+	nets := netSet{policy: l.Policy, critic: l.Critic, naf: l.NAF}
+	st := l.processSeqs(nets, ds, w.rng, w.nSeqs)
+	return GradShard{
+		Worker:    w.idx,
+		Step:      l.stepIdx + 1,
+		Sums:      fromStats(st),
+		Grads:     dumpGrads(l.Policy, l.criticModule()),
+		RNGBefore: before,
+		RNGAfter:  w.src.State(),
+	}
+}
+
+// StepsDone mirrors the replica's absolute step counter.
+func (w *ShardWorker) StepsDone() int { return w.learner.stepIdx }
