@@ -29,9 +29,10 @@
 //
 // With -agent, the process is a distributed collection agent instead: it
 // connects to a sage-coord coordinator, leases cells, and ships shards
-// back until the campaign completes. Exit status: 0 campaign complete,
-// 4 lease revoked (the coordinator evicted this session — relaunch for a
-// fresh one), 130 signal drain, 1 fatal error.
+// back until the campaign completes. Exit status (shared with sage-train
+// -worker): 0 campaign complete, 4 lease lost / fenced off (the
+// coordinator evicted this session — relaunch for a fresh one), 130
+// signal drain, 2 usage error, 1 fatal error.
 package main
 
 import (
@@ -84,6 +85,8 @@ func main() {
 		quality   = flag.Bool("quality", true, "quarantine bad trajectories from the collected pool before saving (report: <out>.quarantine.jsonl)")
 		agent     = flag.String("agent", "", "run as a distributed collection agent against the sage-coord coordinator at this address (host:port or unix:/path)")
 		agentID   = flag.String("agent-id", "", "agent identity for leases and eviction (default host:pid)")
+		rpcTO     = flag.Duration("rpc-timeout", 0, "agent: per-RPC deadline before the call is retried on a fresh connection (0 = 10s default, negative disables)")
+		redials   = flag.Int("redial-attempts", 0, "agent: consecutive failed dials tolerated before giving up (0 = default 10); raise to ride out long coordinator outages")
 	)
 	flag.Parse()
 
@@ -91,7 +94,7 @@ func main() {
 		os.Exit(runDoctor(*doctor, *clean))
 	}
 	if *agent != "" {
-		os.Exit(runAgent(*agent, *agentID, *parallel, *pprofAddr))
+		os.Exit(runAgent(*agent, *agentID, *parallel, *pprofAddr, *rpcTO, *redials))
 	}
 
 	if *pprofAddr != "" {
@@ -323,7 +326,7 @@ func runDoctor(path, cleanOut string) int {
 // runAgent is the -agent mode: one distributed collection agent driven
 // by a sage-coord coordinator. Exit status: 0 campaign complete, 4 lease
 // revoked (session evicted), 130 signal drain, 1 fatal error, 2 usage.
-func runAgent(coordAddr, id string, parallel int, pprofAddr string) int {
+func runAgent(coordAddr, id string, parallel int, pprofAddr string, rpcTimeout time.Duration, redials int) int {
 	// A bad coordinator address must fail before any connection attempt
 	// burns through its redial budget.
 	if _, _, err := dist.ParseAddr(coordAddr); err != nil {
@@ -350,10 +353,12 @@ func runAgent(coordAddr, id string, parallel int, pprofAddr string) int {
 	defer stopSignals()
 	fmt.Printf("agent %s: joining coordinator %s\n", id, coordAddr)
 	err := dist.RunAgent(ctx, dist.AgentConfig{
-		Coordinator: coordAddr,
-		ID:          id,
-		Parallel:    parallel,
-		Metrics:     reg,
+		Coordinator:    coordAddr,
+		ID:             id,
+		Parallel:       parallel,
+		RPCTimeout:     rpcTimeout,
+		RedialAttempts: redials,
+		Metrics:        reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -26,6 +26,17 @@
 //
 // SIGINT/SIGTERM drain: collection leaves the manifest and shards for
 // -resume; training checkpoints the current step. Both exit 130.
+//
+// The coordinator also journals lease grants, shard completions, and
+// committed barrier steps to a write-ahead log (<out>.wal in collect
+// mode, <checkpoint>.wal in train mode) so even a SIGKILL'd coordinator
+// restarted with -resume re-adopts in-flight leases instead of
+// re-collecting them. With -hedge-factor, cells leased far longer than
+// the fleet's typical completion time are speculatively re-leased to
+// idle agents; the first checksummed shard wins. With -chaos, a seeded
+// fault-injecting transport wraps every agent connection (drops,
+// duplicated and truncated frames, latency, partitions) for soak
+// testing the recovery machinery; see the README's chaos section.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"sage/internal/cc"
+	"sage/internal/chaos"
 	"sage/internal/collector"
 	"sage/internal/core"
 	"sage/internal/dist"
@@ -56,6 +68,8 @@ func main() {
 		leaseTTL  = flag.Duration("lease-ttl", 30*time.Second, "cell lease TTL; agents heartbeat at TTL/3")
 		progress  = flag.Bool("progress", false, "print a live progress line")
 		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
+		chaosFlag = flag.String("chaos", "", "soak testing: inject seeded transport faults on every agent connection (key=value spec, e.g. seed=7,drop=0.02,dup=0.05,trunc=0.01,part-every=10s,part-for=1s)")
+		hedge     = flag.Float64("hedge-factor", 0, "collect: speculatively re-lease a cell held longer than factor x the fleet's p75 completion time to an idle agent (0 disables; 3 is a sane start)")
 
 		// Collection mode.
 		out      = flag.String("out", "pool.gob.gz", "collect: output pool file")
@@ -85,11 +99,19 @@ func main() {
 	)
 	flag.Parse()
 
-	// A bad listen address must fail in microseconds, before any state is
-	// touched.
+	// A bad listen address or fault spec must fail in microseconds,
+	// before any state is touched.
 	if _, _, err := dist.ParseAddr(*listen); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var faultSpec chaos.FaultSpec
+	if *chaosFlag != "" {
+		var err error
+		if faultSpec, err = chaos.ParseFaultSpec(*chaosFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	if *pprofAddr != "" {
 		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
@@ -109,7 +131,7 @@ func main() {
 			setIDur: *setIDur, setIIDur: *setIIDur,
 			schemes: *schemes, window: *window, seed: *seed,
 			leaseTTL: *leaseTTL, resume: *resume, quality: *quality,
-			progress: *progress,
+			progress: *progress, hedge: *hedge, chaos: faultSpec,
 		}))
 	case "train":
 		os.Exit(runTrain(ctx, trainOpts{
@@ -117,7 +139,7 @@ func main() {
 			steps: *steps, enc: *enc, gru: *gru, kMix: *kMix, atoms: *atoms,
 			mask: *mask, workers: *nWorkers, seed: *seed,
 			ckpt: *ckpt, ckptEvery: *ckptEvery, ckptKeep: *ckptKeep,
-			logEvery: *logEvery, progress: *progress,
+			logEvery: *logEvery, progress: *progress, chaos: faultSpec,
 		}))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q (want collect|train)\n", *mode)
@@ -143,6 +165,23 @@ func listenAnnounce(spec string) (net.Listener, error) {
 	return ln, nil
 }
 
+// wrapChaos puts the fault-injecting transport in front of ln when a
+// -chaos spec is active; every injected fault is counted and logged so a
+// soak run's report can correlate faults with retries and hedges.
+func wrapChaos(ln net.Listener, spec chaos.FaultSpec, reg *telemetry.Registry) net.Listener {
+	if !spec.Active() {
+		return ln
+	}
+	tr := chaos.NewTransport(spec)
+	faults := reg.Counter("chaos.faults")
+	tr.OnEvent = func(ev chaos.FaultEvent) {
+		faults.Inc()
+		logf("chaos: conn %d %s %s (%d bytes)", ev.Conn, ev.Dir, ev.Kind, ev.Bytes)
+	}
+	fmt.Printf("chaos: injecting transport faults on every agent connection (seed %d)\n", spec.Seed)
+	return tr.Listener(ln)
+}
+
 type collectOpts struct {
 	listen, out, level, schemes string
 	setIDur, setIIDur           time.Duration
@@ -150,6 +189,8 @@ type collectOpts struct {
 	seed                        int64
 	leaseTTL                    time.Duration
 	resume, quality, progress   bool
+	hedge                       float64
+	chaos                       chaos.FaultSpec
 }
 
 func runCollect(ctx context.Context, o collectOpts) int {
@@ -173,8 +214,10 @@ func runCollect(ctx context.Context, o collectOpts) int {
 		Campaign:     campaign,
 		ShardDir:     o.out + ".shards",
 		ManifestPath: o.out + ".manifest",
+		WALPath:      o.out + ".wal",
 		LeaseTTL:     o.leaseTTL,
 		Resume:       o.resume,
+		HedgeFactor:  o.hedge,
 		Metrics:      reg,
 		Fleet:        fleet,
 		Logf:         logf,
@@ -196,7 +239,7 @@ func runCollect(ctx context.Context, o collectOpts) int {
 		meter = telemetry.NewProgress(os.Stdout, "cells", int64(coord.TotalCells()), time.Second)
 		meter.Add(int64(coord.Resumed()))
 	}
-	go coord.Serve(ln)
+	go coord.Serve(wrapChaos(ln, o.chaos, reg))
 	fmt.Printf("campaign: %d cells (%d schemes x %s grid), lease TTL %s\n",
 		coord.TotalCells(), len(names), o.level, o.leaseTTL)
 
@@ -255,6 +298,7 @@ type trainOpts struct {
 	ckpt                             string
 	ckptEvery, ckptKeep, logEvery    int
 	progress                         bool
+	chaos                            chaos.FaultSpec
 }
 
 func runTrain(ctx context.Context, o trainOpts) int {
@@ -339,7 +383,7 @@ func runTrain(ctx context.Context, o trainOpts) int {
 				s.Step, s.CriticLoss, s.PolicyLoss, time.Since(start).Round(time.Second))
 		}
 	}
-	coord, err := dist.NewCoordinator(dist.CoordConfig{
+	coordCfg := dist.CoordConfig{
 		Train: &dist.TrainConfig{
 			Learner:    learner,
 			Workers:    o.workers,
@@ -349,17 +393,30 @@ func runTrain(ctx context.Context, o trainOpts) int {
 		},
 		Metrics: reg,
 		Logf:    logf,
-	})
+	}
+	if o.ckpt != "" {
+		// The barrier WAL rides next to the checkpoint: on a crash-restart
+		// it tells the operator which step the fleet had actually
+		// committed, versus the (possibly older) step the checkpoint
+		// resumes from.
+		coordCfg.WALPath = o.ckpt + ".wal"
+		coordCfg.Resume = done > 0
+	}
+	coord, err := dist.NewCoordinator(coordCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if coordCfg.Resume && coord.LastEpoch() > done {
+		fmt.Printf("wal: fleet had committed step %d; checkpoint resumes at %d, steps in between recompute\n",
+			coord.LastEpoch(), done)
 	}
 	ln, err := listenAnnounce(o.listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	go coord.Serve(ln)
+	go coord.Serve(wrapChaos(ln, o.chaos, reg))
 	fmt.Printf("training: %d workers, %d total steps (resumed at %d)\n", o.workers, o.steps, done)
 
 	waitErr := coord.Wait(ctx)

@@ -15,11 +15,15 @@
 // instead: it connects to a sage-coord coordinator (mode train), builds
 // its dataset from -pool with the coordinator's announced mask and
 // config, and loops compute-shard → submit → install-broadcast until the
-// run completes. Exit status: 0 run complete, 130 signal drain, 1 fatal.
+// run completes. Exit status (shared with sage-collect -agent): 0 run
+// complete, 4 lease lost / fenced off (the coordinator replaced this
+// session — relaunch for a fresh one), 130 signal drain, 2 usage error,
+// 1 fatal error.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -84,6 +88,7 @@ func main() {
 		useSent   = flag.Bool("sentinel", true, "train under the divergence sentinel (batch gating, checkpoint rollback, LR backoff)")
 		worker    = flag.String("worker", "", "run as a distributed training worker against the sage-coord coordinator at this address (host:port or unix:/path)")
 		workerIdx = flag.Int("worker-index", 0, "with -worker: this worker's slot [0, train-workers)")
+		redials   = flag.Int("redial-attempts", 0, "with -worker: consecutive failed dials tolerated before giving up (0 = default 10); raise to ride out coordinator restarts")
 	)
 	flag.Parse()
 
@@ -91,7 +96,7 @@ func main() {
 	defer stopSignals()
 
 	if *worker != "" {
-		os.Exit(runWorker(ctx, *worker, *workerIdx, *poolPath, *logEvery))
+		os.Exit(runWorker(ctx, *worker, *workerIdx, *poolPath, *logEvery, *redials))
 	}
 
 	if *pprofAddr != "" {
@@ -355,7 +360,7 @@ func main() {
 // runWorker is the -worker mode: one data-parallel shard worker driven
 // by a sage-coord coordinator. The coordinator announces the training
 // config and mask, so only the pool and worker slot are local decisions.
-func runWorker(ctx context.Context, coordAddr string, index int, poolPath string, logEvery int) int {
+func runWorker(ctx context.Context, coordAddr string, index int, poolPath string, logEvery, redials int) int {
 	// Validate the address before loading a multi-GB pool.
 	if _, _, err := dist.ParseAddr(coordAddr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -373,10 +378,11 @@ func runWorker(ctx context.Context, coordAddr string, index int, poolPath string
 	id := fmt.Sprintf("%s:%d", host, os.Getpid())
 	fmt.Printf("worker %d (%s): joining coordinator %s\n", index, id, coordAddr)
 	err = dist.RunTrainWorker(ctx, dist.TrainWorkerConfig{
-		Coordinator: coordAddr,
-		ID:          id,
-		Index:       index,
-		Pool:        pool,
+		Coordinator:    coordAddr,
+		ID:             id,
+		Index:          index,
+		Pool:           pool,
+		RedialAttempts: redials,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -390,6 +396,13 @@ func runWorker(ctx context.Context, coordAddr string, index int, poolPath string
 	case err == nil:
 		fmt.Printf("worker %d: run complete\n", index)
 		return 0
+	case errors.Is(err, dist.ErrRevoked):
+		// Same contract as sage-collect -agent: the coordinator fenced
+		// this session off (a replacement Hello took the worker slot, or
+		// the lease lapsed). The host is healthy — a supervisor should
+		// relaunch rather than alert.
+		fmt.Fprintf(os.Stderr, "worker %d: %v\n", index, err)
+		return 4
 	case ctx.Err() != nil:
 		fmt.Printf("worker %d: drained on signal\n", index)
 		return 130

@@ -10,6 +10,13 @@
 //   - corrupt/truncated artifacts are detected at load with actionable
 //     errors;
 //   - a panicking collection worker fails only its own (scheme, env) cell.
+//
+// Transport (transport.go) extends the harness to the network: seeded,
+// deterministic fault schedules — connection drops, duplicated and
+// truncated frames, added latency, stalls, one-way and full partitions —
+// over the length-prefixed framing the dist and serve protocols speak.
+// internal/dist's chaos tests and the sage-coord -chaos soak flag both
+// run the real control plane through it.
 package chaos
 
 import (

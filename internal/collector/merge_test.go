@@ -121,3 +121,75 @@ func TestMergeShardFilesNamesFailingShard(t *testing.T) {
 		t.Fatalf("error lost the corruption cause: %v", err)
 	}
 }
+
+// TestMergeShardFilesZeroLengthShard: a zero-byte shard (crash between
+// create and write, or a full disk) fails the merge with an error naming
+// the shard, and no partial pool escapes.
+func TestMergeShardFilesZeroLengthShard(t *testing.T) {
+	sc := tinyScenarios()[:1]
+	a := mustCollect(t, []string{"cubic"}, sc, Options{Parallel: 2})
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.pool")
+	empty := filepath.Join(dir, "empty.pool")
+	if err := a.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := MergeShardFiles(good, empty)
+	if err == nil {
+		t.Fatal("zero-length shard merged silently")
+	}
+	if pool != nil {
+		t.Fatal("failed merge still returned a partial pool")
+	}
+	if !strings.Contains(err.Error(), empty) {
+		t.Fatalf("error does not name the zero-length shard: %v", err)
+	}
+	if !errors.Is(err, safeio.ErrTruncated) {
+		t.Fatalf("error lost the truncation cause: %v", err)
+	}
+}
+
+// TestMergeShardFilesTruncatedShard: a shard cut off mid-stream (torn
+// copy, interrupted upload) is detected, named, and aborts the merge —
+// order of arguments must not matter.
+func TestMergeShardFilesTruncatedShard(t *testing.T) {
+	sc := tinyScenarios()[:2]
+	a := mustCollect(t, []string{"cubic"}, sc[:1], Options{Parallel: 2})
+	b := mustCollect(t, []string{"cubic"}, sc[1:2], Options{Parallel: 2})
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.pool")
+	torn := filepath.Join(dir, "torn.pool")
+	if err := a.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(torn); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(torn, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, order := range [][]string{{good, torn}, {torn, good}} {
+		pool, err := MergeShardFiles(order...)
+		if err == nil {
+			t.Fatalf("truncated shard merged silently (order %v)", order)
+		}
+		if pool != nil {
+			t.Fatal("failed merge still returned a partial pool")
+		}
+		if !strings.Contains(err.Error(), torn) {
+			t.Fatalf("error does not name the truncated shard: %v", err)
+		}
+		if !errors.Is(err, safeio.ErrTruncated) && !errors.Is(err, safeio.ErrCorrupt) {
+			t.Fatalf("error lost the underlying cause: %v", err)
+		}
+	}
+}

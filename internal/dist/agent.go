@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sage/internal/collector"
@@ -21,16 +23,29 @@ import (
 // relaunch a fresh session.
 var ErrRevoked = errors.New("dist: session evicted by coordinator (leases expired)")
 
-// session is one logical agent↔coordinator connection that survives
-// transport failures: a call that hits a broken connection redials,
-// replays its Hello, and retries the request once. Safe for concurrent
-// use (work loop + heartbeat goroutine).
-type session struct {
-	spec     string
-	hello    *Message
-	attempts int
-	backoff  time.Duration
+// sessionConfig bundles the transport-reliability knobs shared by
+// collection agents and training workers.
+type sessionConfig struct {
+	attempts int           // dial/retry budget (default 10)
+	backoff  time.Duration // base backoff between retries (default 500ms)
+	timeout  time.Duration // per-RPC deadline; 0 disables
+	metrics  *telemetry.Registry
 	logf     func(string, ...any)
+}
+
+// session is one logical agent↔coordinator connection that survives
+// transport failures: every call carries a (session nonce, request ID)
+// pair, and a call that hits a broken connection redials, replays its
+// Hello, and retries the request under capped exponential backoff with
+// jitter — with the same request ID, so the coordinator's reply cache
+// makes the retry idempotent. Safe for concurrent use (work loop +
+// heartbeat goroutine).
+type session struct {
+	spec   string
+	hello  *Message
+	cfg    sessionConfig
+	nonce  uint64
+	reqSeq atomic.Uint64
 
 	mu      sync.Mutex
 	cli     *client
@@ -39,46 +54,66 @@ type session struct {
 }
 
 // connect dials the coordinator and performs the Hello handshake.
-// attempts/backoff govern redials for the initial connect and every
-// later reconnect.
-func connect(ctx context.Context, spec string, hello *Message, attempts int, backoff time.Duration, logf func(string, ...any)) (*session, error) {
-	if attempts <= 0 {
-		attempts = 10
+func connect(ctx context.Context, spec string, hello *Message, cfg sessionConfig) (*session, error) {
+	if cfg.attempts <= 0 {
+		cfg.attempts = 10
 	}
-	if backoff <= 0 {
-		backoff = 500 * time.Millisecond
+	if cfg.backoff <= 0 {
+		cfg.backoff = 500 * time.Millisecond
 	}
-	if logf == nil {
-		logf = func(string, ...any) {}
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
 	}
-	s := &session{spec: spec, hello: hello, attempts: attempts, backoff: backoff, logf: logf}
+	s := &session{spec: spec, hello: hello, cfg: cfg, nonce: uint64(time.Now().UnixNano())}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.reconnectLocked(ctx); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
+// retryDelay is capped exponential backoff with full jitter: the
+// attempt'th delay is uniform in (0, min(base<<attempt, cap)]. Jitter
+// decorrelates a fleet of agents retrying into the same recovering
+// coordinator.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	const ceiling = 10 * time.Second
+	d := base << uint(min(attempt, 20))
+	if d <= 0 || d > ceiling {
+		d = ceiling
+	}
+	return time.Duration(rand.Int63n(int64(d))) + time.Millisecond
+}
+
 // reconnectLocked (re)establishes the connection and replays Hello.
 // Callers hold s.mu or own s exclusively.
 func (s *session) reconnectLocked(ctx context.Context) error {
 	var lastErr error
-	for i := 0; i < s.attempts; i++ {
+	for i := 0; i < s.cfg.attempts; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		if i > 0 {
 			select {
-			case <-time.After(s.backoff):
+			case <-time.After(retryDelay(s.cfg.backoff, i-1)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
-		cli, err := dial(s.spec)
+		cli, err := dial(s.spec, s.cfg.timeout)
 		if err != nil {
 			lastErr = err
-			s.logf("dist: dial %s: %v (attempt %d/%d)", s.spec, err, i+1, s.attempts)
+			s.logf("dist: dial %s: %v (attempt %d/%d)", s.spec, err, i+1, s.cfg.attempts)
 			continue
 		}
+		cli.onStale = func() { s.cfg.metrics.Counter("dist.stale_replies").Inc() }
+		// Hello is never served from the reply cache (it resets the
+		// session), but it still carries a fresh request ID so a
+		// duplicated welcome frame cannot be mistaken for the reply to a
+		// later request on the new connection.
+		s.hello.Session = s.nonce
+		s.hello.Req = s.reqSeq.Add(1)
 		welcome, err := cli.roundTrip(s.hello)
 		if err != nil {
 			cli.close()
@@ -88,7 +123,7 @@ func (s *session) reconnectLocked(ctx context.Context) error {
 				return err
 			}
 			lastErr = err
-			s.logf("dist: hello %s: %v (attempt %d/%d)", s.spec, err, i+1, s.attempts)
+			s.logf("dist: hello %s: %v (attempt %d/%d)", s.spec, err, i+1, s.cfg.attempts)
 			continue
 		}
 		if welcome.Type != MsgWelcome {
@@ -98,10 +133,15 @@ func (s *session) reconnectLocked(ctx context.Context) error {
 		s.cli = cli
 		s.welcome = welcome
 		s.gen++
+		if i > 0 || s.gen > 1 {
+			s.cfg.metrics.Counter("dist.reconnects").Inc()
+		}
 		return nil
 	}
-	return fmt.Errorf("dist: coordinator %s unreachable after %d attempts: %w", s.spec, s.attempts, lastErr)
+	return fmt.Errorf("dist: coordinator %s unreachable after %d attempts: %w", s.spec, s.cfg.attempts, lastErr)
 }
+
+func (s *session) logf(format string, args ...any) { s.cfg.logf(format, args...) }
 
 // lastWelcome returns the most recent Hello response and the connection
 // generation it came from.
@@ -111,32 +151,50 @@ func (s *session) lastWelcome() (*Message, int) {
 	return s.welcome, s.gen
 }
 
-// call round-trips one request. On a transport error it reconnects (one
-// redial cycle, with Hello) and retries the request once; coordinator
-// MsgError replies are returned as errors with resp non-nil.
+// call round-trips one request, stamping it with this session's nonce
+// and the next request ID. On transport errors it reconnects (replaying
+// Hello) and retries the request with the SAME ID under capped
+// exponential backoff with jitter: if the original executed and only
+// the reply was lost, the coordinator's reply cache returns the
+// original verdict instead of executing twice. Coordinator MsgError
+// replies are returned as errors with resp non-nil and are never
+// retried.
 func (s *session) call(ctx context.Context, req *Message) (*Message, error) {
-	s.mu.Lock()
-	cli, gen := s.cli, s.gen
-	s.mu.Unlock()
-	resp, err := cli.roundTrip(req)
-	if err == nil || resp != nil {
-		return resp, err
-	}
-	if ctx.Err() != nil {
-		return nil, ctx.Err()
-	}
-	s.logf("dist: connection to %s lost (%v); reconnecting", s.spec, err)
-	s.mu.Lock()
-	if s.gen == gen {
-		s.cli.close()
-		if rerr := s.reconnectLocked(ctx); rerr != nil {
-			s.mu.Unlock()
-			return nil, rerr
+	req.Session = s.nonce
+	req.Req = s.reqSeq.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.attempts; attempt++ {
+		if attempt > 0 {
+			s.cfg.metrics.Counter("dist.retries").Inc()
+			select {
+			case <-time.After(retryDelay(s.cfg.backoff, attempt-1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
+		s.mu.Lock()
+		cli, gen := s.cli, s.gen
+		s.mu.Unlock()
+		resp, err := cli.roundTrip(req)
+		if err == nil || resp != nil {
+			return resp, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		s.logf("dist: connection to %s lost (%v); reconnecting", s.spec, err)
+		s.mu.Lock()
+		if s.gen == gen {
+			s.cli.close()
+			if rerr := s.reconnectLocked(ctx); rerr != nil {
+				s.mu.Unlock()
+				return nil, rerr
+			}
+		}
+		s.mu.Unlock()
 	}
-	cli = s.cli
-	s.mu.Unlock()
-	return cli.roundTrip(req)
+	return nil, fmt.Errorf("dist: request type %d to %s failed after %d attempts: %w", req.Type, s.spec, s.cfg.attempts, lastErr)
 }
 
 func (s *session) close() {
@@ -154,12 +212,19 @@ type AgentConfig struct {
 	// Parallel is how many cells run concurrently (default 1). All
 	// parallel runners share one connection and one lease session.
 	Parallel int
-	// RedialAttempts/RedialBackoff govern connect and reconnect retries
-	// (defaults 10 × 500ms).
+	// RedialAttempts/RedialBackoff govern connect, reconnect and RPC
+	// retries (defaults 10 attempts, 500ms base for the capped
+	// exponential backoff).
 	RedialAttempts int
 	RedialBackoff  time.Duration
+	// RPCTimeout is the per-RPC deadline (default 10s, which is well
+	// under the default lease TTL so a single stalled exchange turns
+	// into a retry before the coordinator gives the work away; negative
+	// disables deadlines).
+	RPCTimeout time.Duration
 	// Metrics, when non-nil, is snapshotted into every heartbeat — the
-	// coordinator's Fleet view aggregates them across agents.
+	// coordinator's Fleet view aggregates them across agents — and
+	// counts this agent's dist.retries/reconnects/stale_replies.
 	Metrics *telemetry.Registry
 	Logf    func(format string, args ...any)
 }
@@ -182,8 +247,18 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	timeout := cfg.RPCTimeout
+	switch {
+	case timeout == 0:
+		timeout = 10 * time.Second
+	case timeout < 0:
+		timeout = 0
+	}
 	hello := &Message{Type: MsgHello, AgentID: cfg.ID, Role: "collect"}
-	sess, err := connect(ctx, cfg.Coordinator, hello, cfg.RedialAttempts, cfg.RedialBackoff, cfg.Logf)
+	sess, err := connect(ctx, cfg.Coordinator, hello, sessionConfig{
+		attempts: cfg.RedialAttempts, backoff: cfg.RedialBackoff,
+		timeout: timeout, metrics: cfg.Metrics, logf: cfg.Logf,
+	})
 	if err != nil {
 		return err
 	}
@@ -383,7 +458,14 @@ type TrainWorkerConfig struct {
 	Pool           *collector.Pool
 	RedialAttempts int
 	RedialBackoff  time.Duration
-	Logf           func(format string, args ...any)
+	// RPCTimeout bounds each exchange with the coordinator (0 disables —
+	// the default, because a gradient submission legitimately blocks at
+	// the barrier until the slowest worker arrives; set it only when an
+	// outer supervisor restarts stuck workers).
+	RPCTimeout time.Duration
+	// Metrics, when non-nil, counts dist.retries/reconnects/stale_replies.
+	Metrics *telemetry.Registry
+	Logf    func(format string, args ...any)
 	// OnStep, when non-nil, observes every applied step index.
 	OnStep func(step int)
 }
@@ -406,7 +488,10 @@ func RunTrainWorker(ctx context.Context, cfg TrainWorkerConfig) error {
 		cfg.Logf = func(string, ...any) {}
 	}
 	hello := &Message{Type: MsgHello, AgentID: cfg.ID, Role: "train", WorkerIdx: cfg.Index, Workers: cfg.Workers}
-	sess, err := connect(ctx, cfg.Coordinator, hello, cfg.RedialAttempts, cfg.RedialBackoff, cfg.Logf)
+	sess, err := connect(ctx, cfg.Coordinator, hello, sessionConfig{
+		attempts: cfg.RedialAttempts, backoff: cfg.RedialBackoff,
+		timeout: cfg.RPCTimeout, metrics: cfg.Metrics, logf: cfg.Logf,
+	})
 	if err != nil {
 		return err
 	}
@@ -439,6 +524,12 @@ func RunTrainWorker(ctx context.Context, cfg TrainWorkerConfig) error {
 		sh := worker.ComputeShard(ds)
 		resp, err := sess.call(ctx, &Message{Type: MsgGrads, AgentID: cfg.ID, GradShard: &sh})
 		if err != nil {
+			if resp != nil && resp.Verdict == VerdictEvicted {
+				// Another process took over this worker slot; our gradients
+				// are fenced off for good. Exit distinctly so a supervisor
+				// knows not to relaunch under the same identity.
+				return ErrRevoked
+			}
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}

@@ -50,6 +50,16 @@ type CoordConfig struct {
 	// Resume re-admits cells whose manifest entry says "ok" AND whose
 	// shard file verifies; anything less is re-collected.
 	Resume bool
+	// HedgeFactor enables straggler hedging: a cell leased for longer
+	// than HedgeFactor × the fleet's p75 completion duration is
+	// speculatively re-leased to an idle agent; the first checksummed
+	// shard wins. 0 disables hedging.
+	HedgeFactor float64
+	// WALPath, when set, makes lease grants, terminal cell outcomes and
+	// training barrier epochs durable in a write-ahead log, so a
+	// restarted coordinator (Resume) re-adopts in-flight leases instead
+	// of waiting out their TTLs.
+	WALPath string
 
 	Train *TrainConfig
 
@@ -71,6 +81,11 @@ type Coordinator struct {
 	total    int
 	resumed  int
 	train    *trainState
+	replies  *replyCache
+	wal      *wal
+
+	epochMu   sync.Mutex
+	lastEpoch int
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -96,9 +111,10 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		conns:  map[net.Conn]struct{}{},
-		doneCh: make(chan struct{}),
+		cfg:     cfg,
+		conns:   map[net.Conn]struct{}{},
+		doneCh:  make(chan struct{}),
+		replies: newReplyCache(),
 	}
 	if cfg.Campaign != nil {
 		if err := cfg.Campaign.Validate(); err != nil {
@@ -140,9 +156,36 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 				}
 			}
 		}
+		c.tracker.SetHedge(cfg.HedgeFactor)
+	}
+	if cfg.WALPath != "" {
+		if !cfg.Resume {
+			os.Remove(cfg.WALPath)
+		}
+		w, recs, err := openWAL(cfg.WALPath, cfg.Metrics, cfg.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("dist: wal: %w", err)
+		}
+		c.wal = w
+		c.replayWAL(recs)
 	}
 	if cfg.Train != nil {
-		ts, err := newTrainState(cfg.Train, c.checkDone)
+		// The coordinator wraps the caller's OnStep (on a copy of the
+		// config) to commit each applied step to the WAL before the
+		// checkpoint hook sees it.
+		tc := *cfg.Train
+		userOnStep := tc.OnStep
+		tc.OnStep = func(st rl.TrainStats) {
+			c.epochMu.Lock()
+			c.lastEpoch = st.Step
+			c.epochMu.Unlock()
+			c.wal.append(walRecord{T: "epoch", Step: st.Step})
+			if userOnStep != nil {
+				userOnStep(st)
+			}
+		}
+		c.cfg.Train = &tc
+		ts, err := newTrainState(&tc, c.checkDone)
 		if err != nil {
 			return nil, err
 		}
@@ -150,6 +193,61 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	}
 	c.checkDone()
 	return c, nil
+}
+
+// replayWAL rebuilds in-flight state from the recovered log: a cell
+// whose last record is a grant (no terminal done/fail, not completed
+// per the manifest) is re-adopted — leased back to its agent with a
+// fresh TTL, so a live agent's in-flight work lands without
+// re-collection while a dead agent's lease simply expires. Epoch
+// records recover the last committed training step.
+func (c *Coordinator) replayWAL(recs []walRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	inflight := map[collector.CellKey]string{}
+	for _, rec := range recs {
+		switch rec.T {
+		case "grant":
+			inflight[rec.cell()] = rec.Agent
+		case "done", "fail":
+			delete(inflight, rec.cell())
+		case "epoch":
+			if rec.Step > c.lastEpoch {
+				c.lastEpoch = rec.Step
+			}
+		}
+	}
+	c.cfg.Metrics.Counter("dist.wal_replayed").Add(int64(len(recs)))
+	if c.tracker != nil {
+		for cell, agent := range inflight {
+			c.tracker.Readopt(cell, agent)
+			c.cfg.Logf("coord: wal: re-adopted lease %s/%s → %s", cell.Scheme, cell.Env, agent)
+		}
+	}
+	if c.lastEpoch > 0 {
+		c.cfg.Logf("coord: wal: last committed training step %d", c.lastEpoch)
+	}
+}
+
+// LastEpoch reports the most recent training step committed to the WAL
+// (applied live or recovered at startup); 0 before any step.
+func (c *Coordinator) LastEpoch() int {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	return c.lastEpoch
+}
+
+func (c *Coordinator) walGrant(agent string, cell collector.CellKey) {
+	c.wal.append(walRecord{T: "grant", Agent: agent, Scheme: cell.Scheme, Env: cell.Env})
+}
+
+func (c *Coordinator) walDone(agent string, cell collector.CellKey) {
+	c.wal.append(walRecord{T: "done", Agent: agent, Scheme: cell.Scheme, Env: cell.Env})
+}
+
+func (c *Coordinator) walFail(agent string, cell collector.CellKey, errMsg string) {
+	c.wal.append(walRecord{T: "fail", Agent: agent, Scheme: cell.Scheme, Env: cell.Env, Err: errMsg})
 }
 
 // Resumed reports how many cells were re-admitted from a previous
@@ -300,6 +398,7 @@ func (c *Coordinator) Shutdown() {
 	if c.manifest != nil {
 		c.manifest.Close()
 	}
+	c.wal.close()
 }
 
 // handle serves one agent connection until EOF, error, or Shutdown.
@@ -328,7 +427,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 		if req.Type == MsgHello {
 			agentID = req.AgentID
 		}
-		resp := c.dispatch(req)
+		resp := c.replyFor(req)
 		if err := writeMsg(conn, resp); err != nil {
 			return
 		}
@@ -337,6 +436,22 @@ func (c *Coordinator) handle(conn net.Conn) {
 
 func errMsg(format string, args ...any) *Message {
 	return &Message{Type: MsgError, Err: fmt.Sprintf(format, args...)}
+}
+
+// replyFor serves req from the dedup cache when this exact (agent,
+// session, req) was already executed — the idempotency half of
+// at-least-once RPC — and dispatches it otherwise. Every reply echoes
+// the request ID so clients can discard stale replies from duplicated
+// frames.
+func (c *Coordinator) replyFor(req *Message) *Message {
+	if cached, ok := c.replies.lookup(req); ok {
+		c.cfg.Metrics.Counter("dist.dedup_hits").Inc()
+		return cached
+	}
+	resp := c.dispatch(req)
+	resp.Req = req.Req
+	c.replies.store(req, resp)
+	return resp
 }
 
 func (c *Coordinator) dispatch(req *Message) *Message {
@@ -393,6 +508,12 @@ func (c *Coordinator) handleRequestCell(req *Message) *Message {
 	switch res {
 	case AcquireGranted:
 		c.cfg.Metrics.Counter("coord.leases_granted").Inc()
+		c.walGrant(req.AgentID, cell)
+		return &Message{Type: MsgAssign, Scheme: cell.Scheme, Env: cell.Env, Verdict: VerdictOK}
+	case AcquireHedged:
+		c.cfg.Metrics.Counter("dist.hedges").Inc()
+		c.walGrant(req.AgentID, cell)
+		c.cfg.Logf("coord: hedging straggler cell %s/%s to idle agent %s", cell.Scheme, cell.Env, req.AgentID)
 		return &Message{Type: MsgAssign, Scheme: cell.Scheme, Env: cell.Env, Verdict: VerdictOK}
 	case AcquireWait:
 		backoff := c.cfg.LeaseTTL / 4
@@ -450,11 +571,16 @@ func (c *Coordinator) handleCellDone(req *Message) *Message {
 		c.cfg.Logf("coord: persist shard %s: %v", path, err)
 		return &Message{Type: MsgCellAck, Verdict: VerdictRetry}
 	}
-	verdict := c.tracker.Complete(req.AgentID, cell)
+	verdict, hedgeWin := c.tracker.Complete(req.AgentID, cell)
 	if verdict == VerdictOK {
 		c.manifest.Record(cell.Scheme, cell.Env, nil)
+		c.walDone(req.AgentID, cell)
 		c.cfg.Metrics.Counter("coord.cells_done").Inc()
 		c.cfg.Metrics.Counter("coord.shard_bytes").Add(int64(len(req.Shard)))
+		if hedgeWin {
+			c.cfg.Metrics.Counter("dist.hedge_wins").Inc()
+			c.cfg.Logf("coord: hedge won cell %s/%s (agent %s beat the straggler)", cell.Scheme, cell.Env, req.AgentID)
+		}
 		c.cfg.Progress.Add(1)
 		c.checkDone()
 	} else {
@@ -475,6 +601,7 @@ func (c *Coordinator) handleCellFailed(req *Message) *Message {
 	verdict := c.tracker.Fail(req.AgentID, cell, req.Err)
 	if verdict == VerdictOK {
 		c.manifest.Record(cell.Scheme, cell.Env, errors.New(req.Err))
+		c.walFail(req.AgentID, cell, req.Err)
 		c.cfg.Metrics.Counter("coord.cells_failed").Inc()
 		c.cfg.Progress.Add(1)
 		c.cfg.Logf("coord: cell %s/%s failed permanently: %s", cell.Scheme, cell.Env, req.Err)
@@ -490,7 +617,7 @@ func (c *Coordinator) handleGrads(req *Message) *Message {
 	if req.GradShard == nil {
 		return errMsg("grads message without a shard")
 	}
-	return c.train.submit(req.GradShard)
+	return c.train.submit(req.AgentID, req.GradShard)
 }
 
 // verifyShardPayload decodes a shard payload and checks it carries
@@ -545,6 +672,10 @@ func (c *Coordinator) CleanupResumeState() {
 	}
 	if c.cfg.ManifestPath != "" {
 		os.Remove(c.cfg.ManifestPath)
+	}
+	if c.cfg.WALPath != "" {
+		c.wal.close()
+		os.Remove(c.cfg.WALPath)
 	}
 	if c.cfg.ShardDir != "" {
 		os.RemoveAll(c.cfg.ShardDir)

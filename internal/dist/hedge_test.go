@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"sage/internal/collector"
+)
+
+// hedgeTracker builds a tracker with a fake clock and three recorded
+// completion durations of ~1s each, so the p75 sample is primed.
+func hedgeTracker(t *testing.T, cells []collector.CellKey, factor float64) (*Tracker, *time.Time) {
+	t.Helper()
+	tr := NewTracker(cells, time.Minute)
+	now := time.Unix(0, 0)
+	tr.SetClock(func() time.Time { return now })
+	tr.SetHedge(factor)
+	for i := 0; i < 3; i++ {
+		cell, res := tr.Acquire("warmup")
+		if res != AcquireGranted {
+			t.Fatalf("warmup acquire %d = %v", i, res)
+		}
+		now = now.Add(time.Second)
+		if v, _ := tr.Complete("warmup", cell); v != VerdictOK {
+			t.Fatalf("warmup complete %d = %q", i, v)
+		}
+	}
+	return tr, &now
+}
+
+// TestTrackerHedgesStraggler: with the fleet completing cells in ~1s, a
+// cell leased for longer than factor × p75 is speculatively re-leased
+// to an idle agent; the first completion wins and is counted a hedge
+// win; the straggler's late copy is a duplicate.
+func TestTrackerHedgesStraggler(t *testing.T) {
+	cells := cellList(4)
+	tr, now := hedgeTracker(t, cells, 3)
+
+	cell, res := tr.Acquire("slow")
+	if res != AcquireGranted {
+		t.Fatalf("straggler acquire = %v", res)
+	}
+	// Not yet straggling: 3×1s threshold not crossed.
+	*now = now.Add(2 * time.Second)
+	tr.Renew("slow")
+	if _, res := tr.Acquire("idle"); res != AcquireWait {
+		t.Fatalf("premature hedge: %v", res)
+	}
+	// Straggling now. The idle agent gets a hedge on the same cell.
+	*now = now.Add(2 * time.Second)
+	tr.Renew("slow")
+	hedged, res := tr.Acquire("idle")
+	if res != AcquireHedged || hedged != cell {
+		t.Fatalf("hedge = %v %v, want AcquireHedged on %v", hedged, res, cell)
+	}
+	// Only one hedge per cell: a second idle agent waits.
+	if _, res := tr.Acquire("idle2"); res != AcquireWait {
+		t.Fatalf("double hedge: %v", res)
+	}
+	// An agent never hedges its own cell even when it is the straggler.
+	if _, res := tr.Acquire("slow"); res != AcquireWait {
+		t.Fatalf("self-hedge: %v", res)
+	}
+	v, hedgeWin := tr.Complete("idle", hedged)
+	if v != VerdictOK || !hedgeWin {
+		t.Fatalf("hedge completion = %q hedgeWin=%v", v, hedgeWin)
+	}
+	if v, _ := tr.Complete("slow", cell); v != VerdictDuplicate {
+		t.Fatalf("straggler late completion = %q", v)
+	}
+	if tr.Evicted("slow") {
+		t.Fatal("losing a hedge race must not evict the straggler")
+	}
+}
+
+// TestTrackerHedgeDisabledByDefault: without SetHedge, a straggling cell
+// is never re-leased before its TTL.
+func TestTrackerHedgeDisabledByDefault(t *testing.T) {
+	tr := NewTracker(cellList(1), time.Minute)
+	now := time.Unix(0, 0)
+	tr.SetClock(func() time.Time { return now })
+	tr.Acquire("slow")
+	now = now.Add(50 * time.Second)
+	tr.Renew("slow")
+	if _, res := tr.Acquire("idle"); res != AcquireWait {
+		t.Fatalf("hedge granted with hedging disabled: %v", res)
+	}
+}
+
+// TestTrackerHedgeNeedsSamples: no hedge before three completion
+// durations are on record, no matter how old the lease.
+func TestTrackerHedgeNeedsSamples(t *testing.T) {
+	tr := NewTracker(cellList(1), time.Minute)
+	now := time.Unix(0, 0)
+	tr.SetClock(func() time.Time { return now })
+	tr.SetHedge(2)
+	tr.Acquire("slow")
+	now = now.Add(55 * time.Second)
+	tr.Renew("slow")
+	if _, res := tr.Acquire("idle"); res != AcquireWait {
+		t.Fatalf("hedge granted without duration samples: %v", res)
+	}
+}
+
+// TestTrackerHedgePromotionOnPrimaryExpiry: when the straggler's lease
+// finally expires, the hedge holder becomes the cell's primary instead
+// of the cell bouncing back to pending.
+func TestTrackerHedgePromotionOnPrimaryExpiry(t *testing.T) {
+	cells := cellList(4)
+	tr, now := hedgeTracker(t, cells, 2)
+
+	cell, _ := tr.Acquire("slow")
+	*now = now.Add(5 * time.Second)
+	tr.Renew("slow")
+	if hedged, res := tr.Acquire("idle"); res != AcquireHedged || hedged != cell {
+		t.Fatalf("hedge = %v %v", hedged, res)
+	}
+	// The straggler goes silent past its TTL; the hedge holder renews.
+	for i := 0; i < 3; i++ {
+		*now = now.Add(30 * time.Second)
+		tr.Renew("idle")
+	}
+	if !tr.Evicted("slow") {
+		t.Fatal("silent straggler not evicted")
+	}
+	if tr.Evicted("idle") {
+		t.Fatal("renewing hedge holder evicted")
+	}
+	if v, hedgeWin := tr.Complete("idle", cell); v != VerdictOK || hedgeWin {
+		// After promotion the hedge holder IS the primary; its win is a
+		// normal completion, not a hedge win.
+		t.Fatalf("promoted completion = %q hedgeWin=%v", v, hedgeWin)
+	}
+}
+
+// TestTrackerHedgeHolderExpiry: a hedge holder that goes silent is
+// evicted and the hedge slot reopens, while the renewing primary keeps
+// its lease.
+func TestTrackerHedgeHolderExpiry(t *testing.T) {
+	cells := cellList(4)
+	tr, now := hedgeTracker(t, cells, 2)
+
+	cell, _ := tr.Acquire("slow")
+	*now = now.Add(5 * time.Second)
+	tr.Renew("slow")
+	if _, res := tr.Acquire("idle"); res != AcquireHedged {
+		t.Fatalf("hedge = %v", res)
+	}
+	// The hedge holder dies; the primary keeps heartbeating.
+	for i := 0; i < 3; i++ {
+		*now = now.Add(30 * time.Second)
+		tr.Renew("slow")
+	}
+	if !tr.Evicted("idle") {
+		t.Fatal("silent hedge holder not evicted")
+	}
+	if tr.Evicted("slow") {
+		t.Fatal("renewing primary evicted")
+	}
+	// The slot reopened: another idle agent can hedge the still-slow cell.
+	if hedged, res := tr.Acquire("idle2"); res != AcquireHedged || hedged != cell {
+		t.Fatalf("re-hedge = %v %v", hedged, res)
+	}
+}

@@ -1,10 +1,13 @@
 package dist
 
 import (
+	"context"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"sage/internal/collector"
+	"sage/internal/telemetry"
 )
 
 func cellList(n int) []collector.CellKey {
@@ -28,10 +31,10 @@ func TestTrackerAcquireRenewComplete(t *testing.T) {
 	if _, res := tr.Acquire("a2"); res != AcquireWait {
 		t.Fatalf("exhausted acquire = %v, want wait", res)
 	}
-	if v := tr.Complete("a1", c1); v != VerdictOK {
+	if v, _ := tr.Complete("a1", c1); v != VerdictOK {
 		t.Fatalf("complete = %q", v)
 	}
-	if v := tr.Complete("a1", c1); v != VerdictDuplicate {
+	if v, _ := tr.Complete("a1", c1); v != VerdictDuplicate {
 		t.Fatalf("re-complete = %q", v)
 	}
 	tr.Complete("a1", c2)
@@ -91,10 +94,10 @@ func TestTrackerDuplicateCompletionFromRevivedAgent(t *testing.T) {
 	}
 	// The zombie finishes first anyway — deterministic cells make its
 	// result correct, so it wins.
-	if v := tr.Complete("zombie", cell); v != VerdictOK {
+	if v, _ := tr.Complete("zombie", cell); v != VerdictOK {
 		t.Fatalf("first completion = %q", v)
 	}
-	if v := tr.Complete("healthy", cell); v != VerdictDuplicate {
+	if v, _ := tr.Complete("healthy", cell); v != VerdictDuplicate {
 		t.Fatalf("second completion = %q", v)
 	}
 	if pending, leased, done, failed := tr.Counts(); done != 1 || pending+leased+failed != 0 {
@@ -152,5 +155,139 @@ func TestTrackerMarkDoneResume(t *testing.T) {
 	}
 	if done := tr.DoneCells(); len(done) != 1 || done[0] != cells[0] {
 		t.Fatalf("done cells = %v", done)
+	}
+}
+
+// TestTrackerLeaseBoundaryExactTTL pins the eviction boundary: the
+// lease interval is closed — a heartbeat or completion landing at
+// exactly granted-time + TTL still counts, and only strictly-after is
+// delinquent. (An earlier draft evicted at >= TTL, which made agents
+// whose heartbeat period equals the TTL flap; this test keeps the
+// boundary honest.)
+func TestTrackerLeaseBoundaryExactTTL(t *testing.T) {
+	tr := NewTracker(cellList(1), 10*time.Second)
+	now := time.Unix(0, 0)
+	tr.SetClock(func() time.Time { return now })
+	cell, _ := tr.Acquire("edge")
+
+	// Heartbeat at exactly the deadline renews.
+	now = now.Add(10 * time.Second)
+	tr.Renew("edge")
+	if tr.Evicted("edge") {
+		t.Fatal("agent heartbeating exactly at TTL evicted")
+	}
+	if _, res := tr.Acquire("poacher"); res != AcquireWait {
+		t.Fatalf("boundary heartbeat did not hold the lease: %v", res)
+	}
+	// Completion at exactly the renewed deadline is the holder's win.
+	now = now.Add(10 * time.Second)
+	if v, _ := tr.Complete("edge", cell); v != VerdictOK {
+		t.Fatalf("completion at exact TTL = %q", v)
+	}
+	if tr.Evicted("edge") {
+		t.Fatal("agent completing exactly at TTL evicted")
+	}
+}
+
+// TestTrackerLeaseBoundaryJustPastTTL: one nanosecond past the deadline
+// the sweep has already run — a renewal arriving then cannot resurrect
+// the lease, and the agent is evicted.
+func TestTrackerLeaseBoundaryJustPastTTL(t *testing.T) {
+	tr := NewTracker(cellList(1), 10*time.Second)
+	now := time.Unix(0, 0)
+	tr.SetClock(func() time.Time { return now })
+	tr.Acquire("late")
+	now = now.Add(10*time.Second + time.Nanosecond)
+	tr.Renew("late")
+	if !tr.Evicted("late") {
+		t.Fatal("agent renewing past TTL not evicted")
+	}
+	if pending, leased, _, _ := tr.Counts(); pending != 1 || leased != 0 {
+		t.Fatalf("expired cell not reclaimed: pending=%d leased=%d", pending, leased)
+	}
+}
+
+// TestCoordinatorRejectsEvictedShardDone drives the eviction boundary
+// end to end: an agent whose lease lapsed loses the race to a healthy
+// one, and its late CellDone is rejected with VerdictEvicted at the
+// coordinator — the shard is never merged a second time.
+func TestCoordinatorRejectsEvictedShardDone(t *testing.T) {
+	dir := t.TempDir()
+	campaign := &Campaign{Schemes: []string{"cubic"}, Level: "tiny", SetIDurSec: 3, SetIIDur: 5, Seed: 1}
+	metrics := telemetry.NewRegistry()
+	coord, addr := startCoordinator(t, CoordConfig{
+		Campaign: campaign, ShardDir: filepath.Join(dir, "shards"),
+		ManifestPath: filepath.Join(dir, "manifest"),
+		LeaseTTL:     10 * time.Second, Metrics: metrics,
+	})
+	defer coord.Shutdown()
+	now := time.Unix(0, 0)
+	coord.Tracker().SetClock(func() time.Time { return now })
+
+	slow, err := dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.close()
+	if _, err := slow.roundTrip(&Message{Type: MsgHello, AgentID: "slow", Role: "collect", Session: 1, Req: 1}); err != nil {
+		t.Fatal(err)
+	}
+	assign, err := slow.roundTrip(&Message{Type: MsgRequestCell, AgentID: "slow", Session: 1, Req: 2})
+	if err != nil || assign.Type != MsgAssign {
+		t.Fatalf("assign: %v %+v", err, assign)
+	}
+
+	// The slow agent goes silent past its TTL; its cell returns to the
+	// head of the pending order, so the healthy agent picks it up.
+	now = now.Add(10*time.Second + time.Millisecond)
+	fast, err := dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.close()
+	if _, err := fast.roundTrip(&Message{Type: MsgHello, AgentID: "fast", Role: "collect", Session: 2, Req: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reassign, err := fast.roundTrip(&Message{Type: MsgRequestCell, AgentID: "fast", Session: 2, Req: 2})
+	if err != nil || reassign.Type != MsgAssign || reassign.Scheme != assign.Scheme || reassign.Env != assign.Env {
+		t.Fatalf("expired cell not reassigned first: %v %+v", err, reassign)
+	}
+
+	scens, _ := campaign.Scenarios()
+	sc := scens[0]
+	for _, s := range scens {
+		if s.Name == assign.Env {
+			sc = s
+		}
+	}
+	tr, err := collector.CollectCell(context.Background(), assign.Scheme, sc, collector.Options{GR: campaign.GR()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, sum, err := EncodeShard(&collector.Pool{GR: campaign.GR().Fill(), Trajs: []collector.Trajectory{tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := &Message{Type: MsgCellDone, AgentID: "fast", Session: 2, Req: 3,
+		Scheme: assign.Scheme, Env: assign.Env, Shard: payload, Checksum: sum}
+	if ack, err := fast.roundTrip(done); err != nil || ack.Verdict != VerdictOK {
+		t.Fatalf("healthy completion = %v %+v", err, ack)
+	}
+
+	// The evicted agent's late copy: rejected outright, not merged, not
+	// even counted a duplicate — the agent must re-Hello before anything
+	// it says is trusted again.
+	late := &Message{Type: MsgCellDone, AgentID: "slow", Session: 1, Req: 3,
+		Scheme: assign.Scheme, Env: assign.Env, Shard: payload, Checksum: sum}
+	ack, err := slow.roundTrip(late)
+	if err != nil || ack.Verdict != VerdictEvicted {
+		t.Fatalf("evicted late CellDone = %v %+v, want VerdictEvicted", err, ack)
+	}
+	snap := metrics.Snapshot()
+	if snap["coord.evicted_rejections"] < 1 {
+		t.Fatalf("coord.evicted_rejections = %v, want >= 1", snap["coord.evicted_rejections"])
+	}
+	if snap["coord.cells_done"] != 1 {
+		t.Fatalf("coord.cells_done = %v after late duplicate, want exactly 1", snap["coord.cells_done"])
 	}
 }

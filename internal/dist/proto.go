@@ -85,6 +85,16 @@ type Message struct {
 	Role    string // "collect" | "train"
 	Err     string
 
+	// Session is a nonce minted once per client process, and Req a
+	// monotonically increasing request ID within that session. Together
+	// they make every RPC idempotent: the coordinator replays its cached
+	// reply for a (agent, session, req) it has already served, so a
+	// request retried after a lost reply cannot execute twice, and a
+	// client discards replies whose Req is not the one in flight (the
+	// residue of a duplicated request frame). Replies echo Req.
+	Session uint64
+	Req     uint64
+
 	// Collection service.
 	Campaign    *Campaign
 	LeaseTTL    time.Duration
@@ -182,12 +192,15 @@ func ParseAddr(spec string) (network, addr string, err error) {
 // client is one serialized request/response connection to the
 // coordinator, shared by an agent's work and heartbeat goroutines.
 type client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration // per-RPC deadline; 0 disables
+	onStale func()        // observes each discarded stale reply
 }
 
-// dial connects to the coordinator at spec.
-func dial(spec string) (*client, error) {
+// dial connects to the coordinator at spec. timeout is the per-RPC
+// deadline applied to every roundTrip on the connection (0 = none).
+func dial(spec string, timeout time.Duration) (*client, error) {
 	network, addr, err := ParseAddr(spec)
 	if err != nil {
 		return nil, err
@@ -196,24 +209,48 @@ func dial(spec string) (*client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &client{conn: conn}, nil
+	return &client{conn: conn, timeout: timeout}, nil
 }
 
-// roundTrip sends req and waits for the coordinator's reply.
+// maxStaleReplies bounds how many mismatched replies one roundTrip will
+// discard before declaring the stream hopeless.
+const maxStaleReplies = 32
+
+// roundTrip sends req and waits for the coordinator's reply. With a
+// timeout set, the whole exchange runs under one absolute deadline — a
+// stalled coordinator (or a partition eating the reply) surfaces as a
+// timeout error instead of blocking the caller forever. Replies whose
+// Req does not match the request are leftovers of duplicated frames and
+// are discarded.
 func (c *client) roundTrip(req *Message) (*Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeMsg(c.conn, req); err != nil {
 		return nil, err
 	}
-	resp, err := readMsg(c.conn)
-	if err != nil {
-		return nil, err
+	for stale := 0; ; {
+		resp, err := readMsg(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		if req.Req != 0 && resp.Req != req.Req {
+			if c.onStale != nil {
+				c.onStale()
+			}
+			if stale++; stale > maxStaleReplies {
+				return nil, fmt.Errorf("dist: %d replies in a row for other requests (want req %d)", stale, req.Req)
+			}
+			continue
+		}
+		if resp.Type == MsgError {
+			return resp, fmt.Errorf("dist: coordinator: %s", resp.Err)
+		}
+		return resp, nil
 	}
-	if resp.Type == MsgError {
-		return resp, fmt.Errorf("dist: coordinator: %s", resp.Err)
-	}
-	return resp, nil
 }
 
 func (c *client) close() error { return c.conn.Close() }

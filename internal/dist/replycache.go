@@ -1,0 +1,96 @@
+package dist
+
+import "sync"
+
+// replyCacheSize is how many replies the coordinator remembers per
+// agent. An agent has at most a handful of requests outstanding (one
+// per parallel runner plus the heartbeat), so a few dozen slots cover
+// every retry window with room to spare.
+const replyCacheSize = 32
+
+// replyCache is the coordinator's bounded dedup/reply store, the server
+// half of idempotent RPC. Collection requests are at-least-once on the
+// wire: an agent that loses the reply retries the same (session, req)
+// pair, possibly on a new connection. The cache replays the original
+// reply instead of re-executing the handler, so a retried CellDone whose
+// first execution landed gets its original VerdictOK back — not the
+// VerdictDuplicate a re-execution would produce — and a retried
+// RequestCell cannot leak a second lease.
+//
+// Entries are keyed (agent, session, req); a Hello-minted session nonce
+// that differs from the cached one resets the agent's entry, so a
+// restarted agent process (new nonce, req counter back at 1) never
+// collides with its predecessor's replies.
+type replyCache struct {
+	mu     sync.Mutex
+	agents map[string]*agentReplies
+}
+
+type agentReplies struct {
+	session uint64
+	replies map[uint64]Message
+	order   []uint64 // insertion ring for bounded eviction
+}
+
+func newReplyCache() *replyCache {
+	return &replyCache{agents: map[string]*agentReplies{}}
+}
+
+// cacheable reports whether req participates in reply dedup. Hello
+// resets a session rather than joining one; Grads carries the training
+// barrier's own step/resync reconciliation (already idempotent) and a
+// parameter-sized reply not worth pinning in memory. Legacy requests
+// without IDs fall back to execute-every-time.
+func cacheable(req *Message) bool {
+	if req.Req == 0 || req.Session == 0 || req.AgentID == "" {
+		return false
+	}
+	switch req.Type {
+	case MsgRequestCell, MsgHeartbeat, MsgCellDone, MsgCellFailed:
+		return true
+	}
+	return false
+}
+
+// lookup returns a copy of the cached reply for req, if this exact
+// (agent, session, req) was already served.
+func (rc *replyCache) lookup(req *Message) (*Message, bool) {
+	if !cacheable(req) {
+		return nil, false
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	ar := rc.agents[req.AgentID]
+	if ar == nil || ar.session != req.Session {
+		return nil, false
+	}
+	cached, ok := ar.replies[req.Req]
+	if !ok {
+		return nil, false
+	}
+	cp := cached // copy: the cached message itself is never written again
+	return &cp, true
+}
+
+// store records the reply just produced for req, evicting the agent's
+// oldest entry past the per-agent bound.
+func (rc *replyCache) store(req, resp *Message) {
+	if !cacheable(req) {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	ar := rc.agents[req.AgentID]
+	if ar == nil || ar.session != req.Session {
+		ar = &agentReplies{session: req.Session, replies: map[uint64]Message{}}
+		rc.agents[req.AgentID] = ar
+	}
+	if _, dup := ar.replies[req.Req]; !dup {
+		ar.order = append(ar.order, req.Req)
+	}
+	ar.replies[req.Req] = *resp
+	for len(ar.order) > replyCacheSize {
+		delete(ar.replies, ar.order[0])
+		ar.order = ar.order[1:]
+	}
+}

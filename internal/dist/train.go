@@ -23,9 +23,14 @@ type trainState struct {
 	pending   map[int]rl.GradShard
 	step      int // absolute applied-step index
 	workerRNG []uint64
-	done      bool
-	closed    bool
-	onDone    func()
+	// owners fences each worker slot to the agent that most recently
+	// Hello'd it: when a supervisor replaces a wedged worker, the old
+	// process's late gradients must not race the replacement's. Latest
+	// registration wins; the fenced-off predecessor is told VerdictEvicted.
+	owners []string
+	done   bool
+	closed bool
+	onDone func()
 
 	// failedStep/failErr mark a step whose apply errored, so handlers
 	// blocked on that step's barrier wake with the error instead of
@@ -51,6 +56,7 @@ func newTrainState(cfg *TrainConfig, onDone func()) (*trainState, error) {
 		cfg:     cfg,
 		pending: map[int]rl.GradShard{},
 		step:    cfg.Learner.StepsDone(),
+		owners:  make([]string, cfg.Workers),
 		onDone:  onDone,
 	}
 	ts.cond = sync.NewCond(&ts.mu)
@@ -94,6 +100,7 @@ func (ts *trainState) welcome(req *Message) *Message {
 	if req.WorkerIdx < 0 || req.WorkerIdx >= ts.cfg.Workers {
 		return errMsg("worker index %d out of range [0,%d)", req.WorkerIdx, ts.cfg.Workers)
 	}
+	ts.owners[req.WorkerIdx] = req.AgentID
 	cfg := ts.cfg.Learner.Cfg
 	return &Message{
 		Type:       MsgWelcome,
@@ -113,11 +120,16 @@ func (ts *trainState) welcome(req *Message) *Message {
 // submit delivers one worker's gradient shard and blocks until the step
 // it belongs to has been applied (by this handler or another), then
 // returns the post-step broadcast.
-func (ts *trainState) submit(sh *rl.GradShard) *Message {
+func (ts *trainState) submit(agentID string, sh *rl.GradShard) *Message {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	if sh.Worker < 0 || sh.Worker >= ts.cfg.Workers {
 		return errMsg("shard worker index %d out of range [0,%d)", sh.Worker, ts.cfg.Workers)
+	}
+	if owner := ts.owners[sh.Worker]; agentID != "" && owner != "" && owner != agentID {
+		m := errMsg("worker slot %d was taken over by %s; this session is fenced off", sh.Worker, owner)
+		m.Verdict = VerdictEvicted
+		return m
 	}
 	if ts.closed {
 		return errMsg("coordinator draining")

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"encoding/json"
+	"sync"
+
+	"sage/internal/collector"
+	"sage/internal/safeio"
+	"sage/internal/telemetry"
+)
+
+// The coordinator's write-ahead log extends the "any agent may die"
+// guarantee to the coordinator itself. The manifest and shard files
+// already make *completed* work durable; the WAL makes *in-flight*
+// state durable too: every lease grant, terminal cell outcome, and
+// applied training step is appended (checksummed, fsynced — see
+// safeio.AppendLog) before or immediately after the action it records.
+// A restarted coordinator replays the log, re-adopts leases whose
+// agents may still be alive (their next heartbeat renews; their
+// in-flight shard lands without re-collection), and knows the last
+// committed barrier epoch.
+//
+// WAL record, one JSON object per log line:
+//
+//	{"t":"grant","agent":"a1","scheme":"cubic","env":"wired-12"}
+//	{"t":"done","agent":"a1","scheme":"cubic","env":"wired-12"}
+//	{"t":"fail","agent":"a1","scheme":"cubic","env":"wired-12","err":"..."}
+//	{"t":"epoch","step":41}
+type walRecord struct {
+	T      string `json:"t"`
+	Agent  string `json:"agent,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+	Env    string `json:"env,omitempty"`
+	Step   int    `json:"step,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+func (r walRecord) cell() collector.CellKey {
+	return collector.CellKey{Scheme: r.Scheme, Env: r.Env}
+}
+
+// wal serializes appends from concurrent connection handlers. All
+// methods are nil-receiver safe (WAL disabled) and treat write errors
+// as soft: losing the log costs only recovery speed after a future
+// crash, never correctness, so a full disk degrades durability instead
+// of killing the campaign. Errors are logged and counted.
+type wal struct {
+	mu      sync.Mutex
+	log     *safeio.AppendLog
+	metrics *telemetry.Registry
+	logf    func(string, ...any)
+}
+
+// openWAL opens the log at path, replaying intact records. The returned
+// records drive lease re-adoption and epoch recovery in NewCoordinator.
+func openWAL(path string, metrics *telemetry.Registry, logf func(string, ...any)) (*wal, []walRecord, error) {
+	var recs []walRecord
+	log, _, err := safeio.OpenAppendLog(path, func(payload []byte) {
+		var rec walRecord
+		if json.Unmarshal(payload, &rec) == nil {
+			recs = append(recs, rec)
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &wal{log: log, metrics: metrics, logf: logf}, recs, nil
+}
+
+func (w *wal) append(rec walRecord) {
+	if w == nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err == nil {
+		w.mu.Lock()
+		err = w.log.Append(payload)
+		w.mu.Unlock()
+	}
+	if err != nil {
+		w.metrics.Counter("dist.wal_errors").Inc()
+		w.logf("coord: wal append %q: %v", rec.T, err)
+		return
+	}
+	w.metrics.Counter("dist.wal_records").Inc()
+}
+
+func (w *wal) close() {
+	if w != nil {
+		w.log.Close()
+	}
+}

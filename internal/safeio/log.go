@@ -1,0 +1,106 @@
+package safeio
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+)
+
+// AppendLog is the write-ahead-log primitive behind the control plane's
+// crash recovery: an append-only text file of checksummed records, one
+// per line as "<crc32-hex> <payload>\n", fsynced per append. It
+// complements this package's atomic whole-file writers for state that
+// grows record by record and must survive a crash mid-append: opening a
+// log replays every intact record and truncates the torn tail a crash
+// may have left, so the file is always a clean prefix of what was
+// acknowledged.
+//
+// Payloads must not contain newlines (JSON objects qualify).
+type AppendLog struct {
+	f *os.File
+}
+
+// OpenAppendLog opens (creating if absent) the log at path, streams
+// every intact record's payload to replay (which may be nil), truncates
+// anything after the last intact record, and returns the log positioned
+// for appending along with the number of records replayed.
+func OpenAppendLog(path string, replay func(payload []byte)) (*AppendLog, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	valid, replayed := 0, 0
+	rest := raw
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn tail: record written without its newline
+		}
+		line := rest[:nl]
+		payload, ok := checkRecord(line)
+		if !ok {
+			break // corrupt record; everything after it is suspect
+		}
+		if replay != nil {
+			replay(payload)
+		}
+		replayed++
+		valid += nl + 1
+		rest = rest[nl+1:]
+	}
+	if valid < len(raw) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("safeio: truncate torn log tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return &AppendLog{f: f}, replayed, nil
+}
+
+// checkRecord splits "<crc32-hex> <payload>" and verifies the checksum.
+func checkRecord(line []byte) ([]byte, bool) {
+	sp := bytes.IndexByte(line, ' ')
+	if sp != 8 {
+		return nil, false
+	}
+	want, err := strconv.ParseUint(string(line[:sp]), 16, 32)
+	if err != nil {
+		return nil, false
+	}
+	payload := line[sp+1:]
+	if crc32.ChecksumIEEE(payload) != uint32(want) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Append writes one record and syncs it to disk before returning: once
+// Append returns nil the record survives a crash.
+func (l *AppendLog) Append(payload []byte) error {
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return fmt.Errorf("safeio: log payload contains a newline")
+	}
+	rec := make([]byte, 0, len(payload)+10)
+	rec = append(rec, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	rec = append(rec, payload...)
+	rec = append(rec, '\n')
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close closes the underlying file.
+func (l *AppendLog) Close() error { return l.f.Close() }

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 )
 
 // Wire protocol of the sage-serve daemon: length-prefixed binary frames
@@ -155,10 +156,11 @@ func parseRequest(p []byte, stateBuf []float64) (decodedRequest, []float64, erro
 // serialized by an internal mutex; use one Client per concurrent flow (or
 // one per goroutine) to let the server batch across them.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	wbuf []byte
-	rbuf []byte
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+	wbuf    []byte
+	rbuf    []byte
 }
 
 // Dial connects to a sage-serve daemon's Unix socket.
@@ -172,6 +174,23 @@ func Dial(socketPath string) (*Client, error) {
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// SetTimeout bounds every subsequent call's full round trip (request
+// write through response read). Zero restores the default: block until
+// the server answers or the connection dies. A Decide sitting inside a
+// congestion-control tick cannot afford to wait out a wedged daemon, so
+// flow integrations should set this to a small multiple of the batch
+// deadline; a call that exceeds it fails with a net.Error whose
+// Timeout() is true, after which the connection is poisoned (the late
+// response would desynchronize framing) and the client should redial.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	c.timeout = d
+}
 
 // Decide requests a cwnd decision for session sid currently at cwnd with
 // observation state. status is one of the Status* constants; for StatusOK
@@ -206,6 +225,12 @@ func (c *Client) CloseSession(sid uint64) error {
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip() (float64, byte, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return 0, StatusError, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(c.conn, c.wbuf); err != nil {
 		return 0, StatusError, err
 	}

@@ -190,3 +190,69 @@ func (e errStatus) Error() string { return "unexpected status " + string('0'+byt
 type errBadCwnd float64
 
 func (e errBadCwnd) Error() string { return "bad cwnd" }
+
+// TestClientTimeoutOnStalledServer: a daemon that accepts the request
+// but never answers must not wedge the caller — with SetTimeout the
+// round trip fails with a timeout net.Error instead of blocking a
+// congestion-control tick forever.
+func TestClientTimeoutOnStalledServer(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	defer serverEnd.Close()
+	stalled := make(chan struct{})
+	go func() {
+		// Swallow the request frame, then go silent.
+		buf := make([]byte, 1<<10)
+		serverEnd.Read(buf)
+		close(stalled)
+		<-make(chan struct{})
+	}()
+
+	cli := serve.NewClient(clientEnd)
+	defer cli.Close()
+	cli.SetTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, _, err := cli.Decide(1, 10, []float64{1, 2, 3})
+	if err == nil {
+		t.Fatal("Decide against a stalled server returned no error")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("Decide error = %v, want a timeout net.Error", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("timed out only after %v", waited)
+	}
+	select {
+	case <-stalled:
+	case <-time.After(time.Second):
+		t.Fatal("server never saw the request frame")
+	}
+}
+
+// TestClientTimeoutLeavesFastServerAlone: a deadline well above the
+// server's response time never fires, and calls after SetTimeout(0) go
+// back to running without deadlines at all.
+func TestClientTimeoutLeavesFastServerAlone(t *testing.T) {
+	eng := serve.NewEngine(serve.Config{
+		Policy:        testPolicy(3),
+		MaxBatch:      4,
+		BatchDeadline: time.Millisecond,
+		Workers:       1,
+	})
+	sock, shutdown := startServer(t, eng)
+	defer shutdown()
+	cli, err := serve.Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(5 * time.Second)
+	state := randState(rand.New(rand.NewSource(1)))
+	if _, status, err := cli.Decide(1, 10, state); err != nil || status != serve.StatusOK {
+		t.Fatalf("Decide with generous timeout: status=%d err=%v", status, err)
+	}
+	cli.SetTimeout(0)
+	if _, status, err := cli.Decide(1, 10, state); err != nil || status != serve.StatusOK {
+		t.Fatalf("Decide after clearing timeout: status=%d err=%v", status, err)
+	}
+}
