@@ -1,0 +1,286 @@
+//go:build integration
+
+// Lifecycle integration tests: run the real sage-serve binary against a
+// real registry over a real Unix socket — exit codes for unserviceable
+// models, hot-swap and status verbs, graceful drain, and journal recovery
+// after SIGKILL mid-lifecycle. Build-tagged so tier-1 stays hermetic; CI
+// runs these with -tags integration.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sage/internal/core"
+	"sage/internal/gr"
+	"sage/internal/nn"
+	"sage/internal/promote"
+	"sage/internal/serve"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sage-serve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func testModel(t *testing.T, seed int64) *core.Model {
+	t.Helper()
+	return &core.Model{
+		Policy: nn.NewPolicy(nn.PolicyConfig{InDim: gr.StateDim, Enc: 8, Hidden: 8, ResBlocks: 1, K: 2, Seed: seed}),
+		Mask:   gr.MaskFull(),
+		GR:     gr.Config{}.Fill(),
+	}
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// Exit code 3 for every flavor of unserviceable model; exit 2 for usage
+// errors — the documented table, enforced end to end.
+func TestExitCodes(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "s.sock")
+
+	// Missing model file.
+	err := exec.Command(bin, "-socket", sock, "-model", filepath.Join(dir, "nope.model")).Run()
+	if got := exitCode(err); got != 3 {
+		t.Errorf("missing model: exit %d, want 3", got)
+	}
+
+	// Corrupt model file.
+	good := filepath.Join(dir, "good.model")
+	if err := testModel(t, 1).Save(good); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(good)
+	raw[len(raw)-2] ^= 0xff
+	corrupt := filepath.Join(dir, "corrupt.model")
+	os.WriteFile(corrupt, raw, 0o644)
+	err = exec.Command(bin, "-socket", sock, "-model", corrupt).Run()
+	if got := exitCode(err); got != 3 {
+		t.Errorf("corrupt model: exit %d, want 3", got)
+	}
+
+	// Registry with nothing promoted.
+	regDir := filepath.Join(dir, "registry")
+	r, err := promote.OpenRegistry(regDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish(testModel(t, 2), promote.Meta{Provenance: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close() // published but never promoted: a daemon must refuse to serve it
+	err = exec.Command(bin, "-socket", sock, "-registry", regDir).Run()
+	if got := exitCode(err); got != 3 {
+		t.Errorf("registry without incumbent: exit %d, want 3", got)
+	}
+
+	// -model and -registry together is a usage error.
+	err = exec.Command(bin, "-socket", sock, "-model", good, "-registry", regDir).Run()
+	if got := exitCode(err); got != 2 {
+		t.Errorf("conflicting flags: exit %d, want 2", got)
+	}
+}
+
+func startServe(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "serve.sock")
+	cmd := exec.Command(bin, append([]string{"-socket", sock}, args...)...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := os.Stat(sock); err == nil {
+			return cmd, sock
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("daemon never created its socket")
+	return nil, ""
+}
+
+// Registry serving end to end: boot on the incumbent, promote a new
+// candidate, hot-swap via the control socket while decisions flow, read
+// status, drain on SIGTERM with exit 130.
+func TestRegistryServeSwapStatus(t *testing.T) {
+	bin := buildBinary(t)
+	regDir := filepath.Join(t.TempDir(), "registry")
+	r, err := promote.OpenRegistry(regDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := r.Publish(testModel(t, 1), promote.Meta{Provenance: "boot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(idA, "bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd, sock := startServe(t, bin, "-registry", regDir)
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	cl, err := serve.Dial(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	state := make([]float64, gr.StateDim)
+	if _, _, err := cl.Decide(1, 100, state); err != nil {
+		t.Fatalf("decide against incumbent: %v", err)
+	}
+
+	status, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Serving   string `json:"serving"`
+		Incumbent string `json:"incumbent"`
+	}
+	if err := json.Unmarshal([]byte(status), &doc); err != nil {
+		t.Fatalf("status %q: %v", status, err)
+	}
+	if doc.Serving != idA || doc.Incumbent != idA {
+		t.Fatalf("status = %s, want serving=incumbent=%s", status, idA)
+	}
+
+	// Promote a new candidate out-of-process (the registry journal is the
+	// coordination point), then swap the live daemon onto it.
+	idB, err := r.Publish(testModel(t, 2), promote.Meta{Provenance: "trainer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(idB, "gate verdict"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	report, err := cl.Swap("")
+	if err != nil {
+		t.Fatalf("swap verb: %v", err)
+	}
+	if !strings.Contains(report, idB) {
+		t.Fatalf("swap report %q does not name %s", report, idB)
+	}
+	if _, _, err := cl.Decide(2, 100, state); err != nil {
+		t.Fatalf("decide after swap: %v", err)
+	}
+	status, err = cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, fmt.Sprintf("%q", idB)) {
+		t.Fatalf("post-swap status %q does not serve %s", status, idB)
+	}
+
+	// Swapping to an unknown id is an error the daemon survives.
+	if _, err := cl.Swap("no-such-model"); err == nil {
+		t.Fatal("swap to unknown model succeeded")
+	}
+	if _, _, err := cl.Decide(3, 100, state); err != nil {
+		t.Fatalf("daemon dead after failed swap: %v", err)
+	}
+
+	// Graceful drain: SIGTERM → exit 130, socket removed.
+	cmd.Process.Signal(syscall.SIGTERM)
+	err = cmd.Wait()
+	if got := exitCode(err); got != 130 {
+		t.Fatalf("SIGTERM drain: exit %d, want 130", got)
+	}
+}
+
+// SIGKILL the daemon at every lifecycle stage; a restarted daemon must
+// boot from the journal and serve the last *promoted* model, never a
+// candidate and never the demoted one.
+func TestJournalSurvivesKillAtEachStage(t *testing.T) {
+	bin := buildBinary(t)
+	regDir := filepath.Join(t.TempDir(), "registry")
+
+	r, err := promote.OpenRegistry(regDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, _ := r.Publish(testModel(t, 1), promote.Meta{Provenance: "boot"})
+	if err := r.Promote(idA, "bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+
+	stage := func(name, wantIncumbent string) {
+		t.Helper()
+		cmd, sock := startServe(t, bin, "-registry", regDir)
+		cl, err := serve.Dial(sock)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		state := make([]float64, gr.StateDim)
+		if _, _, err := cl.Decide(1, 100, state); err != nil {
+			t.Fatalf("%s: decide: %v", name, err)
+		}
+		status, err := cl.Status()
+		if err != nil {
+			t.Fatalf("%s: status: %v", name, err)
+		}
+		if !strings.Contains(status, fmt.Sprintf("%q", wantIncumbent)) {
+			t.Fatalf("%s: rebooted daemon serves %s, want %s", name, status, wantIncumbent)
+		}
+		cl.Close()
+		cmd.Process.Signal(syscall.SIGKILL) // no drain, no goodbye
+		cmd.Wait()
+		os.Remove(sock)
+	}
+
+	// Stage 1: killed while serving the bootstrap incumbent.
+	stage("bootstrap", idA)
+
+	// Stage 2: a candidate is published (not promoted) before the kill —
+	// the reboot must still serve idA.
+	if _, err := r.Publish(testModel(t, 2), promote.Meta{ID: "cand-unpromoted", Provenance: "trainer"}); err != nil {
+		t.Fatal(err)
+	}
+	stage("published-candidate", idA)
+
+	// Stage 3: promotion lands, then the kill.
+	idB, err := r.Publish(testModel(t, 3), promote.Meta{Provenance: "trainer2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(idB, "gate"); err != nil {
+		t.Fatal(err)
+	}
+	stage("promoted", idB)
+
+	// Stage 4: demotion lands, then the kill — back to idA.
+	if _, err := r.Demote("watchdog"); err != nil {
+		t.Fatal(err)
+	}
+	stage("demoted", idA)
+	r.Close()
+}

@@ -7,18 +7,36 @@
 // Usage:
 //
 //	sage-serve -socket /run/sage.sock -model sage.model
+//	sage-serve -socket /run/sage.sock -registry /var/lib/sage/registry
 //	sage-serve -socket /tmp/sage.sock -max-batch 512 -deadline 100us -pprof :6060
 //
-// Without -model a freshly initialized (untrained) policy is served —
+// With -registry the daemon serves the registry's promoted incumbent and
+// exposes the model lifecycle: SIGHUP (or the control socket's swap verb)
+// hot-swaps to the current incumbent with zero dropped decisions, the
+// status verb reports the lifecycle state, and a demotion watchdog
+// monitors post-swap fallback ratios, reverting a degraded swap
+// automatically. With -model a single file is served; SIGHUP re-reads it.
+// Without either a freshly initialized (untrained) policy is served —
 // useful for protocol smoke tests and load benchmarks. SIGINT/SIGTERM
 // drain gracefully: queued decisions complete, clients are hung up, and
 // a final metrics snapshot is printed.
+//
+// Exit codes (the repo-wide daemon table):
+//
+//	0    clean exit
+//	1    fatal runtime error
+//	2    usage error
+//	3    model integrity failure: the model file (or registry incumbent)
+//	     is corrupt, truncated, or missing — restore it or re-promote;
+//	     restarting cannot help, which is why this is not exit 1
+//	130  signal-initiated graceful drain
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net"
 	"os"
 	"os/signal"
@@ -28,39 +46,34 @@ import (
 	"sage/internal/core"
 	"sage/internal/gr"
 	"sage/internal/nn"
+	"sage/internal/promote"
+	"sage/internal/safeio"
 	"sage/internal/serve"
 	"sage/internal/telemetry"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		socket      = flag.String("socket", "/tmp/sage-serve.sock", "unix socket path to listen on")
 		modelPath   = flag.String("model", "", "trained model file (empty = fresh untrained policy)")
+		registryDir = flag.String("registry", "", "model registry dir: serve the promoted incumbent and enable the lifecycle verbs")
 		maxBatch    = flag.Int("max-batch", 256, "max flows per batched forward pass")
 		deadline    = flag.Duration("deadline", 200*time.Microsecond, "micro-batch deadline")
 		workers     = flag.Int("workers", 0, "forward-pass workers (0 = GOMAXPROCS)")
 		maxSessions = flag.Int("max-sessions", 4096, "resident session cap (LRU eviction beyond)")
 		stochastic  = flag.Bool("stochastic", false, "sample actions from the GMM instead of its mean")
 		seed        = flag.Int64("seed", 1, "RNG seed for stochastic serving")
+		reprime     = flag.Int("reprime-window", 8, "trace states replayed to re-prime recurrent sessions across a hot-swap")
+		watchEvery  = flag.Duration("watchdog-interval", 2*time.Second, "demotion watchdog polling interval (registry mode)")
+		eventsPath  = flag.String("events", "", "append lifecycle events (swap/demote) to this JSONL file")
 		pprofAddr   = flag.String("pprof", "", "serve pprof + /debug/vars on this addr")
 	)
 	flag.Parse()
-
-	var (
-		pol  *nn.Policy
-		mask []int
-	)
-	if *modelPath != "" {
-		model, err := core.LoadModel(*modelPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		pol, mask = model.Policy, model.Mask
-	} else {
-		cfg := nn.PolicyConfig{InDim: gr.StateDim}
-		pol = nn.NewPolicy(cfg)
-		fmt.Fprintln(os.Stderr, "sage-serve: no -model given, serving a fresh untrained policy")
+	if *modelPath != "" && *registryDir != "" {
+		fmt.Fprintln(os.Stderr, "sage-serve: -model and -registry are mutually exclusive")
+		return 2
 	}
 
 	reg := telemetry.NewRegistry()
@@ -68,8 +81,52 @@ func main() {
 	if *pprofAddr != "" {
 		if _, err := telemetry.ServeDebug(*pprofAddr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
+	}
+	var events *telemetry.JSONL
+	if *eventsPath != "" {
+		j, err := telemetry.CreateJSONL(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer j.Close()
+		events = j
+	}
+
+	var (
+		pol       *nn.Policy
+		mask      []int
+		registry  *promote.Registry
+		servingID string
+	)
+	switch {
+	case *registryDir != "":
+		r, err := promote.OpenRegistry(*registryDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sage-serve:", err)
+			return modelExitCode(err)
+		}
+		defer r.Close()
+		model, info, err := r.LoadIncumbent()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sage-serve:", err)
+			return modelExitCode(err)
+		}
+		registry, servingID = r, info.ID
+		pol, mask = model.Policy, model.Mask
+		fmt.Fprintf(os.Stderr, "sage-serve: serving registry incumbent %s\n", info.ID)
+	case *modelPath != "":
+		model, err := core.LoadModel(*modelPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sage-serve:", err)
+			return modelExitCode(err)
+		}
+		pol, mask = model.Policy, model.Mask
+	default:
+		pol = nn.NewPolicy(nn.PolicyConfig{InDim: gr.StateDim})
+		fmt.Fprintln(os.Stderr, "sage-serve: no -model given, serving a fresh untrained policy")
 	}
 
 	eng := serve.NewEngine(serve.Config{
@@ -81,26 +138,130 @@ func main() {
 		MaxBatch:      *maxBatch,
 		BatchDeadline: *deadline,
 		Workers:       *workers,
+		ReprimeWindow: *reprime,
 		Metrics:       reg,
 	})
 	srv := serve.NewServer(eng)
 
+	// Lifecycle control: registry mode gets the full manager (watchdog,
+	// demotion); file mode gets a reload-from-path handler so SIGHUP and
+	// the swap verb still work without a registry.
+	var ctl serve.Control
+	var mgr *promote.Manager
+	if registry != nil {
+		m, err := promote.NewManager(promote.ManagerConfig{
+			Registry: registry,
+			Engine:   eng,
+			Metrics:  reg,
+			Events:   events,
+		}, servingID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sage-serve:", err)
+			return 1
+		}
+		mgr, ctl = m, m
+	} else if *modelPath != "" {
+		ctl = &fileControl{path: *modelPath, eng: eng}
+	}
+	if ctl != nil {
+		srv.SetControl(ctl)
+	}
+
+	hupCh := make(chan os.Signal, 1)
+	if ctl != nil {
+		signal.Notify(hupCh, syscall.SIGHUP)
+		go func() {
+			for range hupCh {
+				report, err := ctl.Swap("")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "sage-serve: SIGHUP swap:", err)
+					continue
+				}
+				fmt.Fprintln(os.Stderr, "sage-serve: SIGHUP:", report)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	if mgr != nil && *watchEvery > 0 {
+		go func() {
+			t := time.NewTicker(*watchEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					if demoted, why := mgr.Tick(); demoted {
+						fmt.Fprintln(os.Stderr, "sage-serve: watchdog demotion:", why)
+					}
+				}
+			}
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	done := make(chan struct{})
+	drained := make(chan struct{})
 	go func() {
 		sig := <-sigCh
 		fmt.Fprintf(os.Stderr, "sage-serve: %v, draining\n", sig)
 		srv.Shutdown()
-		close(done)
+		close(drained)
 	}()
 
 	fmt.Fprintf(os.Stderr, "sage-serve: listening on %s\n", *socket)
-	if err := srv.ListenAndServe(*socket); err != nil && !errors.Is(err, net.ErrClosed) {
+	err := srv.ListenAndServe(*socket)
+	close(done)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	<-done
+	<-drained
 	os.Remove(*socket)
 	fmt.Fprintf(os.Stderr, "sage-serve: final metrics\n%s", reg)
+	return 130
+}
+
+// modelExitCode classifies a model-loading failure per the exit-code
+// table: integrity problems (corrupt, truncated, or missing checkpoint;
+// a registry with nothing promoted) are exit 3 — operator intervention,
+// not a restart, is what fixes them. Anything else is a fatal 1.
+func modelExitCode(err error) int {
+	switch {
+	case errors.Is(err, safeio.ErrCorrupt),
+		errors.Is(err, safeio.ErrTruncated),
+		errors.Is(err, fs.ErrNotExist),
+		errors.Is(err, promote.ErrNoIncumbent):
+		return 3
+	default:
+		return 1
+	}
+}
+
+// fileControl is the -model mode lifecycle handler: swap re-reads the
+// model file (any non-empty arg is rejected — there is no registry to
+// name models in), status reports the engine's session count.
+type fileControl struct {
+	path string
+	eng  *serve.Engine
+}
+
+func (f *fileControl) Swap(id string) (string, error) {
+	if id != "" {
+		return "", errors.New("no registry: swap only reloads the -model file (pass an empty id)")
+	}
+	model, err := core.LoadModel(f.path)
+	if err != nil {
+		return "", err
+	}
+	stats, err := f.eng.Swap(model.Policy, model.Mask)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("reloaded %s (%s)", f.path, stats), nil
+}
+
+func (f *fileControl) Status() string {
+	return fmt.Sprintf(`{"serving":%q,"sessions":%d}`, f.path, f.eng.Sessions())
 }

@@ -37,6 +37,7 @@ import (
 	"sage/internal/dist"
 	"sage/internal/gr"
 	"sage/internal/nn"
+	"sage/internal/promote"
 	"sage/internal/rl"
 	"sage/internal/sentinel"
 	"sage/internal/telemetry"
@@ -86,6 +87,7 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve pprof+expvar on this address (e.g. :6060)")
 		sanitize  = flag.Bool("sanitize", false, "quarantine bad trajectories (non-finite/out-of-range/frozen/truncated) before training; report goes to <pool>.quarantine.jsonl")
 		useSent   = flag.Bool("sentinel", true, "train under the divergence sentinel (batch gating, checkpoint rollback, LR backoff)")
+		publish   = flag.String("publish", "", "also publish the trained model as a candidate in this model registry dir (see sage-serve -registry)")
 		worker    = flag.String("worker", "", "run as a distributed training worker against the sage-coord coordinator at this address (host:port or unix:/path)")
 		workerIdx = flag.Int("worker-index", 0, "with -worker: this worker's slot [0, train-workers)")
 		redials   = flag.Int("redial-attempts", 0, "with -worker: consecutive failed dials tolerated before giving up (0 = default 10); raise to ride out coordinator restarts")
@@ -355,6 +357,30 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (policy: %d params)\n", *out, nn.ParamCount(model.Policy))
+	if *publish != "" {
+		// The registry write is the candidate's birth certificate: the
+		// checkpoint lands under the registry before the journal records
+		// it, so a crash here leaves at worst an orphan file, never a
+		// half-registered candidate. Promotion stays a separate,
+		// gate-controlled step (promote.RunGate / the serving daemon).
+		r, err := promote.OpenRegistry(*publish)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		id, err := r.Publish(model, promote.Meta{
+			Provenance: "sage-train",
+			TrainStep:  learner.StepsDone(),
+		})
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("published candidate %s to %s\n", id, *publish)
+	}
 }
 
 // runWorker is the -worker mode: one data-parallel shard worker driven

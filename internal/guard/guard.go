@@ -132,6 +132,7 @@ const (
 	ReasonBadCwnd     = "non-finite cwnd after inference"
 	ReasonStall       = "sustained stall"
 	ReasonCollapse    = "cwnd collapse"
+	ReasonSwapReprime = "hot-swap re-prime failed"
 	KindTrip          = "trip"
 	KindRestore       = "restore"
 	MetricTrips       = "guard.trips"
@@ -140,9 +141,19 @@ const (
 	MetricBadCwnds    = "guard.bad_cwnds"
 	MetricStallTrips  = "guard.stall_trips"
 	MetricCollapses   = "guard.collapse_trips"
+	MetricSwapTrips   = "guard.swap_trips"
 	MetricClamps      = "guard.clamps"
 	MetricFallbackTks = "guard.fallback_intervals"
 )
+
+// degradable is implemented by controllers that can be pinned to fallback
+// decisions by a failed model hot-swap (serve.Controller): the engine
+// could not migrate the flow's recurrent state onto the new model, so its
+// rows come back as safety no-ops. The guardian polls this and trips such
+// a flow to the heuristic outright — the fallback actually controls the
+// window, and the post-probation restore resets the session against the
+// new incumbent.
+type degradable interface{ Degraded() bool }
 
 // GuardedController validates a wrapped controller's every decision and
 // owns the trip/fallback/re-admission state machine. It implements
@@ -221,7 +232,16 @@ func (g *GuardedController) Control(now sim.Time, conn *tcp.Conn, state []float6
 		return
 	}
 
-	// 1. Validate the observation before it reaches the network.
+	// 1. A hot-swap that failed to migrate this flow's recurrent state has
+	// pinned it to no-op decisions; running the heuristic beats holding the
+	// window frozen, so trip immediately.
+	if d, ok := g.inner.(degradable); ok && d.Degraded() {
+		g.cfg.Metrics.Counter(MetricSwapTrips).Inc()
+		g.trip(now, conn, ReasonSwapReprime)
+		return
+	}
+
+	// 2. Validate the observation before it reaches the network.
 	if !finiteVec(state) {
 		g.cfg.Metrics.Counter(MetricBadStates).Inc()
 		g.trip(now, conn, ReasonBadState)
@@ -232,7 +252,7 @@ func (g *GuardedController) Control(now sim.Time, conn *tcp.Conn, state []float6
 	g.inner.Control(now, conn, state)
 	w := conn.Cwnd
 
-	// 2. Validate the inference result (a NaN anywhere in the forward
+	// 3. Validate the inference result (a NaN anywhere in the forward
 	// pass, the GMM head, or the sampled action surfaces as a non-finite
 	// window, since cwnd *= 2^u).
 	if math.IsNaN(w) || math.IsInf(w, 0) {
@@ -241,7 +261,7 @@ func (g *GuardedController) Control(now sim.Time, conn *tcp.Conn, state []float6
 		return
 	}
 
-	// 3. Sanity-bound the action: per-interval multiplicative step, floor,
+	// 4. Sanity-bound the action: per-interval multiplicative step, floor,
 	// and a ceiling keyed to the BDP estimate.
 	clamped := w
 	if before > 0 && !math.IsNaN(before) {
@@ -259,7 +279,7 @@ func (g *GuardedController) Control(now sim.Time, conn *tcp.Conn, state []float6
 		conn.SetCwnd(clamped)
 	}
 
-	// 4. Watchdog: sustained stall and cwnd collapse.
+	// 5. Watchdog: sustained stall and cwnd collapse.
 	if !progressed && conn.InflightPkts() > 0 {
 		g.stallTicks++
 	} else {

@@ -1,0 +1,189 @@
+package promote_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sage/internal/promote"
+	"sage/internal/sim"
+	"sage/internal/telemetry"
+)
+
+// A candidate identical to the incumbent scores identically (the replay
+// is deterministic) and must be rejected: it is not better anywhere.
+func TestGateRejectsIdenticalCandidate(t *testing.T) {
+	m := constModel(-0.25)
+	v := promote.RunGate(m, constModel(-0.25), promote.GateConfig{
+		Buckets: gateScenes(2 * sim.Second),
+		RelTol:  1e-9, AbsTol: 1e-9,
+	})
+	if v.Promote {
+		t.Fatalf("identical candidate promoted: %s", v.Reason)
+	}
+	if !strings.Contains(v.Reason, "not better") {
+		t.Fatalf("reason = %q, want a not-better rejection", v.Reason)
+	}
+	for _, b := range v.Buckets {
+		if b.IncScore != b.CandScore {
+			t.Fatalf("bucket %s: identical models scored %v vs %v — the replay is not deterministic",
+				b.Bucket, b.IncScore, b.CandScore)
+		}
+		if b.Better || b.Worse {
+			t.Fatalf("bucket %s flagged better=%v worse=%v for identical models", b.Bucket, b.Better, b.Worse)
+		}
+	}
+}
+
+// Dominance is antisymmetric: between a collapse policy (u=-1, cwnd pinned
+// to the floor) and a hold policy (u=0), whichever direction promotes, the
+// reverse direction must reject with a regression — and it is the hold
+// policy that wins, since it delivers strictly more at the same minimal
+// delay in every bucket.
+func TestGateDominanceDirection(t *testing.T) {
+	collapse, hold := constModel(-1), constModel(0)
+	scenes := gateScenes(2 * sim.Second)
+	cfg := promote.GateConfig{Buckets: scenes, RelTol: 1e-9, AbsTol: 1e-9}
+
+	up := promote.RunGate(collapse, hold, cfg)
+	if !up.Promote {
+		t.Fatalf("hold policy not promoted over collapse policy: %s", up.Reason)
+	}
+	for _, b := range up.Buckets {
+		if !b.Better {
+			t.Fatalf("bucket %s not better for the hold policy: %+v", b.Bucket, b)
+		}
+	}
+
+	down := promote.RunGate(hold, collapse, cfg)
+	if down.Promote {
+		t.Fatalf("collapse policy promoted over hold policy: %s", down.Reason)
+	}
+	if !strings.Contains(down.Reason, "regresses") {
+		t.Fatalf("reason = %q, want a regression rejection", down.Reason)
+	}
+}
+
+// Dominance, not the mean: a candidate that wins one bucket but regresses
+// in another is rejected even if its average is higher. The per-bucket
+// margin test is synthesized by checking the verdict plumbing directly:
+// any Worse bucket vetoes, regardless of Better buckets elsewhere.
+func TestGateWorseBucketVetoes(t *testing.T) {
+	collapse, hold := constModel(-1), constModel(0)
+	// One bucket where the candidate regresses is enough to reject, even
+	// though the other comparison would promote. Build an asymmetric
+	// verdict by gating hold-vs-collapse on one bucket list and checking
+	// its buckets carry the veto flags RunGate aggregates.
+	v := promote.RunGate(hold, collapse, promote.GateConfig{
+		Buckets: gateScenes(2 * sim.Second),
+		RelTol:  1e-9, AbsTol: 1e-9,
+	})
+	worse := 0
+	for _, b := range v.Buckets {
+		if b.Worse {
+			worse++
+		}
+	}
+	if worse == 0 || v.Promote {
+		t.Fatalf("collapse candidate: worse buckets=%d promote=%v, want vetoed", worse, v.Promote)
+	}
+
+	// Wide tolerance turns the same regression into "within margin": the
+	// candidate is no longer worse anywhere, but it is not better either —
+	// still rejected, just for the other reason.
+	v2 := promote.RunGate(hold, collapse, promote.GateConfig{
+		Buckets: gateScenes(2 * sim.Second),
+		RelTol:  1e-9, AbsTol: 1e9,
+	})
+	if v2.Promote {
+		t.Fatal("candidate inside an enormous margin was promoted")
+	}
+	if !strings.Contains(v2.Reason, "not better") {
+		t.Fatalf("reason = %q, want not-better once the margin swallows the gap", v2.Reason)
+	}
+}
+
+// A live shadow run that disagrees wildly with the replay verdict vetoes
+// the promotion: the gate cannot trust scores for a model that behaves
+// like a different policy on live traffic.
+func TestGateShadowDivergenceVetoes(t *testing.T) {
+	collapse, hold := constModel(-1), constModel(0)
+	sh := &promote.ShadowStats{Mirrored: 500, MeanAbsDiv: 1.7}
+	v := promote.RunGate(collapse, hold, promote.GateConfig{
+		Buckets: gateScenes(2 * sim.Second),
+		RelTol:  1e-9, AbsTol: 1e-9,
+		Shadow: sh, MaxShadowDivergence: 1.0,
+	})
+	if v.Promote {
+		t.Fatal("candidate promoted despite shadow divergence over the limit")
+	}
+	if !strings.Contains(v.Reason, "shadow divergence") {
+		t.Fatalf("reason = %q, want a shadow-divergence rejection", v.Reason)
+	}
+	if v.Shadow == nil || v.Shadow.MeanAbsDiv != 1.7 {
+		t.Fatal("verdict does not carry the shadow stats it judged")
+	}
+
+	// The same shadow under the limit does not veto.
+	ok := promote.RunGate(collapse, hold, promote.GateConfig{
+		Buckets: gateScenes(2 * sim.Second),
+		RelTol:  1e-9, AbsTol: 1e-9,
+		Shadow:              &promote.ShadowStats{Mirrored: 500, MeanAbsDiv: 0.4},
+		MaxShadowDivergence: 1.0,
+	})
+	if !ok.Promote {
+		t.Fatalf("in-limit shadow vetoed a dominating candidate: %s", ok.Reason)
+	}
+}
+
+// The gate emits an auditable JSONL bundle: one record per bucket plus the
+// verdict, machine-readable.
+func TestGateEmitsVerdictBundle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdict.jsonl")
+	j, err := telemetry.CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := promote.RunGate(constModel(-1), constModel(0), promote.GateConfig{
+		Buckets: gateScenes(2 * sim.Second),
+		RelTol:  1e-9, AbsTol: 1e-9,
+		Events: j,
+	})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var kinds []string
+	var gotVerdict bool
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec struct {
+			Kind    string `json:"kind"`
+			Bucket  string `json:"bucket"`
+			Verdict *struct {
+				Promote bool `json:"promote"`
+			} `json:"verdict"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		kinds = append(kinds, rec.Kind)
+		if rec.Kind == "gate_verdict" {
+			gotVerdict = true
+			if rec.Verdict == nil || rec.Verdict.Promote != v.Promote {
+				t.Fatalf("journaled verdict does not match the returned one")
+			}
+		}
+	}
+	if len(kinds) != len(v.Buckets)+1 || !gotVerdict {
+		t.Fatalf("bundle = %v, want %d bucket records plus a verdict", kinds, len(v.Buckets))
+	}
+}

@@ -1,0 +1,51 @@
+package promote_test
+
+import (
+	"sage/internal/core"
+	"sage/internal/gr"
+	"sage/internal/netem"
+	"sage/internal/nn"
+	"sage/internal/sim"
+)
+
+// constModel builds a policy whose action is the constant u regardless of
+// input: the head's weights are zeroed and every GMM component mean is set
+// to u (means are raw, logits uniform, so the mixture mean is exactly u).
+// Constant-action models make gate and lifecycle outcomes deterministic
+// and order cleanly: u = -1 collapses cwnd to the floor, u = 0 holds it,
+// positive u grows it.
+func constModel(u float64) *core.Model {
+	pol := nn.NewPolicy(nn.PolicyConfig{InDim: gr.StateDim, Enc: 8, Hidden: 8, ResBlocks: 1, K: 3, Seed: 1})
+	for _, p := range pol.Params() {
+		switch p.Name {
+		case "head.W":
+			for i := range p.Data {
+				p.Data[i] = 0
+			}
+		case "head.b":
+			for i := range p.Data {
+				p.Data[i] = 0
+			}
+			for k := 0; k < pol.GMM.K; k++ {
+				p.Data[pol.GMM.K+k] = u // the means block of [logits|means|logstds]
+			}
+		}
+	}
+	return &core.Model{Policy: pol, Mask: gr.MaskFull(), GR: gr.Config{}.Fill()}
+}
+
+// gateScenes is a cheap two-bucket suite for gate tests: same path, two
+// scenario-name families, short enough to replay four times per test.
+func gateScenes(dur sim.Time) []netem.Scenario {
+	mk := func(name string) netem.Scenario {
+		mrtt := 20 * sim.Millisecond
+		return netem.Scenario{
+			Name:       name,
+			Rate:       netem.FlatRate(netem.Mbps(24)),
+			MinRTT:     mrtt,
+			QueueBytes: netem.BDPBytes(netem.Mbps(24), mrtt),
+			Duration:   dur,
+		}
+	}
+	return []netem.Scenario{mk("flat-a"), mk("step-b")}
+}

@@ -1,0 +1,306 @@
+package promote_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"sage/internal/promote"
+)
+
+func TestRegistryStateMachine(t *testing.T) {
+	r, err := promote.OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, ok := r.Incumbent(); ok {
+		t.Fatal("fresh registry has an incumbent")
+	}
+	if _, _, err := r.LoadIncumbent(); err != promote.ErrNoIncumbent {
+		t.Fatalf("LoadIncumbent on empty registry = %v, want ErrNoIncumbent", err)
+	}
+
+	a, err := r.Publish(constModel(-1), promote.Meta{Provenance: "boot", TrainStep: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := r.Get(a); info.State != promote.StateCandidate || info.TrainStep != 100 {
+		t.Fatalf("published model = %+v, want a candidate at step 100", info)
+	}
+	if _, ok := r.Incumbent(); ok {
+		t.Fatal("a publish alone must not create an incumbent")
+	}
+
+	// Promote requires candidacy; double-promote and promote-after-reject
+	// are rejected.
+	if err := r.Promote(a, "bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(a, "again"); err == nil {
+		t.Fatal("promoting an incumbent succeeded")
+	}
+	if info, ok := r.Incumbent(); !ok || info.ID != a {
+		t.Fatalf("incumbent = %+v, want %s", info, a)
+	}
+
+	b, err := r.Publish(constModel(0), promote.Meta{Provenance: "trainer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rej, err := r.Publish(constModel(0.5), promote.Meta{Provenance: "trainer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reject(rej, "gate: regresses"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(rej, "sneak in"); err == nil {
+		t.Fatal("promoting a rejected model succeeded")
+	}
+	if err := r.Promote(b, "gate verdict"); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := r.Get(a); info.State != promote.StateRetired {
+		t.Fatalf("previous incumbent state = %s, want retired", info.State)
+	}
+
+	// Demote is one transaction: b out, a back in.
+	restored, err := r.Demote("watchdog: fallback ratio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != a {
+		t.Fatalf("demote restored %s, want %s", restored, a)
+	}
+	if info, _ := r.Get(b); info.State != promote.StateDemoted {
+		t.Fatalf("demoted model state = %s, want demoted", info.State)
+	}
+	if info, ok := r.Incumbent(); !ok || info.ID != a {
+		t.Fatalf("incumbent after demote = %+v, want %s", info, a)
+	}
+	// With only one promotion left there is nothing to fall back to.
+	if _, err := r.Demote("again"); err == nil {
+		t.Fatal("demoting with no previous incumbent succeeded")
+	}
+
+	// Duplicate ids are refused (same provenance + same weights = same
+	// derived id).
+	if _, err := r.Publish(constModel(-1), promote.Meta{Provenance: "boot"}); err == nil {
+		t.Fatal("duplicate publish succeeded")
+	}
+}
+
+// A restarted daemon must see exactly the state the journal recorded:
+// reopening replays publish/promote/reject/demote into the same machine.
+func TestRegistryReopenReplays(t *testing.T) {
+	dir := t.TempDir()
+	r, err := promote.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Publish(constModel(-1), promote.Meta{Provenance: "boot"})
+	b, _ := r.Publish(constModel(0), promote.Meta{Provenance: "trainer", TrainStep: 7})
+	if err := r.Promote(a, "bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(b, "gate"); err != nil {
+		t.Fatal(err)
+	}
+	fpB, _ := r.Get(b)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := promote.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	info, ok := r2.Incumbent()
+	if !ok || info.ID != b || info.Fingerprint != fpB.Fingerprint {
+		t.Fatalf("reopened incumbent = %+v, want %s (%s)", info, b, fpB.Fingerprint)
+	}
+	if got, _ := r2.Get(a); got.State != promote.StateRetired {
+		t.Fatalf("reopened %s state = %s, want retired", a, got.State)
+	}
+	m, minfo, err := r2.LoadIncumbent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minfo.ID != b || promote.Fingerprint(m) != fpB.Fingerprint {
+		t.Fatal("reopened incumbent checkpoint does not match its journaled fingerprint")
+	}
+}
+
+// Torn-tail recovery: for EVERY byte-length prefix of the journal — every
+// possible crash point, including mid-record tears — reopening succeeds
+// and never yields an incumbent that was not genuinely promoted by the
+// surviving prefix. A candidate must never be served because the promote
+// record was half-written.
+func TestRegistryJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	r, err := promote.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Publish(constModel(-1), promote.Meta{Provenance: "boot"})
+	b, _ := r.Publish(constModel(0), promote.Meta{Provenance: "trainer"})
+	c, _ := r.Publish(constModel(0.5), promote.Meta{Provenance: "trainer2"})
+	if err := r.Promote(a, "bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(b, "gate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reject(c, "gate"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Demote("watchdog"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	journal, err := os.ReadFile(filepath.Join(dir, promote.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := map[string]bool{a: true, b: true} // ever-promoted set
+
+	scratch := t.TempDir()
+	for n := 0; n <= len(journal); n++ {
+		sub := filepath.Join(scratch, "crash")
+		if err := os.RemoveAll(sub); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Join(sub, "models"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, promote.JournalName), journal[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rr, err := promote.OpenRegistry(sub)
+		if err != nil {
+			t.Fatalf("prefix %d/%d bytes: reopen failed: %v", n, len(journal), err)
+		}
+		if info, ok := rr.Incumbent(); ok {
+			if !promoted[info.ID] {
+				t.Fatalf("prefix %d: incumbent %q was never promoted", n, info.ID)
+			}
+			if got, _ := rr.Get(info.ID); got.State != promote.StateIncumbent {
+				t.Fatalf("prefix %d: incumbent %s in state %s", n, info.ID, got.State)
+			}
+		}
+		// The tear is truncated on open: the repaired registry must accept
+		// new appends (the post-crash daemon keeps operating).
+		if _, err := rr.Publish(constModel(-0.25), promote.Meta{Provenance: "postcrash"}); err != nil {
+			t.Fatalf("prefix %d: post-recovery publish failed: %v", n, err)
+		}
+		rr.Close()
+	}
+}
+
+// A checkpoint whose bytes rotted on disk must surface a load error — the
+// journal alone saying "promoted" is not enough to serve it.
+func TestRegistryLoadCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	r, err := promote.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	id, err := r.Publish(constModel(0), promote.Meta{Provenance: "boot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Promote(id, "bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(r.ModelPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(r.ModelPath(id), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.LoadIncumbent(); err == nil {
+		t.Fatal("loading a corrupted checkpoint succeeded")
+	}
+}
+
+// Kill-during-promotion: a subprocess churns publish/promote/demote in a
+// tight loop and is SIGKILLed at an arbitrary point; the survivor registry
+// must reopen cleanly with a legitimately promoted incumbent (or none).
+// The fsync-per-append journal is what makes this hold for ANY kill point.
+func TestRegistryKillDuringPromotion(t *testing.T) {
+	if os.Getenv("PROMOTE_CHURN_DIR") != "" {
+		churnRegistry(os.Getenv("PROMOTE_CHURN_DIR"))
+		os.Exit(0) // unreachable: churnRegistry loops until killed
+	}
+	if testing.Short() {
+		t.Skip("subprocess kill test skipped in -short")
+	}
+
+	for round := 0; round < 3; round++ {
+		dir := t.TempDir()
+		cmd := exec.Command(os.Args[0], "-test.run=TestRegistryKillDuringPromotion")
+		cmd.Env = append(os.Environ(), "PROMOTE_CHURN_DIR="+dir)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Duration(50+70*round) * time.Millisecond)
+		cmd.Process.Signal(syscall.SIGKILL)
+		cmd.Wait()
+
+		r, err := promote.OpenRegistry(dir)
+		if err != nil {
+			t.Fatalf("round %d: reopen after SIGKILL: %v", round, err)
+		}
+		if info, ok := r.Incumbent(); ok {
+			m, got, err := r.LoadIncumbent()
+			if err != nil {
+				t.Fatalf("round %d: incumbent %s unloadable: %v", round, info.ID, err)
+			}
+			if promote.Fingerprint(m) != got.Fingerprint {
+				t.Fatalf("round %d: incumbent fingerprint mismatch", round)
+			}
+		}
+		r.Close()
+	}
+}
+
+// churnRegistry is the kill-test subprocess body: an endless
+// publish → promote → (sometimes) demote loop.
+func churnRegistry(dir string) {
+	r, err := promote.OpenRegistry(dir)
+	if err != nil {
+		os.Exit(1)
+	}
+	for i := 0; ; i++ {
+		u := float64(i%7)/10 - 0.3
+		id, err := r.Publish(constModel(u), promote.Meta{Provenance: "churn-" + strconv.Itoa(i)})
+		if err != nil {
+			os.Exit(1)
+		}
+		if i%3 != 2 {
+			if err := r.Promote(id, "churn"); err != nil {
+				os.Exit(1)
+			}
+		} else if err := r.Reject(id, "churn"); err != nil {
+			os.Exit(1)
+		}
+		if i%5 == 4 {
+			if _, err := r.Demote("churn"); err != nil {
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package promote
+
+import (
+	"math"
+	"sync"
+
+	"sage/internal/core"
+	"sage/internal/gr"
+	"sage/internal/telemetry"
+)
+
+// Shadow metric names.
+const (
+	MetricShadowObserved   = "shadow.observed"   // live decisions seen
+	MetricShadowMirrored   = "shadow.mirrored"   // decisions replayed on the candidate
+	MetricShadowFallbacks  = "shadow.fallbacks"  // live decisions that were safety no-ops
+	MetricShadowDivergence = "shadow.divergence" // histogram of |u_cand − u_live|
+)
+
+// ShadowConfig tunes the shadow evaluator.
+type ShadowConfig struct {
+	// Fraction of sessions mirrored onto the candidate, selected by a
+	// deterministic hash of the session id (default 1.0). Mirroring whole
+	// sessions — not individual requests — keeps the candidate's
+	// recurrent state coherent: a GRU fed every fourth observation of a
+	// flow tells you nothing about how it would actually run it.
+	Fraction float64
+	// Seed salts the session-selection hash so repeated shadow runs over
+	// the same ids can pick different subsets.
+	Seed int64
+	// MaxSessions bounds the candidate session pool (default 4096).
+	MaxSessions int
+	// Metrics receives the shadow.* series (nil costs nothing).
+	Metrics *telemetry.Registry
+}
+
+func (c ShadowConfig) fill() ShadowConfig {
+	if c.Fraction == 0 {
+		c.Fraction = 1.0
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 4096
+	}
+	return c
+}
+
+// RegimeDivergence aggregates candidate/incumbent action divergence for
+// one regime bucket.
+type RegimeDivergence struct {
+	N          int64   `json:"n"`
+	MeanAbsDiv float64 `json:"mean_abs_div"`
+	MaxAbsDiv  float64 `json:"max_abs_div"`
+}
+
+// ShadowStats is a point-in-time digest of the shadow run.
+type ShadowStats struct {
+	Observed   int64                       `json:"observed"`
+	Mirrored   int64                       `json:"mirrored"`
+	Fallbacks  int64                       `json:"fallbacks"`
+	MeanAbsDiv float64                     `json:"mean_abs_div"`
+	MaxAbsDiv  float64                     `json:"max_abs_div"`
+	PerRegime  map[string]RegimeDivergence `json:"per_regime,omitempty"`
+}
+
+// Shadow mirrors live serve.Engine decisions onto a candidate model in a
+// second session pool. It implements serve.ShadowObserver: the engine
+// hands it every decision *after* applying the incumbent's action, so the
+// candidate's output is recorded — divergence in action space, per-regime
+// aggregates — but can never reach a connection. Safe for concurrent use
+// (the engine's workers call Observe from multiple goroutines); the
+// candidate forward pass runs under one mutex, which is fine for the
+// mirrored fraction of traffic but is why the shadow pool is separate
+// from the serving hot path.
+type Shadow struct {
+	cfg   ShadowConfig
+	model *core.Model
+
+	mu        sync.Mutex
+	sessions  map[uint64]*shadowSess
+	regimes   map[uint64]string
+	stats     map[string]*regimeAcc
+	observed  int64
+	mirrored  int64
+	fallbacks int64
+	sumAbs    float64
+	maxAbs    float64
+	maskBuf   []float64
+	meanBuf   []float64
+}
+
+type shadowSess struct {
+	hidden []float64
+}
+
+type regimeAcc struct {
+	n      int64
+	sumAbs float64
+	maxAbs float64
+}
+
+// NewShadow builds a shadow evaluator for candidate cand.
+func NewShadow(cand *core.Model, cfg ShadowConfig) *Shadow {
+	return &Shadow{
+		cfg:      cfg.fill(),
+		model:    cand,
+		sessions: make(map[uint64]*shadowSess),
+		regimes:  make(map[uint64]string),
+		stats:    make(map[string]*regimeAcc),
+	}
+}
+
+// TagSession attributes session sid's subsequent decisions to a regime
+// bucket (e.g. the netem scenario family it is running under).
+func (s *Shadow) TagSession(sid uint64, regime string) {
+	s.mu.Lock()
+	s.regimes[sid] = regime
+	s.mu.Unlock()
+}
+
+// selected reports whether sid's session is in the mirrored fraction
+// (deterministic splitmix64 hash, so a session is either always mirrored
+// or never — its candidate hidden state stays coherent).
+func (s *Shadow) selected(sid uint64) bool {
+	if s.cfg.Fraction >= 1 {
+		return true
+	}
+	x := sid + 0x9e3779b97f4a7c15 + uint64(s.cfg.Seed)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < s.cfg.Fraction
+}
+
+// Observe implements serve.ShadowObserver. ratio is the multiplicative
+// cwnd action the incumbent actually applied; fallback marks safety
+// no-ops (non-finite state or a degraded session), which are counted but
+// not mirrored — the candidate would be judged on garbage input.
+func (s *Shadow) Observe(sid uint64, state []float64, ratio float64, fallback bool) {
+	s.cfg.Metrics.Counter(MetricShadowObserved).Inc()
+	if fallback {
+		s.cfg.Metrics.Counter(MetricShadowFallbacks).Inc()
+		s.mu.Lock()
+		s.observed++
+		s.fallbacks++
+		s.mu.Unlock()
+		return
+	}
+	if !s.selected(sid) {
+		s.mu.Lock()
+		s.observed++
+		s.mu.Unlock()
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observed++
+	sess, ok := s.sessions[sid]
+	if !ok {
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			for k := range s.sessions { // approximate eviction: drop one
+				delete(s.sessions, k)
+				break
+			}
+		}
+		sess = &shadowSess{hidden: s.model.Policy.InitHidden()}
+		s.sessions[sid] = sess
+	}
+	s.maskBuf = gr.ApplyMaskInto(s.maskBuf, state, s.model.Mask)
+	head, h, _ := s.model.Policy.Forward(s.maskBuf, sess.hidden)
+	sess.hidden = h
+	if cap(s.meanBuf) < s.model.Policy.GMM.K {
+		s.meanBuf = make([]float64, s.model.Policy.GMM.K)
+	}
+	// Deterministic mixture mean: the shadow never samples, so it cannot
+	// perturb any RNG the serving path owns.
+	uCand := s.model.Policy.GMM.MeanInto(head, s.meanBuf[:s.model.Policy.GMM.K])
+	uLive := math.Log2(ratio)
+	div := math.Abs(uCand - uLive)
+	if math.IsNaN(div) || math.IsInf(div, 0) {
+		return
+	}
+	s.mirrored++
+	s.sumAbs += div
+	if div > s.maxAbs {
+		s.maxAbs = div
+	}
+	s.cfg.Metrics.Counter(MetricShadowMirrored).Inc()
+	s.cfg.Metrics.Histogram(MetricShadowDivergence).Observe(div)
+	if regime, ok := s.regimes[sid]; ok {
+		acc := s.stats[regime]
+		if acc == nil {
+			acc = &regimeAcc{}
+			s.stats[regime] = acc
+		}
+		acc.n++
+		acc.sumAbs += div
+		if div > acc.maxAbs {
+			acc.maxAbs = div
+		}
+	}
+}
+
+// Stats snapshots the shadow run.
+func (s *Shadow) Stats() ShadowStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ShadowStats{
+		Observed:  s.observed,
+		Mirrored:  s.mirrored,
+		Fallbacks: s.fallbacks,
+		MaxAbsDiv: s.maxAbs,
+	}
+	if s.mirrored > 0 {
+		out.MeanAbsDiv = s.sumAbs / float64(s.mirrored)
+	}
+	if len(s.stats) > 0 {
+		out.PerRegime = make(map[string]RegimeDivergence, len(s.stats))
+		for regime, acc := range s.stats {
+			rd := RegimeDivergence{N: acc.n, MaxAbsDiv: acc.maxAbs}
+			if acc.n > 0 {
+				rd.MeanAbsDiv = acc.sumAbs / float64(acc.n)
+			}
+			out.PerRegime[regime] = rd
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package promote_test
+
+import (
+	"strings"
+	"testing"
+
+	"sage/internal/promote"
+)
+
+func TestWatchdogNoVerdictBelowMinDecisions(t *testing.T) {
+	w := promote.NewWatchdog(promote.WatchdogConfig{MinDecisions: 100, Consecutive: 1})
+	w.Arm(promote.WatchSample{Decisions: 1000, Fallbacks: 0, Trips: 0})
+	// 99 post-swap decisions, all fallbacks: terrible, but not yet a verdict.
+	if fire, _ := w.Observe(promote.WatchSample{Decisions: 1099, Fallbacks: 99}); fire {
+		t.Fatal("watchdog fired below MinDecisions")
+	}
+	if fire, _ := w.Observe(promote.WatchSample{Decisions: 1100, Fallbacks: 100}); !fire {
+		t.Fatal("watchdog silent once MinDecisions accrued")
+	}
+}
+
+func TestWatchdogConsecutiveStreak(t *testing.T) {
+	w := promote.NewWatchdog(promote.WatchdogConfig{MinDecisions: 10, Consecutive: 3})
+	w.Arm(promote.WatchSample{})
+	bad := promote.WatchSample{Decisions: 100, Fallbacks: 50}
+	if fire, _ := w.Observe(bad); fire {
+		t.Fatal("fired on first bad observation with Consecutive=3")
+	}
+	// A clean window in between resets the streak (cumulative rate dips
+	// back under the floor as healthy decisions accrue).
+	if fire, _ := w.Observe(promote.WatchSample{Decisions: 10000, Fallbacks: 50}); fire {
+		t.Fatal("fired on a clean observation")
+	}
+	bad2 := promote.WatchSample{Decisions: 10100, Fallbacks: 200}
+	bad3 := promote.WatchSample{Decisions: 10200, Fallbacks: 400}
+	bad4 := promote.WatchSample{Decisions: 10300, Fallbacks: 600}
+	if f1, _ := w.Observe(bad2); f1 {
+		t.Fatal("streak survived the clean window")
+	}
+	if f2, _ := w.Observe(bad3); f2 {
+		t.Fatal("fired one observation early")
+	}
+	f3, reason := w.Observe(bad4)
+	if !f3 {
+		t.Fatal("did not fire after three consecutive bad observations")
+	}
+	if !strings.Contains(reason, "fallback ratio") {
+		t.Fatalf("reason = %q, want a fallback-ratio verdict", reason)
+	}
+	if w.Armed() {
+		t.Fatal("watchdog still armed after firing")
+	}
+}
+
+// The baseline scales the limit: a fleet that already trips 10% of the
+// time only demotes when the new model doubles that, while a clean fleet
+// falls back to the absolute RateFloor.
+func TestWatchdogBaselineFactorAndFloor(t *testing.T) {
+	// Noisy baseline: 10% trips pre-swap. Post-swap 15% is within 2×.
+	w := promote.NewWatchdog(promote.WatchdogConfig{MinDecisions: 10, Consecutive: 1})
+	w.Arm(promote.WatchSample{Decisions: 1000, Trips: 100})
+	if fire, _ := w.Observe(promote.WatchSample{Decisions: 2000, Trips: 250}); fire {
+		t.Fatal("fired at 15% trips against a 10% baseline (limit 20%)")
+	}
+	if fire, reason := w.Observe(promote.WatchSample{Decisions: 3000, Trips: 700}); !fire {
+		t.Fatal("did not fire at 22.5% trips against a 10% baseline")
+	} else if !strings.Contains(reason, "trip rate") {
+		t.Fatalf("reason = %q, want a trip-rate verdict", reason)
+	}
+
+	// Clean baseline: zero trips. One stray trip in 1000 decisions is
+	// under the floor; 5% is over it.
+	w2 := promote.NewWatchdog(promote.WatchdogConfig{MinDecisions: 10, Consecutive: 1, RateFloor: 0.01})
+	w2.Arm(promote.WatchSample{Decisions: 5000})
+	if fire, _ := w2.Observe(promote.WatchSample{Decisions: 6000, Trips: 1}); fire {
+		t.Fatal("fired on a single stray trip under the rate floor")
+	}
+	if fire, _ := w2.Observe(promote.WatchSample{Decisions: 7000, Trips: 100}); !fire {
+		t.Fatal("did not fire at 5% trips over a clean baseline")
+	}
+}
+
+func TestWatchdogDisarmedIsSilent(t *testing.T) {
+	w := promote.NewWatchdog(promote.WatchdogConfig{MinDecisions: 1, Consecutive: 1})
+	if fire, _ := w.Observe(promote.WatchSample{Decisions: 1000, Fallbacks: 1000}); fire {
+		t.Fatal("an unarmed watchdog fired")
+	}
+	w.Arm(promote.WatchSample{})
+	w.Disarm()
+	if fire, _ := w.Observe(promote.WatchSample{Decisions: 1000, Fallbacks: 1000}); fire {
+		t.Fatal("a disarmed watchdog fired")
+	}
+}

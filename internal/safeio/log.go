@@ -19,8 +19,13 @@ import (
 // acknowledged.
 //
 // Payloads must not contain newlines (JSON objects qualify).
+//
+// The file is opened O_APPEND, so several processes may append to one log
+// concurrently (each record is a single write syscall); a reader following
+// the log with ReplayFrom sees every writer's records in commit order.
 type AppendLog struct {
-	f *os.File
+	f       *os.File
+	openOff int64 // end of the last intact record at open time
 }
 
 // OpenAppendLog opens (creating if absent) the log at path, streams
@@ -28,7 +33,7 @@ type AppendLog struct {
 // anything after the last intact record, and returns the log positioned
 // for appending along with the number of records replayed.
 func OpenAppendLog(path string, replay func(payload []byte)) (*AppendLog, int, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -66,7 +71,47 @@ func OpenAppendLog(path string, replay func(payload []byte)) (*AppendLog, int, e
 		f.Close()
 		return nil, 0, err
 	}
-	return &AppendLog{f: f}, replayed, nil
+	return &AppendLog{f: f, openOff: int64(valid)}, replayed, nil
+}
+
+// Offset returns the byte offset just past the last intact record replayed
+// at open time — the position ReplayFrom continues from.
+func (l *AppendLog) Offset() int64 { return l.openOff }
+
+// ReplayFrom streams every intact record that starts at or after byte
+// offset off to replay and returns the offset just past the last one. It
+// stops (without error) at a torn or in-flight tail, so a live reader can
+// follow a log other processes are appending to: calling it again later
+// with the returned offset picks up exactly the new records.
+func (l *AppendLog) ReplayFrom(off int64, replay func(payload []byte)) (int64, error) {
+	fi, err := l.f.Stat()
+	if err != nil {
+		return off, err
+	}
+	if fi.Size() <= off {
+		return off, nil
+	}
+	buf := make([]byte, fi.Size()-off)
+	if _, err := l.f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return off, err
+	}
+	rest := buf
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break
+		}
+		payload, ok := checkRecord(rest[:nl])
+		if !ok {
+			break
+		}
+		if replay != nil {
+			replay(payload)
+		}
+		off += int64(nl + 1)
+		rest = rest[nl+1:]
+	}
+	return off, nil
 }
 
 // checkRecord splits "<crc32-hex> <payload>" and verifies the checksum.

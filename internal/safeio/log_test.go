@@ -123,3 +123,114 @@ func TestAppendLogRejectsNewlines(t *testing.T) {
 		t.Fatal("newline payload accepted")
 	}
 }
+
+// ReplayFrom follows a log another handle is appending to: each call picks
+// up exactly the records committed since the returned offset, and a torn
+// tail pauses the reader without error until the record completes.
+func TestAppendLogReplayFromFollowsWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	writer, _, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	reader, _, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+
+	off := reader.Offset()
+	if off != 0 {
+		t.Fatalf("fresh log offset = %d", off)
+	}
+	if err := writer.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	off, err = reader.ReplayFrom(off, func(p []byte) { got = append(got, string(p)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("first follow replayed %v", got)
+	}
+
+	// Nothing new: same offset, no records.
+	got = nil
+	off2, err := reader.ReplayFrom(off, func(p []byte) { got = append(got, string(p)) })
+	if err != nil || off2 != off || len(got) != 0 {
+		t.Fatalf("idle follow: off %d->%d records %v err %v", off, off2, got, err)
+	}
+
+	// A torn in-flight record (no newline yet) pauses the reader...
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef par"); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	off3, err := reader.ReplayFrom(off, func(p []byte) { got = append(got, string(p)) })
+	if err != nil || off3 != off || len(got) != 0 {
+		t.Fatalf("torn follow: off %d->%d records %v err %v", off, off3, got, err)
+	}
+	f.Close()
+
+	// The reader never advances past the tear, so once it is repaired (a
+	// fresh open truncates it) new appends flow again from that offset.
+	reader.Close()
+	writer.Close()
+	repaired, n, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repaired.Close()
+	if n != 2 {
+		t.Fatalf("repaired log replayed %d records, want 2", n)
+	}
+	if err := repaired.Append([]byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if _, err := repaired.ReplayFrom(off, func(p []byte) { got = append(got, string(p)) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "three" {
+		t.Fatalf("post-repair follow replayed %v", got)
+	}
+}
+
+// Two handles appending to one log (two processes sharing a registry
+// journal) interleave without clobbering: O_APPEND sends every record to
+// the true end of file.
+func TestAppendLogMultiHandleAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	a, _, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Append([]byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	b.Close()
+	log, got := replayAll(t, path)
+	log.Close()
+	if len(got) != 10 {
+		t.Fatalf("interleaved appends left %d records, want 10: %v", len(got), got)
+	}
+}

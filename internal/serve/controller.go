@@ -43,5 +43,12 @@ func (c *Controller) Control(now sim.Time, conn *tcp.Conn, state []float64) {
 func (c *Controller) FlushBatch(now sim.Time) { c.eng.Flush(now) }
 
 // Reset clears this flow's recurrent state (guard re-admission, or reuse
-// across runs).
+// across runs). It also clears the hot-swap degraded pin, so a guardian
+// restore after a swap re-admits the flow against the current model.
 func (c *Controller) Reset() { c.eng.ResetSession(c.sid) }
+
+// Degraded reports that a hot-swap failed to migrate this flow's recurrent
+// state (re-priming produced non-finite values) and the session is pinned
+// to fallback decisions. guard.GuardedController polls this and trips such
+// a flow to its heuristic path.
+func (c *Controller) Degraded() bool { return c.eng.SessionDegraded(c.sid) }

@@ -1,0 +1,93 @@
+package serve_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sage/internal/serve"
+	"sage/internal/sim"
+	"sage/internal/telemetry"
+)
+
+// Close racing the synchronous Enqueue/Flush path and the async Decide
+// path must drain cleanly: no session is released while a flush is
+// consuming it, post-close calls are no-ops, and nothing panics. The
+// -race build of this test is the regression fence for the drain path.
+func TestEngineCloseRacesEnqueueAndDecide(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		pol := testPolicy(int64(100 + round))
+		reg := telemetry.NewRegistry()
+		eng := serve.NewEngine(serve.Config{
+			Policy:        pol,
+			MaxBatch:      16,
+			BatchDeadline: 20 * time.Microsecond,
+			Workers:       2,
+			Metrics:       reg,
+		})
+		eng.Start()
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+
+		// The engine's one synchronous caller: Enqueue+Flush in a loop.
+		// (Flush is not safe for concurrent use — exactly one goroutine
+		// drives it, as rollout's sim thread would.)
+		syncIDs := make([]uint64, 4)
+		for i := range syncIDs {
+			syncIDs[i] = eng.NewSessionID()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(round)))
+			conn := benchConn(t)
+			<-start
+			for i := 0; i < 500; i++ {
+				eng.Enqueue(syncIDs[i%4], conn, randState(rng))
+				if i%3 == 0 {
+					eng.Flush(sim.Time(i) * sim.Millisecond)
+				}
+			}
+			eng.Flush(sim.Second)
+		}()
+
+		// Async clients hammering Decide across the close.
+		for f := 0; f < 4; f++ {
+			wg.Add(1)
+			go func(f int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000 + f)))
+				sid := eng.NewSessionID()
+				<-start
+				for i := 0; i < 500; i++ {
+					if _, _, err := eng.Decide(sid, 50, randState(rng)); err != nil {
+						if err == serve.ErrClosed {
+							return // expected once the close lands
+						}
+						t.Errorf("flow %d: %v", f, err)
+						return
+					}
+				}
+			}(f)
+		}
+
+		close(start)
+		time.Sleep(time.Duration(round) * 300 * time.Microsecond)
+		eng.Close()
+		wg.Wait()
+
+		// Post-close, every entry point is a harmless no-op.
+		conn := benchConn(t)
+		eng.Enqueue(99, conn, randState(rand.New(rand.NewSource(1)))) // must not panic or deadlock
+		eng.Flush(sim.Second)
+		if _, _, err := eng.Decide(99, 50, randState(rand.New(rand.NewSource(2)))); err != serve.ErrClosed {
+			t.Fatalf("post-close Decide err = %v, want ErrClosed", err)
+		}
+		if _, err := eng.Swap(pol, nil); err != serve.ErrSwapClosed {
+			t.Fatalf("post-close Swap err = %v, want ErrSwapClosed", err)
+		}
+		eng.Close() // idempotent
+	}
+}

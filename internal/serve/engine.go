@@ -40,7 +40,20 @@ const (
 	MetricSessOpened  = "serve.sessions_opened"
 	MetricSessEvicted = "serve.sessions_evicted"
 	MetricSessReset   = "serve.sessions_reset"
+	MetricSwaps       = "serve.swaps"
+	MetricReprimed    = "serve.swap_reprimed"
+	MetricSwapDegrade = "serve.swap_degraded"
 )
+
+// ShadowObserver mirrors served decisions to a candidate model without
+// affecting them: the engine calls Observe after each decision is final
+// (internal/promote's shadow evaluator implements this). state is the raw
+// (unmasked) observation and is only valid for the duration of the call;
+// ratio is the cwnd multiplier the incumbent actually applied. Observe runs
+// on the engine's batch path and must not block.
+type ShadowObserver interface {
+	Observe(sid uint64, state []float64, ratio float64, fallback bool)
+}
 
 // Config tunes an Engine. The zero value of every field but Policy is
 // usable.
@@ -72,6 +85,14 @@ type Config struct {
 	// Workers is the async forward-pass pool size (default GOMAXPROCS).
 	Workers int
 
+	// ReprimeWindow is how many recent decided states each session retains
+	// for hot-swap hidden-state migration (default 8): Swap replays the
+	// window through the incoming model so a long-lived flow's recurrent
+	// state reflects its recent behaviour instead of restarting cold.
+	// Negative disables retention (swapped sessions restart from a fresh
+	// hidden state).
+	ReprimeWindow int
+
 	// Metrics, when non-nil, receives the serve.* counters above.
 	Metrics *telemetry.Registry
 }
@@ -95,6 +116,11 @@ func (c Config) fill() Config {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.ReprimeWindow == 0 {
+		c.ReprimeWindow = 8
+	} else if c.ReprimeWindow < 0 {
+		c.ReprimeWindow = 0
+	}
 	return c
 }
 
@@ -109,6 +135,53 @@ type session struct {
 	stateBuf []float64
 	busy     bool // one outstanding async request per session
 	elem     *list.Element
+
+	// window is a ring of the last Config.ReprimeWindow raw states that
+	// produced a policy decision, oldest first from window[wpos]: the trace
+	// Swap replays through an incoming model to migrate this session's
+	// recurrent state. Fallback decisions are excluded — they never touched
+	// the hidden state.
+	window [][]float64
+	wpos   int
+
+	// degraded pins the session to fallback decisions (ratio 1) after a
+	// hot-swap re-prime produced non-finite hidden state. Cleared by
+	// ResetSession, so a guard trip/restore cycle re-admits the flow
+	// against the new model from a fresh hidden state.
+	degraded bool
+}
+
+// recordWindow appends a decided state to the re-prime ring (copying it).
+func (s *session) recordWindow(state []float64, limit int) {
+	if limit <= 0 {
+		return
+	}
+	if len(s.window) < limit {
+		s.window = append(s.window, append([]float64(nil), state...))
+		return
+	}
+	dst := s.window[s.wpos]
+	if len(dst) != len(state) {
+		dst = make([]float64, len(state))
+	}
+	copy(dst, state)
+	s.window[s.wpos] = dst[:len(state)]
+	s.wpos = (s.wpos + 1) % limit
+}
+
+// windowOrdered returns the ring oldest-first (aliasing the ring's slices).
+func (s *session) windowOrdered() [][]float64 {
+	if s.wpos == 0 {
+		return s.window
+	}
+	out := make([][]float64, 0, len(s.window))
+	out = append(out, s.window[s.wpos:]...)
+	return append(out, s.window[:s.wpos]...)
+}
+
+func (s *session) clearWindow() {
+	s.window = s.window[:0]
+	s.wpos = 0
 }
 
 // pendingDecision is one enqueued synchronous decision.
@@ -138,6 +211,7 @@ type batchBuf struct {
 	meanBuf        []float64
 	flags          []bool // per-row fallback flags
 	rng            *rand.Rand
+	gen            uint64 // swap generation the scratch was built for
 }
 
 // Engine multiplexes flows onto shared batched forward passes.
@@ -152,6 +226,14 @@ type Engine struct {
 	nextID atomic.Uint64
 
 	syncBuf batchBuf // synchronous Flush path (single caller: the sim loop)
+
+	// polMu guards the hot-swappable parts of cfg (Policy, Mask) plus the
+	// swap generation and shadow observer. forwardChunk snapshots them
+	// under a read lock; Swap mutates them only after draining every
+	// in-flight batch.
+	polMu   sync.RWMutex
+	swapGen uint64
+	shadow  ShadowObserver
 
 	// Async machinery (Start/Decide/Close).
 	closeMu sync.RWMutex
@@ -225,8 +307,11 @@ func (e *Engine) evictLocked() bool {
 }
 
 // ResetSession clears a session's recurrent state (between flows, or when
-// the runtime guardian re-admits the policy). A session that was evicted
-// or never used is a no-op: it would start fresh anyway.
+// the runtime guardian re-admits the policy). It also clears the hot-swap
+// degraded pin and the re-prime trace window, so a flow the guardian
+// re-admits after a swap starts cleanly against the *current* model rather
+// than replaying state from before its fallback episode. A session that
+// was evicted or never used is a no-op: it would start fresh anyway.
 func (e *Engine) ResetSession(id uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -234,8 +319,30 @@ func (e *Engine) ResetSession(id uint64) {
 		for i := range s.hidden {
 			s.hidden[i] = 0
 		}
+		s.degraded = false
+		s.clearWindow()
 		e.cfg.Metrics.Counter(MetricSessReset).Inc()
 	}
+}
+
+// SessionDegraded reports whether a hot-swap left this session pinned to
+// fallback decisions (re-priming its hidden state produced non-finite
+// values). The runtime guardian polls this to trip such flows to the
+// heuristic path; ResetSession clears the pin.
+func (e *Engine) SessionDegraded(id uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[id]
+	return ok && s.degraded
+}
+
+// SetShadow installs (or, with nil, removes) a shadow observer that sees
+// every subsequent decision. Safe to call while the engine is serving; the
+// observer must not mutate the state slice it is handed.
+func (e *Engine) SetShadow(obs ShadowObserver) {
+	e.polMu.Lock()
+	e.shadow = obs
+	e.polMu.Unlock()
 }
 
 // CloseSession frees a session's resident state.
@@ -261,8 +368,15 @@ func (e *Engine) Sessions() int {
 
 // Enqueue records that session id's flow wants a decision on state this
 // interval; the decision is computed and applied (SetCwnd + Kick) by the
-// next Flush, in enqueue order. The state slice is copied.
+// next Flush, in enqueue order. The state slice is copied. An Enqueue that
+// races with Close is a no-op: a draining engine accepts no new work, and
+// the session is left idle so CloseSession can release it.
 func (e *Engine) Enqueue(id uint64, conn *tcp.Conn, state []float64) {
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return
+	}
 	e.mu.Lock()
 	s := e.sessionLocked(id)
 	if cap(s.stateBuf) < len(state) {
@@ -272,6 +386,7 @@ func (e *Engine) Enqueue(id uint64, conn *tcp.Conn, state []float64) {
 	copy(s.stateBuf, state)
 	e.pending = append(e.pending, pendingDecision{sess: s, conn: conn})
 	e.mu.Unlock()
+	e.closeMu.RUnlock()
 }
 
 // Flush runs the batched forward pass over everything enqueued since the
@@ -309,33 +424,44 @@ func (e *Engine) Flush(now sim.Time) {
 }
 
 // forwardChunk runs one batched pass over chunk and hands each row's cwnd
-// ratio to apply, in order. Fallback rows (non-finite state or action)
-// get ratio 1.0 and keep their previous hidden state.
+// ratio to apply, in order. Fallback rows (non-finite state or action, or a
+// session degraded by a failed hot-swap re-prime) get ratio 1.0 and keep
+// their previous hidden state.
 func (e *Engine) forwardChunk(chunk []pendingDecision, buf *batchBuf, apply func(i int, ratio float64)) {
+	e.polMu.RLock()
+	pol, mask, gen, shadow := e.cfg.Policy, e.cfg.Mask, e.swapGen, e.shadow
+	e.polMu.RUnlock()
+	if buf.gen != gen {
+		// A hot-swap replaced the policy since this buffer last ran: its
+		// scratch set and GMM mean buffer are sized for the old network.
+		buf.scratch = pol.NewBatchScratch()
+		buf.meanBuf = make([]float64, pol.GMM.K)
+		buf.gen = gen
+	}
 	n := len(chunk)
-	inDim := len(e.cfg.Mask)
+	inDim := len(mask)
 	hDim := len(chunk[0].sess.hidden)
 	buf.states.Reset(n, inDim)
 	buf.hidden.Reset(n, hDim)
 	fallback := buf.ensureFlags(n)
 	for i, p := range chunk {
-		fallback[i] = !finiteVec(p.sess.stateBuf)
+		fallback[i] = p.sess.degraded || !finiteVec(p.sess.stateBuf)
 		if fallback[i] {
 			zero(buf.states.Row(i))
 		} else {
-			gr.ApplyMaskInto(buf.states.Row(i), p.sess.stateBuf, e.cfg.Mask)
+			gr.ApplyMaskInto(buf.states.Row(i), p.sess.stateBuf, mask)
 		}
 		buf.hidden.SetRow(i, p.sess.hidden)
 	}
-	heads, hNew := e.cfg.Policy.BatchForward(&buf.states, &buf.hidden, buf.scratch)
+	heads, hNew := pol.BatchForward(&buf.states, &buf.hidden, buf.scratch)
 	for i := range chunk {
 		ratio := 1.0
 		if !fallback[i] {
 			var u float64
 			if e.cfg.Stochastic {
-				u = e.cfg.Policy.GMM.Sample(heads.Row(i), buf.rng)
+				u = pol.GMM.Sample(heads.Row(i), buf.rng)
 			} else {
-				u = e.cfg.Policy.GMM.MeanInto(heads.Row(i), buf.meanBuf)
+				u = pol.GMM.MeanInto(heads.Row(i), buf.meanBuf)
 			}
 			r := rl.UToRatio(u)
 			if math.IsNaN(u) || math.IsNaN(r) || math.IsInf(r, 0) {
@@ -343,6 +469,7 @@ func (e *Engine) forwardChunk(chunk []pendingDecision, buf *batchBuf, apply func
 			} else {
 				ratio = r
 				copy(chunk[i].sess.hidden, hNew.Row(i))
+				chunk[i].sess.recordWindow(chunk[i].sess.stateBuf, e.cfg.ReprimeWindow)
 			}
 		}
 		if fallback[i] {
@@ -350,6 +477,9 @@ func (e *Engine) forwardChunk(chunk []pendingDecision, buf *batchBuf, apply func
 		}
 		e.cfg.Metrics.Counter(MetricDecisions).Inc()
 		apply(i, ratio)
+		if shadow != nil {
+			shadow.Observe(chunk[i].sess.id, chunk[i].sess.stateBuf, ratio, fallback[i])
+		}
 	}
 	e.cfg.Metrics.Counter(MetricBatches).Inc()
 	e.cfg.Metrics.Histogram(MetricBatchSize).Observe(float64(n))
@@ -484,9 +614,12 @@ func (e *Engine) worker(buf batchBuf) {
 }
 
 // Close drains the async path: queued and in-flight decisions complete,
-// then the dispatcher and workers exit. Decide afterwards returns
-// ErrClosed. Safe to call multiple times; a never-Started engine just
-// flips the closed flag.
+// then the dispatcher and workers exit. Decide afterwards returns ErrClosed
+// and Enqueue becomes a no-op. Synchronous decisions enqueued but never
+// flushed are dropped and their sessions released (not left pinned to a
+// stale pending entry), so a drain that races a flow mid-Enqueue still
+// lets CloseSession free everything. Safe to call multiple times; a
+// never-Started engine just flips the closed flag.
 func (e *Engine) Close() {
 	e.closeMu.Lock()
 	if e.closed {
@@ -502,6 +635,12 @@ func (e *Engine) Close() {
 	if started {
 		e.wg.Wait()
 	}
+	// No Enqueue can be mid-flight here (Enqueue holds closeMu.RLock for
+	// its full critical section), so dropping the backlog under e.mu is
+	// race-free.
+	e.mu.Lock()
+	e.pending = nil
+	e.mu.Unlock()
 }
 
 func finiteVec(xs []float64) bool {

@@ -29,6 +29,13 @@ const (
 	OpDecide       = 1
 	OpReset        = 2
 	OpCloseSession = 3
+	// OpSwap asks the daemon to hot-swap its serving model. Body: u16(BE)
+	// length + model id bytes (empty id = reload the registry incumbent).
+	// The response msg carries a human-readable swap report.
+	OpSwap = 4
+	// OpStatus asks for the daemon's lifecycle status. Empty body; the
+	// response msg carries a JSON status document.
+	OpStatus = 5
 
 	StatusOK       = 0 // decision served from the policy
 	StatusFallback = 1 // decision served, but as a safety no-op (ratio 1)
@@ -95,6 +102,15 @@ func appendSessionRequest(b []byte, op byte, sid uint64) []byte {
 	return binary.BigEndian.AppendUint64(b, sid)
 }
 
+// appendControlRequest encodes an OpSwap / OpStatus payload (the session id
+// field is unused and zero; arg is the model id for OpSwap).
+func appendControlRequest(b []byte, op byte, arg string) []byte {
+	b = append(b, ProtoVersion, op)
+	b = binary.BigEndian.AppendUint64(b, 0)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(arg)))
+	return append(b, arg...)
+}
+
 // appendResponse encodes a response payload.
 func appendResponse(b []byte, status byte, cwnd float64, msg string) []byte {
 	b = append(b, ProtoVersion, status)
@@ -110,6 +126,7 @@ type decodedRequest struct {
 	SID   uint64
 	Cwnd  float64
 	State []float64
+	Arg   string // OpSwap model id
 }
 
 // parseRequest decodes a request payload; stateBuf is reused for the
@@ -127,6 +144,17 @@ func parseRequest(p []byte, stateBuf []float64) (decodedRequest, []float64, erro
 	p = p[10:]
 	switch req.Op {
 	case OpReset, OpCloseSession:
+		return req, stateBuf, nil
+	case OpSwap, OpStatus:
+		if len(p) < 2 {
+			return req, stateBuf, errors.New("serve: short control body")
+		}
+		n := int(binary.BigEndian.Uint16(p[:2]))
+		p = p[2:]
+		if len(p) != n {
+			return req, stateBuf, fmt.Errorf("serve: control arg len %d but %d payload bytes", n, len(p))
+		}
+		req.Arg = string(p)
 		return req, stateBuf, nil
 	case OpDecide:
 		if len(p) < 10 {
@@ -220,42 +248,83 @@ func (c *Client) CloseSession(sid uint64) error {
 	return statusErr(status, err)
 }
 
+// Swap asks the daemon to hot-swap its serving model. An empty id means
+// "reload the registry incumbent"; a specific id force-swaps that model
+// (the demotion watchdog still protects a bad forced swap). The returned
+// string is the daemon's human-readable swap report.
+func (c *Client) Swap(id string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendControlRequest(c.wbuf[:0], OpSwap, id)
+	_, status, msg, err := c.roundTripMsg()
+	if err != nil {
+		return msg, err
+	}
+	if status != StatusOK {
+		return msg, fmt.Errorf("serve: unexpected status %d", status)
+	}
+	return msg, nil
+}
+
+// Status returns the daemon's lifecycle status document (JSON).
+func (c *Client) Status() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendControlRequest(c.wbuf[:0], OpStatus, "")
+	_, status, msg, err := c.roundTripMsg()
+	if err != nil {
+		return msg, err
+	}
+	if status != StatusOK {
+		return msg, fmt.Errorf("serve: unexpected status %d", status)
+	}
+	return msg, nil
+}
+
 // Close closes the connection (server-side sessions persist until evicted
 // or explicitly closed).
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip() (float64, byte, error) {
+	cwnd, status, _, err := c.roundTripMsg()
+	return cwnd, status, err
+}
+
+func (c *Client) roundTripMsg() (float64, byte, string, error) {
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return 0, StatusError, err
+			return 0, StatusError, "", err
 		}
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	if err := writeFrame(c.conn, c.wbuf); err != nil {
-		return 0, StatusError, err
+		return 0, StatusError, "", err
 	}
 	p, err := readFrame(c.conn, c.rbuf)
 	if err != nil {
-		return 0, StatusError, err
+		return 0, StatusError, "", err
 	}
 	c.rbuf = p[:0]
 	if len(p) < 12 {
-		return 0, StatusError, errors.New("serve: short response")
+		return 0, StatusError, "", errors.New("serve: short response")
 	}
 	if p[0] != ProtoVersion {
-		return 0, StatusError, fmt.Errorf("serve: protocol version %d, want %d", p[0], ProtoVersion)
+		return 0, StatusError, "", fmt.Errorf("serve: protocol version %d, want %d", p[0], ProtoVersion)
 	}
 	status := p[1]
 	cwnd := math.Float64frombits(binary.BigEndian.Uint64(p[2:10]))
-	if status == StatusError {
-		msgLen := int(binary.BigEndian.Uint16(p[10:12]))
-		msg := "server error"
-		if 12+msgLen <= len(p) && msgLen > 0 {
-			msg = string(p[12 : 12+msgLen])
-		}
-		return cwnd, status, errors.New("serve: " + msg)
+	msgLen := int(binary.BigEndian.Uint16(p[10:12]))
+	msg := ""
+	if 12+msgLen <= len(p) && msgLen > 0 {
+		msg = string(p[12 : 12+msgLen])
 	}
-	return cwnd, status, nil
+	if status == StatusError {
+		if msg == "" {
+			msg = "server error"
+		}
+		return cwnd, status, msg, errors.New("serve: " + msg)
+	}
+	return cwnd, status, msg, nil
 }
 
 func statusErr(status byte, err error) error {

@@ -7,6 +7,18 @@ import (
 	"sync"
 )
 
+// Control handles the lifecycle verbs of the wire protocol (OpSwap,
+// OpStatus). The sage-serve daemon installs its promotion manager here;
+// a server without one rejects control requests.
+type Control interface {
+	// Swap hot-swaps the serving model. Empty id = reload the registry
+	// incumbent; otherwise the named registry model. Returns a
+	// human-readable report.
+	Swap(id string) (string, error)
+	// Status returns a JSON lifecycle status document.
+	Status() string
+}
+
 // Server exposes an Engine over a stream listener (a Unix domain socket
 // for the sage-serve daemon). Each client connection is handled by one
 // goroutine that decodes frames sequentially; concurrency across
@@ -15,10 +27,24 @@ type Server struct {
 	eng *Engine
 
 	mu     sync.Mutex
+	ctl    Control
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// SetControl installs the lifecycle handler for OpSwap/OpStatus.
+func (s *Server) SetControl(ctl Control) {
+	s.mu.Lock()
+	s.ctl = ctl
+	s.mu.Unlock()
+}
+
+func (s *Server) control() Control {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctl
 }
 
 // NewServer wraps an engine. The engine's async path is started on Serve.
@@ -161,6 +187,20 @@ func (s *Server) handle(conn net.Conn) {
 		case OpCloseSession:
 			s.eng.CloseSession(req.SID)
 			wbuf = appendResponse(wbuf[:0], StatusOK, 0, "")
+		case OpSwap:
+			if ctl := s.control(); ctl == nil {
+				wbuf = appendResponse(wbuf[:0], StatusError, 0, "no lifecycle control handler")
+			} else if report, err := ctl.Swap(req.Arg); err != nil {
+				wbuf = appendResponse(wbuf[:0], StatusError, 0, err.Error())
+			} else {
+				wbuf = appendResponse(wbuf[:0], StatusOK, 0, report)
+			}
+		case OpStatus:
+			if ctl := s.control(); ctl == nil {
+				wbuf = appendResponse(wbuf[:0], StatusError, 0, "no lifecycle control handler")
+			} else {
+				wbuf = appendResponse(wbuf[:0], StatusOK, 0, ctl.Status())
+			}
 		}
 		if writeFrame(conn, wbuf) != nil {
 			return
