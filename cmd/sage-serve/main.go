@@ -172,7 +172,18 @@ func run() int {
 		signal.Notify(hupCh, syscall.SIGHUP)
 		go func() {
 			for range hupCh {
-				report, err := ctl.Swap("")
+				// Registry mode syncs to the incumbent: a HUP with an
+				// unchanged incumbent is a no-op — it must not drain the
+				// engine, re-prime sessions, or arm the demotion watchdog
+				// the way an operator swap does. File mode has no registry
+				// to compare against, so it always reloads the file.
+				var report string
+				var err error
+				if mgr != nil {
+					report, err = mgr.SyncIncumbent()
+				} else {
+					report, err = ctl.Swap("")
+				}
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "sage-serve: SIGHUP swap:", err)
 					continue

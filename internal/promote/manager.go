@@ -95,6 +95,9 @@ func (m *Manager) Swap(id string) (string, error) {
 func (m *Manager) SyncIncumbent() (string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.cfg.Registry.Refresh(); err != nil {
+		return "", err // journal corruption must not be mistaken for "no change"
+	}
 	info, ok := m.cfg.Registry.Incumbent()
 	if !ok {
 		return "", ErrNoIncumbent

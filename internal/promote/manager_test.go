@@ -1,0 +1,98 @@
+package promote_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"sage/internal/promote"
+	"sage/internal/serve"
+	"sage/internal/telemetry"
+)
+
+// SyncIncumbent is the SIGHUP/boot path: when the registry incumbent is
+// unchanged it must be a pure no-op — no engine drain, no session
+// re-prime, and crucially no armed demotion watchdog that a post-HUP
+// traffic shift could trip against a stale baseline. Only an actual
+// incumbent change swaps (and arms).
+func TestSyncIncumbentNoChangeIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := promote.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	idA, err := reg.Publish(constModel(-0.5), promote.Meta{Provenance: "boot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote(idA, "bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+	served, info, err := reg.LoadIncumbent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := telemetry.NewRegistry()
+	eng := serve.NewEngine(serve.Config{
+		Policy: served.Policy, Mask: served.Mask,
+		MaxBatch: 8, BatchDeadline: 50 * time.Microsecond, Workers: 1,
+		Metrics: metrics,
+	})
+	eng.Start()
+	defer eng.Close()
+	mgr, err := promote.NewManager(promote.ManagerConfig{
+		Registry: reg, Engine: eng, Metrics: metrics,
+	}, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armed := func() bool {
+		t.Helper()
+		var doc struct {
+			Armed bool `json:"watchdog_armed"`
+		}
+		if err := json.Unmarshal([]byte(mgr.Status()), &doc); err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		return doc.Armed
+	}
+
+	report, err := mgr.SyncIncumbent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "already serving") {
+		t.Fatalf("no-change sync report = %q, want an already-serving no-op", report)
+	}
+	if got := metrics.Counter(promote.MetricLifecycleSwaps).Value(); got != 0 {
+		t.Fatalf("no-change sync performed %d engine swaps, want 0", got)
+	}
+	if armed() {
+		t.Fatal("no-change sync armed the demotion watchdog")
+	}
+
+	// A real incumbent change swaps and arms.
+	idB, err := reg.Publish(constModel(0.25), promote.Meta{Provenance: "trainer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote(idB, "gate passed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.SyncIncumbent(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Serving() != idB {
+		t.Fatalf("serving %s after incumbent change, want %s", mgr.Serving(), idB)
+	}
+	if got := metrics.Counter(promote.MetricLifecycleSwaps).Value(); got != 1 {
+		t.Fatalf("incumbent change performed %d swaps, want 1", got)
+	}
+	if !armed() {
+		t.Fatal("incumbent change did not arm the demotion watchdog")
+	}
+}

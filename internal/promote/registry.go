@@ -76,6 +76,11 @@ type Registry struct {
 	off     int64 // journal bytes folded into the state machine so far
 	models  map[string]*ModelInfo
 	lineage []string // promotion order; top (last) is the incumbent
+
+	// hookPreDemoteAppend, when non-nil, runs between Demote's refresh and
+	// its journal append — test seam for the cross-process race where a
+	// foreign promotion lands in that window.
+	hookPreDemoteAppend func()
 }
 
 // JournalName is the registry journal file name under the registry dir.
@@ -276,7 +281,12 @@ func (r *Registry) Reject(id, note string) error {
 
 // Demote reverts the current incumbent to the previous one in a single
 // journal transaction (one fsynced record flips both states), returning
-// the restored incumbent's id.
+// the restored incumbent's id. If a concurrent process promotes another
+// model between the refresh and the append, the demote record names a
+// model that is no longer the lineage top and the state machine drops it;
+// Demote verifies the transition actually applied and reports a conflict
+// error instead of claiming success, so the caller can retry against the
+// fresh state.
 func (r *Registry) Demote(note string) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -290,10 +300,32 @@ func (r *Registry) Demote(note string) (string, error) {
 	if n < 2 {
 		return "", fmt.Errorf("promote: no previous incumbent to fall back to")
 	}
-	if err := r.appendLocked(record{T: "demote", ID: r.lineage[n-1], Note: note}); err != nil {
+	victim := r.lineage[n-1]
+	if r.hookPreDemoteAppend != nil {
+		r.hookPreDemoteAppend()
+	}
+	if err := r.appendLocked(record{T: "demote", ID: victim, Note: note}); err != nil {
 		return "", err
 	}
+	if m, ok := r.models[victim]; !ok || m.State != StateDemoted {
+		top := "(none)"
+		if len(r.lineage) > 0 {
+			top = r.lineage[len(r.lineage)-1]
+		}
+		return "", fmt.Errorf("promote: demotion of %q lost to a concurrent promotion (incumbent is now %q); retry against the fresh state", victim, top)
+	}
 	return r.lineage[len(r.lineage)-1], nil
+}
+
+// Refresh folds journal records other processes appended since the last
+// read, surfacing journal corruption as an error. The read-only accessors
+// (Incumbent, Get, List) refresh best-effort and never fail; callers that
+// must not act on a stale view (a daemon reacting to SIGHUP) call Refresh
+// first.
+func (r *Registry) Refresh() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.refreshLocked()
 }
 
 // Incumbent returns the current incumbent's metadata (zero, false when

@@ -110,9 +110,23 @@ func NewShadow(cand *core.Model, cfg ShadowConfig) *Shadow {
 }
 
 // TagSession attributes session sid's subsequent decisions to a regime
-// bucket (e.g. the netem scenario family it is running under).
+// bucket (e.g. the netem scenario family it is running under). Tags are
+// capped at twice the session-pool bound and expire alongside it (a tag
+// whose session was evicted goes first), so tagging an unbounded stream
+// of session ids cannot leak; the per-regime stats map is bounded by the
+// number of distinct regime names, not by session count.
 func (s *Shadow) TagSession(sid uint64, regime string) {
 	s.mu.Lock()
+	if _, ok := s.regimes[sid]; !ok && len(s.regimes) >= 2*s.cfg.MaxSessions {
+		// At least half the tags have no live shadow session (the pool is
+		// capped at MaxSessions): evict one of those, never a live one.
+		for k := range s.regimes {
+			if _, live := s.sessions[k]; !live {
+				delete(s.regimes, k)
+				break
+			}
+		}
+	}
 	s.regimes[sid] = regime
 	s.mu.Unlock()
 }
@@ -162,6 +176,7 @@ func (s *Shadow) Observe(sid uint64, state []float64, ratio float64, fallback bo
 		if len(s.sessions) >= s.cfg.MaxSessions {
 			for k := range s.sessions { // approximate eviction: drop one
 				delete(s.sessions, k)
+				delete(s.regimes, k) // its regime tag must not outlive it
 				break
 			}
 		}

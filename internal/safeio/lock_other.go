@@ -1,0 +1,11 @@
+//go:build !unix
+
+package safeio
+
+import "os"
+
+// Non-unix platforms get no cross-process advisory locking; multi-process
+// log sharing is only supported where flock exists.
+func flockExclusive(*os.File) error { return nil }
+func flockShared(*os.File) error    { return nil }
+func flockUnlock(*os.File) error    { return nil }

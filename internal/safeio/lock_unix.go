@@ -1,0 +1,21 @@
+//go:build unix
+
+package safeio
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive blocks until f holds the exclusive advisory lock: no
+// other process holds any flock on the file, so it is quiescent — safe to
+// read its true tail and truncate a torn one.
+func flockExclusive(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_EX) }
+
+// flockShared blocks until f holds a shared advisory lock: appenders and
+// followers hold it concurrently with each other but never overlap an
+// exclusive holder's open/truncate window.
+func flockShared(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_SH) }
+
+// flockUnlock releases f's advisory lock.
+func flockUnlock(f *os.File) error { return syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }

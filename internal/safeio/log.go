@@ -2,6 +2,7 @@ package safeio
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -23,20 +24,41 @@ import (
 // The file is opened O_APPEND, so several processes may append to one log
 // concurrently (each record is a single write syscall); a reader following
 // the log with ReplayFrom sees every writer's records in commit order.
+// Cross-process safety rests on flock: every Append and ReplayFrom runs
+// under a shared lock, while OpenAppendLog's read-verify-truncate runs
+// under the exclusive lock — so an opener only ever truncates a tail the
+// file provably acquired from a crash, never bytes a live writer just
+// committed, and a follower never observes a half-written record.
 type AppendLog struct {
-	f       *os.File
-	openOff int64 // end of the last intact record at open time
+	f        *os.File
+	openOff  int64 // end of the last intact record at open time
+	writeErr error // sticky: a failed write may have torn the log mid-file
 }
+
+// ErrLogCorrupt marks a complete log record that failed its checksum: the
+// log is damaged (bit rot, foreign truncation, a torn middle), as opposed
+// to the benign half-written tail a live writer leaves mid-append.
+var ErrLogCorrupt = errors.New("log record failed its checksum")
 
 // OpenAppendLog opens (creating if absent) the log at path, streams
 // every intact record's payload to replay (which may be nil), truncates
 // anything after the last intact record, and returns the log positioned
 // for appending along with the number of records replayed.
+//
+// The verify-and-truncate runs under an exclusive flock, so it blocks
+// until no other process is mid-append and no other opener is mid-repair:
+// a torn tail seen under the lock is genuinely crash-left, and truncating
+// it can never delete a record another process's Append acknowledged.
 func OpenAppendLog(path string, replay func(payload []byte)) (*AppendLog, int, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("safeio: lock %s for open: %w", path, err)
+	}
+	defer flockUnlock(f)
 	raw, err := io.ReadAll(f)
 	if err != nil {
 		f.Close()
@@ -79,16 +101,28 @@ func OpenAppendLog(path string, replay func(payload []byte)) (*AppendLog, int, e
 func (l *AppendLog) Offset() int64 { return l.openOff }
 
 // ReplayFrom streams every intact record that starts at or after byte
-// offset off to replay and returns the offset just past the last one. It
-// stops (without error) at a torn or in-flight tail, so a live reader can
-// follow a log other processes are appending to: calling it again later
-// with the returned offset picks up exactly the new records.
+// offset off to replay and returns the offset just past the last one. A
+// half-written record at end of file is an in-flight append: ReplayFrom
+// stops there without error, and calling it again later with the returned
+// offset picks up exactly the new records — so a live reader can follow a
+// log other processes are appending to. A *complete* record that fails
+// its checksum, or an offset beyond end of file, is not in-flight: the
+// log (or this reader's offset) is damaged, and ReplayFrom reports a
+// wrapped ErrLogCorrupt so the caller can surface it and re-open rather
+// than silently stall forever.
 func (l *AppendLog) ReplayFrom(off int64, replay func(payload []byte)) (int64, error) {
+	if err := flockShared(l.f); err != nil {
+		return off, fmt.Errorf("safeio: lock log for replay: %w", err)
+	}
+	defer flockUnlock(l.f)
 	fi, err := l.f.Stat()
 	if err != nil {
 		return off, err
 	}
-	if fi.Size() <= off {
+	if fi.Size() < off {
+		return off, fmt.Errorf("safeio: log shrank below replay offset %d (size %d) — foreign truncation: %w", off, fi.Size(), ErrLogCorrupt)
+	}
+	if fi.Size() == off {
 		return off, nil
 	}
 	buf := make([]byte, fi.Size()-off)
@@ -99,11 +133,11 @@ func (l *AppendLog) ReplayFrom(off int64, replay func(payload []byte)) (int64, e
 	for len(rest) > 0 {
 		nl := bytes.IndexByte(rest, '\n')
 		if nl < 0 {
-			break
+			break // in-flight tail: a writer crashed (or died) mid-append
 		}
 		payload, ok := checkRecord(rest[:nl])
 		if !ok {
-			break
+			return off, fmt.Errorf("safeio: log record at offset %d: %w", off, ErrLogCorrupt)
 		}
 		if replay != nil {
 			replay(payload)
@@ -132,8 +166,15 @@ func checkRecord(line []byte) ([]byte, bool) {
 }
 
 // Append writes one record and syncs it to disk before returning: once
-// Append returns nil the record survives a crash.
+// Append returns nil the record survives a crash. It holds the shared
+// flock across the write, so an opener's truncate can never interleave
+// with (and delete) a record mid-commit. After a failed write the handle
+// is poisoned — the file may hold a torn middle that would corrupt every
+// later record, so the caller must re-open to repair before appending.
 func (l *AppendLog) Append(payload []byte) error {
+	if l.writeErr != nil {
+		return fmt.Errorf("safeio: log handle poisoned by earlier write failure (re-open to repair): %w", l.writeErr)
+	}
 	if bytes.IndexByte(payload, '\n') >= 0 {
 		return fmt.Errorf("safeio: log payload contains a newline")
 	}
@@ -141,7 +182,12 @@ func (l *AppendLog) Append(payload []byte) error {
 	rec = append(rec, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
 	rec = append(rec, payload...)
 	rec = append(rec, '\n')
+	if err := flockShared(l.f); err != nil {
+		return fmt.Errorf("safeio: lock log for append: %w", err)
+	}
+	defer flockUnlock(l.f)
 	if _, err := l.f.Write(rec); err != nil {
+		l.writeErr = err
 		return err
 	}
 	return l.f.Sync()

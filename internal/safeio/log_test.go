@@ -1,8 +1,11 @@
 package safeio
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -232,5 +235,145 @@ func TestAppendLogMultiHandleAppend(t *testing.T) {
 	log.Close()
 	if len(got) != 10 {
 		t.Fatalf("interleaved appends left %d records, want 10: %v", len(got), got)
+	}
+}
+
+// A complete record that fails its CRC is damage, not an in-flight tail:
+// ReplayFrom must surface it instead of silently stalling the follower at
+// that offset forever.
+func TestAppendLogReplayFromCorruptRecordErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	log, _, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	log.Append([]byte("alpha"))
+	log.Append([]byte("bravo"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x40 // flip a byte inside the second record
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	off, err := log.ReplayFrom(0, func(p []byte) { got = append(got, string(p)) })
+	if !errors.Is(err, ErrLogCorrupt) {
+		t.Fatalf("corrupt mid-log record: err = %v, want ErrLogCorrupt", err)
+	}
+	if len(got) != 1 || got[0] != "alpha" {
+		t.Fatalf("replayed %v before the corruption, want [alpha]", got)
+	}
+	// The returned offset points at the corrupt record, not past it.
+	if _, err := log.ReplayFrom(off, nil); !errors.Is(err, ErrLogCorrupt) {
+		t.Fatalf("retry at returned offset: err = %v, want ErrLogCorrupt", err)
+	}
+}
+
+// A foreign truncation that shrinks the log below a follower's offset is a
+// desync, not "nothing new": ReplayFrom must report it.
+func TestAppendLogReplayFromShrunkenLogErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	log, _, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	log.Append([]byte("one"))
+	log.Append([]byte("two"))
+	off, err := log.ReplayFrom(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, off/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.ReplayFrom(off, nil); !errors.Is(err, ErrLogCorrupt) {
+		t.Fatalf("shrunken log: err = %v, want ErrLogCorrupt", err)
+	}
+}
+
+// Regression for the open-vs-append race: re-opening a log (read, verify,
+// truncate) while other handles are mid-append must never delete a record
+// whose Append already returned nil. The flock discipline makes the
+// opener's verify-and-truncate mutually exclusive with appends; before it,
+// an opener could observe a half-written tail and truncate committed
+// fsynced bytes. Seeded with a crash-left torn tail so every reopen
+// genuinely exercises the truncation path.
+func TestAppendLogOpenConcurrentWithAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	seed, _, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Append([]byte("seed"))
+	seed.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("deadbeef torn") // crash-left tail, no newline
+	f.Close()
+
+	const writers, perWriter = 4, 50
+	var wgWriters, wgOpener sync.WaitGroup
+	stop := make(chan struct{})
+	wgOpener.Add(1)
+	go func() { // churn openers: each open repairs/verifies under the lock
+		defer wgOpener.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l, _, err := OpenAppendLog(path, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			l.Close()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wgWriters.Add(1)
+		go func(w int) {
+			defer wgWriters.Done()
+			l, _, err := OpenAppendLog(path, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer l.Close()
+			for i := 0; i < perWriter; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wgWriters.Wait()
+	close(stop)
+	wgOpener.Wait()
+
+	final, got := replayAll(t, path)
+	final.Close()
+	present := make(map[string]bool, len(got))
+	for _, p := range got {
+		present[p] = true
+	}
+	if !present["seed"] {
+		t.Fatal("seed record lost")
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if rec := fmt.Sprintf("w%d-%d", w, i); !present[rec] {
+				t.Fatalf("committed record %s was truncated away (%d records survive)", rec, len(got))
+			}
+		}
 	}
 }
