@@ -21,6 +21,13 @@
 // drain gracefully: queued decisions complete, clients are hung up, and
 // a final metrics snapshot is printed.
 //
+// Overload protection is on by default: a global in-flight admission cap
+// (-max-inflight, default 8× -max-batch) with explicit OVERLOAD replies,
+// a brownout degradation ladder evaluated every -overload-eval, a
+// per-decision -decision-budget, and a -max-conns accept cap (-overload=false
+// disables the layer). `sage-serve -socket … -health` probes the daemon's
+// health verb and exits 0 iff it is ready (full or shed-shadow service).
+//
 // Exit codes (the repo-wide daemon table):
 //
 //	0    clean exit
@@ -33,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,8 +77,18 @@ func run() int {
 		watchEvery  = flag.Duration("watchdog-interval", 2*time.Second, "demotion watchdog polling interval (registry mode)")
 		eventsPath  = flag.String("events", "", "append lifecycle events (swap/demote) to this JSONL file")
 		pprofAddr   = flag.String("pprof", "", "serve pprof + /debug/vars on this addr")
+
+		overload    = flag.Bool("overload", true, "enable overload admission control and the brownout ladder")
+		maxInflight = flag.Int("max-inflight", 0, "global in-flight decision cap (0 = 8x max-batch)")
+		decBudget   = flag.Duration("decision-budget", 250*time.Millisecond, "per-decision latency budget; sustained misses escalate brownout")
+		ovalEvery   = flag.Duration("overload-eval", 10*time.Millisecond, "brownout ladder evaluation window")
+		maxConns    = flag.Int("max-conns", 1024, "connection cap; excess accepts get a typed OVERLOAD reply (0 = unlimited)")
+		healthProbe = flag.Bool("health", false, "probe the daemon at -socket: print its health doc, exit 0 iff ready")
 	)
 	flag.Parse()
+	if *healthProbe {
+		return probeHealth(*socket)
+	}
 	if *modelPath != "" && *registryDir != "" {
 		fmt.Fprintln(os.Stderr, "sage-serve: -model and -registry are mutually exclusive")
 		return 2
@@ -129,6 +147,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "sage-serve: no -model given, serving a fresh untrained policy")
 	}
 
+	var ovCfg *serve.OverloadConfig
+	if *overload {
+		ovCfg = &serve.OverloadConfig{
+			MaxInflight:    *maxInflight,
+			DecisionBudget: *decBudget,
+			EvalInterval:   *ovalEvery,
+		}
+	}
 	eng := serve.NewEngine(serve.Config{
 		Policy:        pol,
 		Mask:          mask,
@@ -140,8 +166,10 @@ func run() int {
 		Workers:       *workers,
 		ReprimeWindow: *reprime,
 		Metrics:       reg,
+		Overload:      ovCfg,
 	})
 	srv := serve.NewServer(eng)
+	srv.MaxConns = *maxConns
 
 	// Lifecycle control: registry mode gets the full manager (watchdog,
 	// demotion); file mode gets a reload-from-path handler so SIGHUP and
@@ -232,6 +260,37 @@ func run() int {
 	os.Remove(*socket)
 	fmt.Fprintf(os.Stderr, "sage-serve: final metrics\n%s", reg)
 	return 130
+}
+
+// probeHealth is the -health client mode: one round trip to a running
+// daemon's health verb. The health doc prints to stdout either way; the
+// exit code makes it a readiness probe — 0 iff the daemon is reachable
+// and its brownout ladder is at full service or the shed-shadow rung
+// (still serving every admitted flow from the policy), 1 when it is
+// browned out, draining, or unreachable.
+func probeHealth(socket string) int {
+	cl, err := serve.DialTimeout(socket, 2*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sage-serve: health:", err)
+		return 1
+	}
+	defer cl.Close()
+	cl.SetTimeout(2 * time.Second)
+	doc, err := cl.Health()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sage-serve: health:", err)
+		return 1
+	}
+	fmt.Println(doc)
+	var h serve.Health
+	if err := json.Unmarshal([]byte(doc), &h); err != nil {
+		fmt.Fprintln(os.Stderr, "sage-serve: health:", err)
+		return 1
+	}
+	if !h.Ready() {
+		return 1
+	}
+	return 0
 }
 
 // modelExitCode classifies a model-loading failure per the exit-code

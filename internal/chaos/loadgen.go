@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sage/internal/serve"
+	"sage/internal/telemetry"
+)
+
+// LoadSpec describes a synthetic decision load against a sage-serve
+// daemon. The soak harness uses it to drive the serving plane at a
+// multiple of its measured capacity — optionally through a fault-injecting
+// Transport — and assert that overload is handled by explicit shedding
+// and brownout, never by crashes, unbounded memory, or silence.
+type LoadSpec struct {
+	// Dial opens one connection to the daemon. Wrap the returned conn in a
+	// chaos Transport here to soak the overload ladder under transport
+	// faults as well as raw load.
+	Dial func() (net.Conn, error)
+	// Conns is the number of concurrent client connections (one flow —
+	// one engine session — per connection).
+	Conns int
+	// Duration bounds the run.
+	Duration time.Duration
+	// Interval is each connection's gap between decisions; zero means a
+	// hot loop (each conn issues its next Decide as soon as the previous
+	// answer lands).
+	Interval time.Duration
+	// StateDim is the observation vector width the daemon's model expects.
+	StateDim int
+	// Seed makes the generated observation streams reproducible.
+	Seed int64
+	// HighPriFrac in [0,1] marks that leading fraction of connections as
+	// the high-priority class (served from the policy through brownout).
+	HighPriFrac float64
+	// Timeout bounds each round trip (default 2s). A timed-out connection
+	// is poisoned and counts an error; with Redial it reconnects.
+	Timeout time.Duration
+	// Redial reopens a connection after a transport error instead of
+	// retiring the worker — the right setting when soaking through a
+	// fault-injecting Transport.
+	Redial bool
+	// SessionBase offsets the session ids used by this run so consecutive
+	// runs against one daemon don't collide.
+	SessionBase uint64
+}
+
+// LoadStats aggregates one load run. Every Decide lands in exactly one of
+// OK/Fallback/Busy/Overload/Errors, so Sent == the sum of those five:
+// an overloaded server that answered with silence (a stall or an
+// unexplained hangup) shows up as Errors, and the soak harness asserts
+// that bucket stays at zero when only load (not transport chaos) is
+// applied.
+type LoadStats struct {
+	Sent     int64
+	OK       int64 // policy decision served
+	Fallback int64 // explicit safety/brownout fallback decision served
+	Busy     int64 // session already had a request in flight
+	Overload int64 // typed OVERLOAD rejection (request- or accept-time)
+	Errors   int64 // transport errors, timeouts, protocol violations
+	Redials  int64
+	// Latency is the per-call round-trip distribution in microseconds,
+	// successful answers only (OK/Fallback/Busy/Overload).
+	Latency *telemetry.Histogram
+}
+
+// RunLoad drives the load described by spec and blocks until Duration
+// elapses and every worker has retired.
+func RunLoad(spec LoadSpec) LoadStats {
+	if spec.Conns <= 0 {
+		spec.Conns = 1
+	}
+	if spec.StateDim <= 0 {
+		spec.StateDim = 1
+	}
+	if spec.Timeout == 0 {
+		spec.Timeout = 2 * time.Second
+	}
+	stats := LoadStats{Latency: telemetry.NewHistogram()}
+	highPri := int(spec.HighPriFrac * float64(spec.Conns))
+	deadline := time.Now().Add(spec.Duration)
+
+	var wg sync.WaitGroup
+	for i := 0; i < spec.Conns; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.Seed + int64(worker)))
+			sid := spec.SessionBase + uint64(worker) + 1
+			state := make([]float64, spec.StateDim)
+
+			connect := func() *serve.Client {
+				conn, err := spec.Dial()
+				if err != nil {
+					atomic.AddInt64(&stats.Errors, 1)
+					return nil
+				}
+				cl := serve.NewClient(conn)
+				cl.SetTimeout(spec.Timeout)
+				cl.SetHighPriority(worker < highPri)
+				return cl
+			}
+			cl := connect()
+			cwnd := 10.0
+			for time.Now().Before(deadline) {
+				if cl == nil {
+					if !spec.Redial {
+						return
+					}
+					time.Sleep(10 * time.Millisecond)
+					atomic.AddInt64(&stats.Redials, 1)
+					cl = connect()
+					continue
+				}
+				for j := range state {
+					state[j] = rng.Float64()
+				}
+				atomic.AddInt64(&stats.Sent, 1)
+				t0 := time.Now()
+				newCwnd, status, err := cl.Decide(sid, cwnd, state)
+				if err != nil {
+					atomic.AddInt64(&stats.Errors, 1)
+					cl.Close()
+					cl = nil // a failed round trip poisons the framing
+					continue
+				}
+				stats.Latency.Observe(float64(time.Since(t0).Microseconds()))
+				switch status {
+				case serve.StatusOK:
+					atomic.AddInt64(&stats.OK, 1)
+					cwnd = newCwnd
+				case serve.StatusFallback:
+					atomic.AddInt64(&stats.Fallback, 1)
+					cwnd = newCwnd
+				case serve.StatusBusy:
+					atomic.AddInt64(&stats.Busy, 1)
+				case serve.StatusOverload:
+					atomic.AddInt64(&stats.Overload, 1)
+					if ra := cl.RetryAfter(); ra > 0 {
+						// Honor the hint, but stay aggressive enough to
+						// keep pressure on (this is a load generator).
+						time.Sleep(min(ra, 20*time.Millisecond))
+					}
+				default:
+					atomic.AddInt64(&stats.Errors, 1)
+				}
+				if spec.Interval > 0 {
+					time.Sleep(spec.Interval)
+				}
+			}
+			if cl != nil {
+				cl.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return stats
+}
+
+// Answered returns the count of calls that got an explicit protocol
+// answer of any kind.
+func (s *LoadStats) Answered() int64 { return s.OK + s.Fallback + s.Busy + s.Overload }

@@ -1,0 +1,126 @@
+package chaos_test
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sage/internal/chaos"
+	"sage/internal/gr"
+	"sage/internal/nn"
+	"sage/internal/serve"
+)
+
+func startDaemon(t *testing.T, ov *serve.OverloadConfig, deadline time.Duration) (string, func()) {
+	t.Helper()
+	eng := serve.NewEngine(serve.Config{
+		Policy:        nn.NewPolicy(nn.PolicyConfig{InDim: gr.StateDim}),
+		MaxBatch:      32,
+		BatchDeadline: deadline,
+		Workers:       2,
+		Overload:      ov,
+	})
+	sock := filepath.Join(t.TempDir(), "sage.sock")
+	srv := serve.NewServer(eng)
+	go srv.ListenAndServe(sock)
+	for i := 0; ; i++ {
+		c, err := net.Dial("unix", sock)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if i > 200 {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return sock, srv.Shutdown
+}
+
+// A mini soak against a healthy daemon: every call is answered, nothing
+// is silently dropped, and the accounting identity holds.
+func TestRunLoadHealthy(t *testing.T) {
+	sock, stop := startDaemon(t, &serve.OverloadConfig{}, 200*time.Microsecond)
+	defer stop()
+
+	stats := chaos.RunLoad(chaos.LoadSpec{
+		Dial:     func() (net.Conn, error) { return net.Dial("unix", sock) },
+		Conns:    4,
+		Duration: 300 * time.Millisecond,
+		StateDim: gr.StateDim,
+		Seed:     1,
+	})
+	if stats.OK == 0 {
+		t.Fatalf("no successful decisions: %+v", stats)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("healthy daemon produced %d transport errors", stats.Errors)
+	}
+	if stats.Sent != stats.Answered() {
+		t.Fatalf("accounting: sent %d != answered %d", stats.Sent, stats.Answered())
+	}
+	if stats.Latency.Summary().Count == 0 {
+		t.Fatal("no latencies recorded")
+	}
+}
+
+// Shed-not-silence: a daemon squeezed to a single in-flight slot under
+// many hot-looping connections must answer every call explicitly — OK,
+// fallback, busy, or a typed OVERLOAD — with zero unexplained errors.
+func TestRunLoadOverloadedNeverSilent(t *testing.T) {
+	sock, stop := startDaemon(t, &serve.OverloadConfig{MaxInflight: 1}, 20*time.Millisecond)
+	defer stop()
+
+	stats := chaos.RunLoad(chaos.LoadSpec{
+		Dial:     func() (net.Conn, error) { return net.Dial("unix", sock) },
+		Conns:    8,
+		Duration: 500 * time.Millisecond,
+		StateDim: gr.StateDim,
+		Seed:     2,
+		Timeout:  5 * time.Second,
+	})
+	if stats.Overload == 0 {
+		t.Fatalf("squeezed daemon shed nothing: %+v", stats)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("overload produced %d silent/errored calls, want explicit answers only: %+v", stats.Errors, stats)
+	}
+	if stats.Sent != stats.Answered() {
+		t.Fatalf("accounting: sent %d != answered %d", stats.Sent, stats.Answered())
+	}
+}
+
+// The generator survives a fault-injecting transport by redialing, and the
+// run still terminates with the books balanced.
+func TestRunLoadThroughChaosTransport(t *testing.T) {
+	sock, stop := startDaemon(t, &serve.OverloadConfig{}, 200*time.Microsecond)
+	defer stop()
+
+	spec, err := chaos.ParseFaultSpec("seed=7,drop=0.05,delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := chaos.NewTransport(spec)
+	stats := chaos.RunLoad(chaos.LoadSpec{
+		Dial: func() (net.Conn, error) {
+			c, err := net.Dial("unix", sock)
+			if err != nil {
+				return nil, err
+			}
+			return tr.WrapConn(c), nil
+		},
+		Conns:    4,
+		Duration: 400 * time.Millisecond,
+		StateDim: gr.StateDim,
+		Seed:     3,
+		Timeout:  250 * time.Millisecond,
+		Redial:   true,
+	})
+	if stats.OK == 0 {
+		t.Fatalf("nothing served through the chaos transport: %+v", stats)
+	}
+	if stats.Sent != stats.Answered()+stats.Errors {
+		t.Fatalf("accounting: sent %d != answered %d + errors %d", stats.Sent, stats.Answered(), stats.Errors)
+	}
+}

@@ -128,22 +128,24 @@ type Event struct {
 
 // Trip/restore reasons.
 const (
-	ReasonBadState    = "non-finite state vector"
-	ReasonBadCwnd     = "non-finite cwnd after inference"
-	ReasonStall       = "sustained stall"
-	ReasonCollapse    = "cwnd collapse"
-	ReasonSwapReprime = "hot-swap re-prime failed"
-	KindTrip          = "trip"
-	KindRestore       = "restore"
-	MetricTrips       = "guard.trips"
-	MetricRestores    = "guard.restores"
-	MetricBadStates   = "guard.bad_states"
-	MetricBadCwnds    = "guard.bad_cwnds"
-	MetricStallTrips  = "guard.stall_trips"
-	MetricCollapses   = "guard.collapse_trips"
-	MetricSwapTrips   = "guard.swap_trips"
-	MetricClamps      = "guard.clamps"
-	MetricFallbackTks = "guard.fallback_intervals"
+	ReasonBadState     = "non-finite state vector"
+	ReasonBadCwnd      = "non-finite cwnd after inference"
+	ReasonStall        = "sustained stall"
+	ReasonCollapse     = "cwnd collapse"
+	ReasonSwapReprime  = "hot-swap re-prime failed"
+	ReasonOverload     = "serving-plane overload brownout"
+	KindTrip           = "trip"
+	KindRestore        = "restore"
+	MetricTrips        = "guard.trips"
+	MetricRestores     = "guard.restores"
+	MetricBadStates    = "guard.bad_states"
+	MetricBadCwnds     = "guard.bad_cwnds"
+	MetricStallTrips   = "guard.stall_trips"
+	MetricCollapses    = "guard.collapse_trips"
+	MetricSwapTrips    = "guard.swap_trips"
+	MetricBrownoutTrps = "guard.brownout_trips"
+	MetricClamps       = "guard.clamps"
+	MetricFallbackTks  = "guard.fallback_intervals"
 )
 
 // degradable is implemented by controllers that can be pinned to fallback
@@ -154,6 +156,14 @@ const (
 // window, and the post-probation restore resets the session against the
 // new incumbent.
 type degradable interface{ Degraded() bool }
+
+// brownable is implemented by controllers whose backing engine can enter
+// an overload brownout (serve.Controller): the engine is serving this
+// flow the cheap ratio-1.0 path, so a frozen window is all the policy
+// path can offer. The guardian trips such a flow to the heuristic — Cubic
+// genuinely controlling the window beats a window pinned in place — and
+// the usual probation re-admits the policy once the engine recovers.
+type brownable interface{ BrownedOut() bool }
 
 // GuardedController validates a wrapped controller's every decision and
 // owns the trip/fallback/re-admission state machine. It implements
@@ -238,6 +248,15 @@ func (g *GuardedController) Control(now sim.Time, conn *tcp.Conn, state []float6
 	if d, ok := g.inner.(degradable); ok && d.Degraded() {
 		g.cfg.Metrics.Counter(MetricSwapTrips).Inc()
 		g.trip(now, conn, ReasonSwapReprime)
+		return
+	}
+
+	// 1b. The serving plane is in overload brownout and would serve this
+	// flow the cheap ratio-1.0 path anyway: trip to the heuristic so a real
+	// congestion controller owns the window for the duration.
+	if b, ok := g.inner.(brownable); ok && b.BrownedOut() {
+		g.cfg.Metrics.Counter(MetricBrownoutTrps).Inc()
+		g.trip(now, conn, ReasonOverload)
 		return
 	}
 

@@ -15,6 +15,11 @@ import (
 const (
 	MetricLifecycleSwaps     = "promote.swaps"
 	MetricLifecycleDemotions = "promote.demotions"
+	// MetricWatchdogMasked counts Tick evaluations skipped because the
+	// serving plane was in overload brownout: fallback storms under
+	// overload are a capacity problem, not a model regression, and must
+	// not demote the incumbent.
+	MetricWatchdogMasked = "promote.watchdog_masked"
 )
 
 // ManagerConfig wires the lifecycle manager to a live serving plane.
@@ -28,6 +33,11 @@ type ManagerConfig struct {
 	Watchdog WatchdogConfig
 	// Events, when non-nil, receives one JSONL record per swap/demotion.
 	Events *telemetry.JSONL
+	// OverloadActive reports whether the serving plane is in overload
+	// brownout; while true, Tick masks the demotion watchdog (and on
+	// recovery rebases its baseline past the brownout-polluted counters).
+	// Defaults to Engine.OverloadActive.
+	OverloadActive func() bool
 }
 
 // LifecycleEvent is the JSONL record of one swap or demotion.
@@ -50,6 +60,7 @@ type Manager struct {
 	mu        sync.Mutex
 	servingID string // model id currently loaded in the engine
 	prevID    string // what the engine served before the watched swap
+	masked    bool   // watchdog suppressed by an ongoing overload brownout
 }
 
 // NewManager wires a manager. servingID names the model the engine was
@@ -57,6 +68,9 @@ type Manager struct {
 func NewManager(cfg ManagerConfig, servingID string) (*Manager, error) {
 	if cfg.Registry == nil || cfg.Engine == nil {
 		return nil, errors.New("promote: manager needs a registry and an engine")
+	}
+	if cfg.OverloadActive == nil {
+		cfg.OverloadActive = cfg.Engine.OverloadActive
 	}
 	return &Manager{cfg: cfg, watch: NewWatchdog(cfg.Watchdog), servingID: servingID}, nil
 }
@@ -145,6 +159,30 @@ func (m *Manager) swapLocked(id string, arm bool) (string, error) {
 func (m *Manager) Tick() (demoted bool, reason string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	// Overload brownout masks the watchdog: under brownout the engine
+	// deliberately floods serve.fallbacks-adjacent behavior (cheap-path
+	// decisions, guard brownout trips) that looks exactly like a model
+	// regression but is a capacity condition. Demoting a healthy incumbent
+	// for it would thrash models at the worst possible moment.
+	if m.cfg.OverloadActive != nil && m.cfg.OverloadActive() {
+		if m.watch.Armed() {
+			m.masked = true
+			m.cfg.Metrics.Counter(MetricWatchdogMasked).Inc()
+		}
+		return false, ""
+	}
+	if m.masked {
+		// Recovery: slide the armed watchdog's counter window past the
+		// brownout so fallbacks and trips accumulated while shedding can
+		// never be charged to the model (baseline rates are preserved).
+		m.masked = false
+		if m.watch.Armed() {
+			m.watch.Rebase(m.sample())
+			return false, ""
+		}
+	}
+
 	fire, why := m.watch.Observe(m.sample())
 	if !fire {
 		return false, ""
@@ -186,6 +224,7 @@ type statusDoc struct {
 	Serving   string      `json:"serving"`
 	Incumbent string      `json:"incumbent,omitempty"`
 	Watchdog  bool        `json:"watchdog_armed"`
+	Masked    bool        `json:"watchdog_masked,omitempty"`
 	Sessions  int         `json:"sessions"`
 	Models    []ModelInfo `json:"models"`
 }
@@ -197,6 +236,7 @@ func (m *Manager) Status() string {
 	doc := statusDoc{
 		Serving:  m.servingID,
 		Watchdog: m.watch.Armed(),
+		Masked:   m.masked,
 		Sessions: m.cfg.Engine.Sessions(),
 		Models:   m.cfg.Registry.List(),
 	}

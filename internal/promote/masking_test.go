@@ -1,0 +1,122 @@
+package promote_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"sage/internal/guard"
+	"sage/internal/promote"
+	"sage/internal/serve"
+	"sage/internal/telemetry"
+)
+
+// Overload brownout masks the demotion watchdog: trip and fallback storms
+// manufactured by load shedding must not demote a healthy incumbent, and
+// on recovery the watchdog's window is rebased past the polluted counters
+// — while a genuine post-recovery regression still demotes.
+func TestWatchdogMaskedDuringOverload(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := promote.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	idA, err := reg.Publish(constModel(-0.5), promote.Meta{Provenance: "boot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote(idA, "bootstrap"); err != nil {
+		t.Fatal(err)
+	}
+	idB, err := reg.Publish(constModel(0.25), promote.Meta{Provenance: "trainer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := telemetry.NewRegistry()
+	model, _, err := reg.LoadIncumbent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := serve.NewEngine(serve.Config{
+		Policy: model.Policy, Mask: model.Mask,
+		MaxBatch: 8, BatchDeadline: 50 * time.Microsecond, Workers: 1,
+		Metrics: metrics,
+	})
+	eng.Start()
+	defer eng.Close()
+
+	overloaded := false
+	mgr, err := promote.NewManager(promote.ManagerConfig{
+		Registry: reg, Engine: eng, Metrics: metrics,
+		OverloadActive: func() bool { return overloaded },
+	}, idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the watchdog by promoting and swapping to B (clean baseline:
+	// zero trips, zero fallbacks — limits sit at the rate floor).
+	if err := reg.Promote(idB, "gate passed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.SyncIncumbent(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Serving() != idB {
+		t.Fatalf("serving %s, want %s", mgr.Serving(), idB)
+	}
+
+	// Brownout: counters that would conclusively demote — every decision a
+	// guard trip — accumulate while the plane is overloaded.
+	overloaded = true
+	metrics.Counter(serve.MetricDecisions).Add(600)
+	metrics.Counter(guard.MetricTrips).Add(600)
+	for i := 0; i < 3; i++ {
+		if demoted, why := mgr.Tick(); demoted {
+			t.Fatalf("watchdog demoted during brownout: %s", why)
+		}
+	}
+	if got := metrics.Counter(promote.MetricWatchdogMasked).Value(); got != 3 {
+		t.Fatalf("masked counter = %d, want 3", got)
+	}
+	var doc struct {
+		Masked bool `json:"watchdog_masked"`
+		Armed  bool `json:"watchdog_armed"`
+	}
+	if err := json.Unmarshal([]byte(mgr.Status()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Masked || !doc.Armed {
+		t.Fatalf("status during brownout = %+v, want armed and masked", doc)
+	}
+
+	// Recovery: the first tick rebases past the polluted window — no
+	// demotion, still armed — and steady-state ticks stay quiet.
+	overloaded = false
+	for i := 0; i < 3; i++ {
+		if demoted, why := mgr.Tick(); demoted {
+			t.Fatalf("watchdog demoted on recovery tick %d: %s", i, why)
+		}
+	}
+	if mgr.Serving() != idB {
+		t.Fatalf("recovery reverted the incumbent to %s", mgr.Serving())
+	}
+
+	// A genuine regression after recovery is still caught: the rebase must
+	// not have widened the baseline (it was clean — limits at the floor).
+	metrics.Counter(serve.MetricDecisions).Add(600)
+	metrics.Counter(guard.MetricTrips).Add(600)
+	demoted := false
+	var why string
+	for i := 0; i < 3 && !demoted; i++ {
+		demoted, why = mgr.Tick()
+	}
+	if !demoted {
+		t.Fatal("genuine post-recovery regression never demoted")
+	}
+	if mgr.Serving() != idA {
+		t.Fatalf("demotion (%s) reverted to %s, want %s", why, mgr.Serving(), idA)
+	}
+}

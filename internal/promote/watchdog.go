@@ -85,6 +85,21 @@ func (w *Watchdog) Arm(base WatchSample) {
 // Disarm stops the observation window (a demotion or an operator ack).
 func (w *Watchdog) Disarm() { w.armed = false; w.badStreak = 0 }
 
+// Rebase moves an armed observation window's counter snapshot forward to
+// cur while keeping the pre-swap baseline rates and clearing the bad
+// streak. The manager calls it when an overload brownout ends: fallbacks
+// and trips accumulated while the serving plane was shedding load are a
+// capacity artifact and must never be charged to the model — but what
+// counted as normal for this model before the swap must not be diluted
+// by them either, which is why this is not a re-Arm.
+func (w *Watchdog) Rebase(cur WatchSample) {
+	if !w.armed {
+		return
+	}
+	w.base = cur
+	w.badStreak = 0
+}
+
 // Armed reports whether a post-swap window is being observed.
 func (w *Watchdog) Armed() bool { return w.armed }
 

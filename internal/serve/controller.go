@@ -52,3 +52,11 @@ func (c *Controller) Reset() { c.eng.ResetSession(c.sid) }
 // to fallback decisions. guard.GuardedController polls this and trips such
 // a flow to its heuristic path.
 func (c *Controller) Degraded() bool { return c.eng.SessionDegraded(c.sid) }
+
+// BrownedOut reports that the shared engine's overload ladder has reached
+// ModeDegraded or beyond, so this flow's decisions are being served by the
+// cheap ratio-1.0 path instead of the learned policy. The guardian polls
+// this and trips the flow to its Cubic heuristic — during brownout a real
+// heuristic controls the window rather than a frozen one — and re-admits
+// it after probation once the engine recovers.
+func (c *Controller) BrownedOut() bool { return c.eng.OverloadMode() >= ModeDegraded }

@@ -29,4 +29,12 @@
 // the rest of its batch. Guard integration: wrap each flow's Controller
 // with guard.NewBatched; a tripped guard stops enqueuing (its flow simply
 // contributes no row) and re-admission resets only that flow's session.
+//
+// Overload: the engine carries an always-on protection layer (overload.go)
+// — a global in-flight admission cap with typed rejection (OverloadError /
+// the wire OVERLOAD status, both carrying a jittered retry-after hint) and
+// a brownout ladder (full → shed-shadow → degraded → draining) that sheds
+// the cheapest work first and keeps producing explicit decisions at every
+// rung; recovery to full service is hysteretic and time-bounded. Health()
+// exposes a readiness document, served over the wire by the health verb.
 package serve

@@ -85,6 +85,11 @@ type Config struct {
 	// Workers is the async forward-pass pool size (default GOMAXPROCS).
 	Workers int
 
+	// Overload, when non-nil, enables admission control and the brownout
+	// degradation ladder (see OverloadConfig). Nil preserves historical
+	// behavior: unbounded queues, no shedding, shadow always on.
+	Overload *OverloadConfig
+
 	// ReprimeWindow is how many recent decided states each session retains
 	// for hot-swap hidden-state migration (default 8): Swap replays the
 	// window through the incoming model so a long-lived flow's recurrent
@@ -149,6 +154,11 @@ type session struct {
 	// ResetSession, so a guard trip/restore cycle re-admits the flow
 	// against the new model from a fresh hidden state.
 	degraded bool
+
+	// pendingReset records a ResetSession that arrived while a worker owned
+	// this session's state (busy); applied when the in-flight decision
+	// releases it.
+	pendingReset bool
 }
 
 // recordWindow appends a decided state to the re-prime ring (copying it).
@@ -243,6 +253,10 @@ type Engine struct {
 	workCh  chan []*request
 	wg      sync.WaitGroup
 	queued  atomic.Int64
+
+	// Overload protection (nil when Config.Overload is nil).
+	ov     *overload
+	ovStop chan struct{}
 }
 
 // NewEngine builds an engine around a policy. Panics if cfg.Policy is nil.
@@ -252,6 +266,9 @@ func NewEngine(cfg Config) *Engine {
 	}
 	cfg = cfg.fill()
 	e := &Engine{cfg: cfg, sessions: make(map[uint64]*session)}
+	if cfg.Overload != nil {
+		e.ov = newOverload(*cfg.Overload, cfg.MaxBatch, cfg.BatchDeadline, cfg.Metrics)
+	}
 	e.syncBuf = e.newBatchBuf(0)
 	return e
 }
@@ -312,17 +329,32 @@ func (e *Engine) evictLocked() bool {
 // re-admits after a swap starts cleanly against the *current* model rather
 // than replaying state from before its fallback episode. A session that
 // was evicted or never used is a no-op: it would start fresh anyway.
+// A reset racing an in-flight async decide is deferred: the decision in
+// flight completes against the pre-reset state (busy means a worker owns
+// the hidden vector exclusively), and the reset applies the moment that
+// decision releases the session.
 func (e *Engine) ResetSession(id uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if s, ok := e.sessions[id]; ok {
-		for i := range s.hidden {
-			s.hidden[i] = 0
+		if s.busy {
+			s.pendingReset = true
+			return
 		}
-		s.degraded = false
-		s.clearWindow()
-		e.cfg.Metrics.Counter(MetricSessReset).Inc()
+		e.resetLocked(s)
 	}
+}
+
+// resetLocked clears a session's recurrent state, degraded pin, and
+// re-prime window. Caller holds e.mu and the session must not be busy.
+func (e *Engine) resetLocked(s *session) {
+	for i := range s.hidden {
+		s.hidden[i] = 0
+	}
+	s.degraded = false
+	s.pendingReset = false
+	s.clearWindow()
+	e.cfg.Metrics.Counter(MetricSessReset).Inc()
 }
 
 // SessionDegraded reports whether a hot-swap left this session pinned to
@@ -404,6 +436,24 @@ func (e *Engine) Flush(now sim.Time) {
 	if len(pend) == 0 {
 		return
 	}
+	if e.ov != nil {
+		e.ov.notePeak(int64(len(pend)))
+		switch {
+		case e.ov.mode() >= ModeDegraded:
+			// Brownout: every flow still gets an explicit decision this
+			// interval — the cheap ratio-1.0 path, no forward pass. A
+			// guard-wrapped flow sees BrownedOut() and trips to its
+			// heuristic, which then really controls the window.
+			e.applyFallback(pend, now)
+			pend = pend[:0]
+		case len(pend) > e.ov.cfg.MaxPending:
+			// Bound the learned-path backlog; the overflow tail gets the
+			// cheap path rather than growing the batched pass without limit.
+			e.applyFallback(pend[e.ov.cfg.MaxPending:], now)
+			pend = pend[:e.ov.cfg.MaxPending]
+		}
+		defer e.ov.maybeEval(time.Now())
+	}
 	for lo := 0; lo < len(pend); lo += e.cfg.MaxBatch {
 		hi := lo + e.cfg.MaxBatch
 		if hi > len(pend) {
@@ -423,6 +473,21 @@ func (e *Engine) Flush(now sim.Time) {
 	e.mu.Unlock()
 }
 
+// applyFallback serves pending synchronous decisions via the cheap
+// ratio-1.0 path: the window is clamped in place and the flow kicked, so
+// degradation is an explicit decision, never silence. Deliberately not
+// counted in serve.decisions/serve.fallbacks — those describe the model's
+// health, and brownout is a capacity condition (serve.overload.degraded
+// carries it instead).
+func (e *Engine) applyFallback(pend []pendingDecision, now sim.Time) {
+	for _, p := range pend {
+		c := p.conn
+		c.SetCwnd(tcp.ClampCwnd(c.Cwnd, e.cfg.MinCwnd, e.cfg.MaxCwnd))
+		c.Kick(now)
+	}
+	e.ov.noteDegraded(int64(len(pend)))
+}
+
 // forwardChunk runs one batched pass over chunk and hands each row's cwnd
 // ratio to apply, in order. Fallback rows (non-finite state or action, or a
 // session degraded by a failed hot-swap re-prime) get ratio 1.0 and keep
@@ -431,6 +496,12 @@ func (e *Engine) forwardChunk(chunk []pendingDecision, buf *batchBuf, apply func
 	e.polMu.RLock()
 	pol, mask, gen, shadow := e.cfg.Policy, e.cfg.Mask, e.swapGen, e.shadow
 	e.polMu.RUnlock()
+	if shadow != nil && e.ov != nil && e.ov.mode() >= ModeShedShadow {
+		// First rung of the brownout ladder: candidate mirroring is load
+		// the serving plane can shed before any live flow feels anything.
+		e.ov.noteShadowShed(int64(len(chunk)))
+		shadow = nil
+	}
 	if buf.gen != gen {
 		// A hot-swap replaced the policy since this buffer last ran: its
 		// scratch set and GMM mean buffer are sized for the old network.
@@ -506,7 +577,15 @@ func (e *Engine) Start() {
 		return
 	}
 	e.started = true
-	e.reqCh = make(chan *request, 4*e.cfg.MaxBatch)
+	depth := 4 * e.cfg.MaxBatch
+	if e.ov != nil && e.ov.cfg.MaxInflight > depth {
+		// Admission control already bounds in-flight work at MaxInflight;
+		// sizing the channel to match keeps every admitted send
+		// non-blocking, so rejection — not stalling — is the only
+		// backpressure an admitted caller ever sees.
+		depth = e.ov.cfg.MaxInflight
+	}
+	e.reqCh = make(chan *request, depth)
 	e.workCh = make(chan []*request, e.cfg.Workers)
 	e.wg.Add(1 + e.cfg.Workers)
 	go e.dispatch()
@@ -514,18 +593,63 @@ func (e *Engine) Start() {
 		buf := e.newBatchBuf(w + 1)
 		go e.worker(buf)
 	}
+	if e.ov != nil {
+		e.ovStop = make(chan struct{})
+		e.wg.Add(1)
+		go e.overloadLoop(e.ovStop)
+	}
 }
 
 // Decide blocks until the engine has batched and served a decision for
 // session id: it returns the new cwnd for a flow currently at cwnd whose
 // state vector is state. fallback reports that the decision was a safety
-// no-op (non-finite state or action). A session with a request already in
-// flight gets ErrSessionBusy — retry after the outstanding call returns.
+// no-op (non-finite state or action, or an overload brownout serving the
+// cheap path). A session with a request already in flight gets
+// ErrSessionBusy — retry after the outstanding call returns. Decide is
+// low-priority: under brownout it degrades first (see DecidePri).
 func (e *Engine) Decide(id uint64, cwnd float64, state []float64) (newCwnd float64, fallback bool, err error) {
+	return e.DecidePri(id, cwnd, state, false)
+}
+
+// DecidePri is Decide with an explicit priority class. With overload
+// protection enabled, admission control applies:
+//
+//   - ModeDraining: sessions the engine does not already hold are rejected
+//     with a typed *OverloadError (admit-nothing-new); resident sessions
+//     are served the cheap ratio-1.0 fallback while the backlog drains.
+//   - ModeDegraded: low-priority requests get the cheap ratio-1.0 fallback
+//     immediately (an explicit decision, never silence); high-priority
+//     requests still run the learned policy.
+//   - At the global in-flight cap (MaxInflight) any request is rejected
+//     with *OverloadError instead of queueing unboundedly.
+//
+// The cheap paths never create or touch session state, so a shed or
+// degraded request cannot grow the session table.
+func (e *Engine) DecidePri(id uint64, cwnd float64, state []float64, highPri bool) (newCwnd float64, fallback bool, err error) {
 	e.closeMu.RLock()
 	if e.closed || !e.started {
 		e.closeMu.RUnlock()
 		return cwnd, false, ErrClosed
+	}
+	if e.ov != nil {
+		switch mode := e.ov.mode(); {
+		case mode == ModeDraining:
+			e.mu.Lock()
+			_, resident := e.sessions[id]
+			e.mu.Unlock()
+			if !resident {
+				err := e.ov.reject(mode)
+				e.closeMu.RUnlock()
+				return cwnd, false, err
+			}
+			e.ov.noteDegraded(1)
+			e.closeMu.RUnlock()
+			return tcp.ClampCwnd(cwnd, e.cfg.MinCwnd, e.cfg.MaxCwnd), true, nil
+		case mode >= ModeDegraded && !highPri:
+			e.ov.noteDegraded(1)
+			e.closeMu.RUnlock()
+			return tcp.ClampCwnd(cwnd, e.cfg.MinCwnd, e.cfg.MaxCwnd), true, nil
+		}
 	}
 	e.mu.Lock()
 	s := e.sessionLocked(id)
@@ -537,13 +661,38 @@ func (e *Engine) Decide(id uint64, cwnd float64, state []float64) (newCwnd float
 	s.busy = true
 	e.mu.Unlock()
 
+	n := e.queued.Add(1)
+	if e.ov != nil {
+		if n > int64(e.ov.cfg.MaxInflight) {
+			// Bounded queue: reject explicitly rather than stack work the
+			// batcher cannot serve within budget.
+			e.queued.Add(-1)
+			e.mu.Lock()
+			s.busy = false
+			if s.pendingReset {
+				e.resetLocked(s)
+			}
+			e.mu.Unlock()
+			err := e.ov.reject(e.ov.mode())
+			e.closeMu.RUnlock()
+			return cwnd, false, err
+		}
+		e.ov.notePeak(n)
+		e.ov.noteAdmitted()
+	}
+	var start time.Time
+	if e.ov != nil {
+		start = time.Now()
+	}
 	req := &request{sess: s, state: append([]float64(nil), state...), done: make(chan asyncResult, 1)}
-	e.queued.Add(1)
-	e.cfg.Metrics.Gauge(MetricQueueDepth).Set(float64(e.queued.Load()))
+	e.cfg.Metrics.Gauge(MetricQueueDepth).Set(float64(n))
 	e.reqCh <- req
 	e.closeMu.RUnlock() // the dispatcher now owns the request; drain will serve it
 
 	res := <-req.done
+	if e.ov != nil {
+		e.ov.noteLatency(time.Since(start))
+	}
 	w := tcp.ClampCwnd(cwnd*res.ratio, e.cfg.MinCwnd, e.cfg.MaxCwnd)
 	return w, res.fallback, nil
 }
@@ -583,7 +732,11 @@ func (e *Engine) dispatch() {
 			default:
 			}
 		}
-		e.cfg.Metrics.Histogram(MetricBatchWaitUs).Observe(float64(time.Since(start).Microseconds()))
+		wait := time.Since(start)
+		e.cfg.Metrics.Histogram(MetricBatchWaitUs).Observe(float64(wait.Microseconds()))
+		if e.ov != nil {
+			e.ov.noteBatchWait(wait)
+		}
 		e.workCh <- batch
 	}
 }
@@ -605,6 +758,9 @@ func (e *Engine) worker(buf batchBuf) {
 			fb := buf.flags[i]
 			e.mu.Lock()
 			r.sess.busy = false
+			if r.sess.pendingReset {
+				e.resetLocked(r.sess)
+			}
 			e.mu.Unlock()
 			e.queued.Add(-1)
 			e.cfg.Metrics.Gauge(MetricQueueDepth).Set(float64(e.queued.Load()))
@@ -630,6 +786,10 @@ func (e *Engine) Close() {
 	started := e.started
 	if started {
 		close(e.reqCh)
+	}
+	if e.ovStop != nil {
+		close(e.ovStop)
+		e.ovStop = nil
 	}
 	e.closeMu.Unlock()
 	if started {

@@ -1,0 +1,68 @@
+package serve_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sage/internal/serve"
+)
+
+// Session LRU eviction racing in-flight async decides: a tiny resident cap
+// under a much wider id space forces constant eviction while requests are
+// mid-batch (busy sessions must be skipped, not evicted), interleaved with
+// CloseSession/ResetSession churn. Run under -race in CI; the only
+// admissible errors are nil and ErrSessionBusy, and the engine must drain
+// cleanly afterwards.
+func TestEngineEvictionRacesInflightDecides(t *testing.T) {
+	eng := serve.NewEngine(serve.Config{
+		Policy:        testPolicy(61),
+		MaxSessions:   4,
+		MaxBatch:      8,
+		BatchDeadline: 100 * time.Microsecond,
+		Workers:       2,
+	})
+	eng.Start()
+
+	const (
+		goroutines = 8
+		iters      = 150
+		idSpace    = 64
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				id := uint64(rng.Intn(idSpace) + 1)
+				switch rng.Intn(10) {
+				case 0:
+					eng.CloseSession(id)
+				case 1:
+					eng.ResetSession(id)
+				default:
+					_, _, err := eng.Decide(id, 10, randState(rng))
+					if err != nil && !errors.Is(err, serve.ErrSessionBusy) {
+						t.Errorf("Decide(%d): %v", id, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The cap may be exceeded only transiently, when every resident session
+	// was busy at admission time — bounded by the number of concurrent
+	// callers, never by the id space.
+	if n := eng.Sessions(); n > 4+goroutines {
+		t.Errorf("resident sessions = %d, want ≤ cap (4) + %d concurrent callers", n, goroutines)
+	}
+	eng.Close()
+	if _, _, err := eng.Decide(1, 10, randState(rand.New(rand.NewSource(0)))); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Decide after Close: %v, want ErrClosed", err)
+	}
+}

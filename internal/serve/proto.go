@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -36,14 +38,27 @@ const (
 	// OpStatus asks for the daemon's lifecycle status. Empty body; the
 	// response msg carries a JSON status document.
 	OpStatus = 5
+	// OpHealth asks for the daemon's overload/readiness document. Empty
+	// body; the response msg carries a JSON serve.Health document.
+	OpHealth = 6
 
 	StatusOK       = 0 // decision served from the policy
 	StatusFallback = 1 // decision served, but as a safety no-op (ratio 1)
 	StatusBusy     = 2 // session already has a request in flight
 	StatusError    = 3 // malformed request or draining server; msg explains
+	// StatusOverload is the typed OVERLOAD reply: admission control shed
+	// the request (or the accept-time connection cap shed the whole
+	// connection). The cwnd field echoes the request unchanged and the msg
+	// carries a jittered retry-after hint in integer milliseconds —
+	// explicit rejection, never a stalled or silently dropped caller.
+	StatusOverload = 4
 
 	// maxFrame bounds a frame payload (a 69-signal Decide is ~600 bytes;
-	// anything near this limit is a corrupt or hostile frame).
+	// anything near this limit is a corrupt or hostile frame). Both the
+	// client and server read paths enforce it *before* allocating, so a
+	// corrupt or malicious length prefix — including one with the sign bit
+	// set, which would be negative read as int32 and near-4GiB read as
+	// uint32 — can never drive an unbounded allocation.
 	maxFrame = 1 << 16
 )
 
@@ -64,7 +79,9 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 // readFrame reads one frame into buf (grown as needed) and returns the
-// payload slice.
+// payload slice. The length prefix is validated against maxFrame before
+// any allocation or payload read: a hostile prefix costs the peer its
+// connection, not our memory.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -72,6 +89,8 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
+		// Covers every oversized prefix, including 0x80000000 and up —
+		// values that would be negative if naively decoded as int32.
 		return nil, errFrameTooBig
 	}
 	if cap(buf) < int(n) {
@@ -84,8 +103,16 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// appendDecideRequest encodes an OpDecide request payload.
-func appendDecideRequest(b []byte, sid uint64, cwnd float64, state []float64) []byte {
+// Decide priority classes carried in the optional trailing priority byte.
+const (
+	priorityLow  = 0
+	priorityHigh = 1
+)
+
+// appendDecideRequest encodes an OpDecide request payload. The priority
+// byte trails the state vector so decoders predating it still parse the
+// frame (a missing byte means low priority).
+func appendDecideRequest(b []byte, sid uint64, cwnd float64, state []float64, highPri bool) []byte {
 	b = append(b, ProtoVersion, OpDecide)
 	b = binary.BigEndian.AppendUint64(b, sid)
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(cwnd))
@@ -93,7 +120,11 @@ func appendDecideRequest(b []byte, sid uint64, cwnd float64, state []float64) []
 	for _, v := range state {
 		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
 	}
-	return b
+	pri := byte(priorityLow)
+	if highPri {
+		pri = priorityHigh
+	}
+	return append(b, pri)
 }
 
 // appendSessionRequest encodes an OpReset / OpCloseSession payload.
@@ -126,6 +157,7 @@ type decodedRequest struct {
 	SID   uint64
 	Cwnd  float64
 	State []float64
+	Pri   bool   // OpDecide high-priority class
 	Arg   string // OpSwap model id
 }
 
@@ -145,7 +177,7 @@ func parseRequest(p []byte, stateBuf []float64) (decodedRequest, []float64, erro
 	switch req.Op {
 	case OpReset, OpCloseSession:
 		return req, stateBuf, nil
-	case OpSwap, OpStatus:
+	case OpSwap, OpStatus, OpHealth:
 		if len(p) < 2 {
 			return req, stateBuf, errors.New("serve: short control body")
 		}
@@ -163,6 +195,12 @@ func parseRequest(p []byte, stateBuf []float64) (decodedRequest, []float64, erro
 		req.Cwnd = math.Float64frombits(binary.BigEndian.Uint64(p[:8]))
 		dim := int(binary.BigEndian.Uint16(p[8:10]))
 		p = p[10:]
+		// An optional priority byte trails the state vector (absent in
+		// frames from pre-overload clients: low priority).
+		if len(p) == 8*dim+1 {
+			req.Pri = p[8*dim] == priorityHigh
+			p = p[:8*dim]
+		}
 		if len(p) != 8*dim {
 			return req, stateBuf, fmt.Errorf("serve: state dim %d but %d payload bytes", dim, len(p))
 		}
@@ -184,16 +222,45 @@ func parseRequest(p []byte, stateBuf []float64) (decodedRequest, []float64, erro
 // serialized by an internal mutex; use one Client per concurrent flow (or
 // one per goroutine) to let the server batch across them.
 type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	timeout time.Duration
-	wbuf    []byte
-	rbuf    []byte
+	mu         sync.Mutex
+	conn       net.Conn
+	timeout    time.Duration
+	highPri    bool
+	retryAfter time.Duration // last OVERLOAD reply's hint
+	wbuf       []byte
+	rbuf       []byte
 }
 
-// Dial connects to a sage-serve daemon's Unix socket.
+// DefaultDialTimeout bounds Dial's connect phase. A daemon whose accept
+// queue is wedged (or a socket file pointing at a hung process) must not
+// block a caller forever; callers that want different bounds use
+// DialTimeout or DialContext.
+const DefaultDialTimeout = 10 * time.Second
+
+// Dial connects to a sage-serve daemon's Unix socket, bounding the
+// connect by DefaultDialTimeout.
 func Dial(socketPath string) (*Client, error) {
-	conn, err := net.Dial("unix", socketPath)
+	return DialTimeout(socketPath, DefaultDialTimeout)
+}
+
+// DialTimeout connects with an explicit connect-phase bound (0 = no
+// bound). Established-connection calls are bounded separately by
+// SetTimeout.
+func DialTimeout(socketPath string, d time.Duration) (*Client, error) {
+	ctx := context.Background()
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return DialContext(ctx, socketPath)
+}
+
+// DialContext connects under the caller's context: cancellation or
+// deadline expiry aborts a hung connect instead of blocking forever.
+func DialContext(ctx context.Context, socketPath string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "unix", socketPath)
 	if err != nil {
 		return nil, err
 	}
@@ -220,13 +287,34 @@ func (c *Client) SetTimeout(d time.Duration) {
 	c.timeout = d
 }
 
+// SetHighPriority marks this client's subsequent Decide requests as the
+// high-priority class. During brownout (ModeDegraded) the engine keeps
+// serving high-priority flows from the policy while low-priority flows
+// get the cheap ratio-1.0 fallback; the default is low priority.
+func (c *Client) SetHighPriority(v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.highPri = v
+}
+
+// RetryAfter returns the retry-after hint from the most recent
+// StatusOverload reply (zero if none seen yet). Callers that receive
+// StatusOverload should back off at least this long before retrying.
+func (c *Client) RetryAfter() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retryAfter
+}
+
 // Decide requests a cwnd decision for session sid currently at cwnd with
 // observation state. status is one of the Status* constants; for StatusOK
-// and StatusFallback newCwnd is the window to apply.
+// and StatusFallback newCwnd is the window to apply. StatusOverload means
+// admission control shed the request: cwnd is echoed unchanged and
+// RetryAfter carries the server's backoff hint.
 func (c *Client) Decide(sid uint64, cwnd float64, state []float64) (newCwnd float64, status byte, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.wbuf = appendDecideRequest(c.wbuf[:0], sid, cwnd, state)
+	c.wbuf = appendDecideRequest(c.wbuf[:0], sid, cwnd, state, c.highPri)
 	return c.roundTrip()
 }
 
@@ -281,6 +369,23 @@ func (c *Client) Status() (string, error) {
 	return msg, nil
 }
 
+// Health returns the daemon's overload/readiness document (a JSON
+// serve.Health). Unlike Status it is served even while the daemon is
+// shedding load, so probes keep seeing brownout transitions.
+func (c *Client) Health() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wbuf = appendControlRequest(c.wbuf[:0], OpHealth, "")
+	_, status, msg, err := c.roundTripMsg()
+	if err != nil {
+		return msg, err
+	}
+	if status != StatusOK {
+		return msg, fmt.Errorf("serve: unexpected status %d", status)
+	}
+	return msg, nil
+}
+
 // Close closes the connection (server-side sessions persist until evicted
 // or explicitly closed).
 func (c *Client) Close() error { return c.conn.Close() }
@@ -323,6 +428,14 @@ func (c *Client) roundTripMsg() (float64, byte, string, error) {
 			msg = "server error"
 		}
 		return cwnd, status, msg, errors.New("serve: " + msg)
+	}
+	if status == StatusOverload {
+		// The msg is the server's jittered retry-after hint in integer
+		// milliseconds. An unparsable hint is not an error — the status
+		// alone tells the caller to back off.
+		if ms, perr := strconv.Atoi(msg); perr == nil && ms >= 0 {
+			c.retryAfter = time.Duration(ms) * time.Millisecond
+		}
 	}
 	return cwnd, status, msg, nil
 }

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// limitedReader wraps a reader and fails the test if more than max bytes
+// are ever requested — the proof that a hostile length prefix is rejected
+// before any allocation-sized read happens.
+type countingReader struct {
+	r    io.Reader
+	read int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.read += n
+	return n, err
+}
+
+// Hostile length prefixes — including values whose sign bit is set, which
+// would be negative decoded as int32 and ~4GiB decoded as uint32 — must be
+// rejected before any payload allocation, on the shared read path both the
+// client and server use.
+func TestReadFrameRejectsHostilePrefixes(t *testing.T) {
+	for _, n := range []uint32{maxFrame + 1, 1 << 20, 0x80000000, 0xFFFFFFFF} {
+		var b bytes.Buffer
+		hdr := make([]byte, 4)
+		binary.BigEndian.PutUint32(hdr, n)
+		b.Write(hdr)
+		b.Write(make([]byte, 64)) // garbage a naive reader would start consuming
+
+		cr := &countingReader{r: &b}
+		_, err := readFrame(cr, nil)
+		if !errors.Is(err, errFrameTooBig) {
+			t.Errorf("prefix %#x: err = %v, want errFrameTooBig", n, err)
+		}
+		if cr.read > 4 {
+			t.Errorf("prefix %#x: read %d bytes past the header", n, cr.read-4)
+		}
+	}
+
+	// The boundary itself still works.
+	var b bytes.Buffer
+	if err := writeFrame(&b, make([]byte, maxFrame)); err != nil {
+		t.Fatalf("writeFrame at limit: %v", err)
+	}
+	if p, err := readFrame(&b, nil); err != nil || len(p) != maxFrame {
+		t.Fatalf("readFrame at limit: len %d, %v", len(p), err)
+	}
+}
+
+// The write side refuses to emit a frame the read side would drop.
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	var b bytes.Buffer
+	if err := writeFrame(&b, make([]byte, maxFrame+1)); !errors.Is(err, errFrameTooBig) {
+		t.Fatalf("writeFrame oversize: %v, want errFrameTooBig", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("oversize writeFrame emitted %d bytes", b.Len())
+	}
+}
+
+// The optional trailing priority byte round-trips and its absence decodes
+// as low priority (backward compatibility with pre-overload clients).
+func TestDecidePriorityByte(t *testing.T) {
+	state := []float64{1, 2, 3}
+	for _, hi := range []bool{false, true} {
+		p := appendDecideRequest(nil, 7, 12.5, state, hi)
+		req, _, err := parseRequest(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Pri != hi || req.SID != 7 || req.Cwnd != 12.5 || len(req.State) != 3 {
+			t.Fatalf("round trip (hi=%v): %+v", hi, req)
+		}
+	}
+	// Legacy frame: no priority byte at all.
+	legacy := appendDecideRequest(nil, 9, 4, state, true)
+	legacy = legacy[:len(legacy)-1]
+	req, _, err := parseRequest(legacy, nil)
+	if err != nil {
+		t.Fatalf("legacy frame: %v", err)
+	}
+	if req.Pri {
+		t.Fatal("legacy frame decoded as high priority")
+	}
+	// Truncated state with a stray byte must still be rejected.
+	bad := appendDecideRequest(nil, 9, 4, state, false)
+	if _, _, err := parseRequest(bad[:len(bad)-3], nil); err == nil {
+		t.Fatal("truncated decide body accepted")
+	}
+}
+
+// FuzzParseRequest: no payload may panic the request parser or make it
+// retain more state than the declared dimension.
+func FuzzParseRequest(f *testing.F) {
+	f.Add(appendDecideRequest(nil, 1, 10, []float64{1, 2, 3}, false))
+	f.Add(appendDecideRequest(nil, 2, 1, nil, true))
+	f.Add(appendSessionRequest(nil, OpReset, 3))
+	f.Add(appendControlRequest(nil, OpSwap, "model-a"))
+	f.Add(appendControlRequest(nil, OpHealth, ""))
+	f.Add([]byte{ProtoVersion, OpDecide, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		req, _, err := parseRequest(p, nil)
+		if err != nil {
+			return
+		}
+		if len(req.State) > maxFrame/8 {
+			t.Fatalf("parser produced a %d-element state from a %d-byte payload", len(req.State), len(p))
+		}
+		for _, v := range req.State {
+			_ = math.IsNaN(v) // touch every element: catches aliasing past the buffer
+		}
+	})
+}

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"net"
 	"os"
+	"strconv"
 	"sync"
+	"time"
 )
 
 // Control handles the lifecycle verbs of the wire protocol (OpSwap,
@@ -26,11 +29,19 @@ type Control interface {
 type Server struct {
 	eng *Engine
 
+	// MaxConns caps concurrently served connections (0 = unlimited). An
+	// accept beyond the cap is shed explicitly: the new connection gets a
+	// single StatusOverload frame with a jittered retry-after hint and is
+	// closed, so a connection storm can never pile handler goroutines onto
+	// an already-overloaded engine. Set before Serve.
+	MaxConns int
+
 	mu     sync.Mutex
 	ctl    Control
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
+	doneCh chan struct{}
 	wg     sync.WaitGroup
 }
 
@@ -49,7 +60,11 @@ func (s *Server) control() Control {
 
 // NewServer wraps an engine. The engine's async path is started on Serve.
 func NewServer(eng *Engine) *Server {
-	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		eng:    eng,
+		conns:  make(map[net.Conn]struct{}),
+		doneCh: make(chan struct{}),
+	}
 }
 
 // ListenAndServe listens on a Unix socket at path (removing a stale
@@ -94,6 +109,11 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn.Close()
 			return net.ErrClosed
 		}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			s.shedConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
@@ -113,6 +133,7 @@ func (s *Server) Shutdown() {
 		return
 	}
 	s.closed = true
+	close(s.doneCh) // wake handlers parked in a backpressure pause
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -135,6 +156,19 @@ func (s *Server) Shutdown() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+}
+
+// shedConn rejects a connection beyond MaxConns: one explicit
+// StatusOverload frame carrying a jittered retry-after hint (integer
+// milliseconds), then hang up. The dialer learns to back off instead of
+// observing a silent RST or, worse, a socket that accepts and stalls.
+func (s *Server) shedConn(conn net.Conn) {
+	hint := s.eng.retryHint()
+	s.eng.cfg.Metrics.Counter(MetricOverloadConnShed).Inc()
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	frame := appendResponse(nil, StatusOverload, 0, strconv.Itoa(int(hint.Milliseconds())))
+	writeFrame(conn, frame)
+	conn.Close()
 }
 
 // handle serves one client connection until EOF or Shutdown.
@@ -166,10 +200,20 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		var pause time.Duration
 		switch req.Op {
 		case OpDecide:
-			newCwnd, fallback, err := s.eng.Decide(req.SID, req.Cwnd, req.State)
+			newCwnd, fallback, err := s.eng.DecidePri(req.SID, req.Cwnd, req.State, req.Pri)
+			var oe *OverloadError
 			switch {
+			case errors.As(err, &oe):
+				// Typed OVERLOAD reply (cwnd echoed, retry hint in msg),
+				// then read-side backpressure: pause before the next read
+				// so a hot-looping client is rate-limited by its own TCP
+				// window instead of hammering admission control.
+				wbuf = appendResponse(wbuf[:0], StatusOverload, req.Cwnd,
+					strconv.Itoa(int(oe.RetryAfter.Milliseconds())))
+				pause = min(oe.RetryAfter, 100*time.Millisecond)
 			case errors.Is(err, ErrSessionBusy):
 				wbuf = appendResponse(wbuf[:0], StatusBusy, req.Cwnd, "")
 			case errors.Is(err, ErrClosed):
@@ -201,9 +245,27 @@ func (s *Server) handle(conn net.Conn) {
 			} else {
 				wbuf = appendResponse(wbuf[:0], StatusOK, 0, ctl.Status())
 			}
+		case OpHealth:
+			h := s.eng.Health()
+			s.mu.Lock()
+			h.Conns = len(s.conns)
+			h.Draining = s.closed
+			s.mu.Unlock()
+			if doc, err := json.Marshal(h); err != nil {
+				wbuf = appendResponse(wbuf[:0], StatusError, 0, err.Error())
+			} else {
+				wbuf = appendResponse(wbuf[:0], StatusOK, 0, string(doc))
+			}
 		}
 		if writeFrame(conn, wbuf) != nil {
 			return
+		}
+		if pause > 0 {
+			select {
+			case <-time.After(pause):
+			case <-s.doneCh:
+				return
+			}
 		}
 	}
 }
