@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"sage/internal/core"
+	"sage/internal/feedback"
 	"sage/internal/gr"
 	"sage/internal/nn"
 	"sage/internal/promote"
@@ -84,6 +85,9 @@ func run() int {
 		ovalEvery   = flag.Duration("overload-eval", 10*time.Millisecond, "brownout ladder evaluation window")
 		maxConns    = flag.Int("max-conns", 1024, "connection cap; excess accepts get a typed OVERLOAD reply (0 = unlimited)")
 		healthProbe = flag.Bool("health", false, "probe the daemon at -socket: print its health doc, exit 0 iff ready")
+
+		traceSpool  = flag.String("trace-spool", "", "spool completed decision windows into this dir for the feedback loop (empty = off)")
+		traceWindow = flag.Int("trace-window", 256, "decisions per exported trace window before rotation")
 	)
 	flag.Parse()
 	if *healthProbe {
@@ -155,19 +159,37 @@ func run() int {
 			EvalInterval:   *ovalEvery,
 		}
 	}
-	eng := serve.NewEngine(serve.Config{
-		Policy:        pol,
-		Mask:          mask,
-		Stochastic:    *stochastic,
-		Seed:          *seed,
-		MaxSessions:   *maxSessions,
-		MaxBatch:      *maxBatch,
-		BatchDeadline: *deadline,
-		Workers:       *workers,
-		ReprimeWindow: *reprime,
-		Metrics:       reg,
-		Overload:      ovCfg,
-	})
+	var sink *feedback.SpoolSink
+	if *traceSpool != "" {
+		s, err := feedback.NewSpoolSink(feedback.SinkConfig{Dir: *traceSpool, Metrics: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sage-serve: trace spool:", err)
+			return 1
+		}
+		sink = s
+		fmt.Fprintf(os.Stderr, "sage-serve: spooling trace windows to %s\n", *traceSpool)
+	}
+	engCfg := serve.Config{
+		Policy:           pol,
+		Mask:             mask,
+		Stochastic:       *stochastic,
+		Seed:             *seed,
+		MaxSessions:      *maxSessions,
+		MaxBatch:         *maxBatch,
+		BatchDeadline:    *deadline,
+		Workers:          *workers,
+		ReprimeWindow:    *reprime,
+		Metrics:          reg,
+		Overload:         ovCfg,
+		TraceWindowSteps: *traceWindow,
+	}
+	if sink != nil {
+		engCfg.Trace = sink
+		// Runs at exit, after the server's shutdown drained the engine (which
+		// flushes every open window into the sink): drain the queue to disk.
+		defer sink.Close()
+	}
+	eng := serve.NewEngine(engCfg)
 	srv := serve.NewServer(eng)
 	srv.MaxConns = *maxConns
 

@@ -1,0 +1,26 @@
+// Package feedback closes the learning loop: it streams live serving
+// experience back into training and publishes the result for promotion.
+//
+// The pipeline has four stages, each resumable after SIGKILL:
+//
+//	serve  —  serve.Engine sessions export completed decision windows
+//	          (raw GR state, applied cwnd ratio, fallback flag) through a
+//	          SpoolSink into size-capped, crash-safe append-only spool
+//	          segments (Spool / TailSpool).
+//	ingest —  an Ingester tails the spool, labels each window with a
+//	          proxy reward and a traffic regime, runs it through the
+//	          collector quality gate, and admits survivors into a
+//	          regime-balanced live experience pool. Every spool record
+//	          gets exactly one disposition — admitted, quarantined, or
+//	          skipped — journaled with the spool cursor, so a killed and
+//	          restarted ingester neither drops nor duplicates a window.
+//	retrain — when admission thresholds are met, a sentinel-guarded
+//	          incremental CRR run retrains from the incumbent's weights
+//	          on a seeded mix of live and offline experience.
+//	publish — the trained candidate is journaled into the promote
+//	          registry; the shadow statistics gathered from the live
+//	          windows feed the dominance gate, which decides promotion.
+//
+// The Loop type strings the stages into the sage-loop daemon; every stage
+// reports feedback.* telemetry.
+package feedback

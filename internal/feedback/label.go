@@ -1,0 +1,49 @@
+package feedback
+
+import (
+	"sage/internal/gr"
+	"sage/internal/sim"
+)
+
+// LabelWindow converts one spooled window into reward-labeled GR steps.
+//
+// Live traffic carries no emulator ground truth (no known bottleneck
+// capacity or propagation RTT), so the reward is the paper's R1 computed
+// from proxies the window itself provides: delivery and loss rates are in
+// the state vector, the propagation RTT is estimated as the smallest
+// large-window sRTT minimum seen, and capacity as the largest
+// max-delivery-rate seen. The proxies are conservative — a window that
+// never saturated its path under-reports capacity, which *deflates* its
+// rewards rather than inventing headroom — and they are consistent within
+// a window, which is what relative action ranking needs.
+func LabelWindow(rec WindowRecord, grc gr.Config) []gr.Step {
+	grc = grc.Fill()
+	minRTTms := 0.0
+	capMbps := 0.0
+	for _, s := range rec.States {
+		if len(s) <= idxDRMaxMbps {
+			continue
+		}
+		if f := s[idxSRTTLgMin]; f > 0 && (minRTTms == 0 || f < minRTTms) {
+			minRTTms = f
+		}
+		if c := s[idxDRMaxMbps]; c > capMbps {
+			capMbps = c
+		}
+	}
+	minRTT := sim.FromMillis(minRTTms)
+	capBps := capMbps * 1e6
+	steps := make([]gr.Step, 0, len(rec.States))
+	for i, s := range rec.States {
+		var reward float64
+		if len(s) > idxDRMaxMbps {
+			reward = gr.R1(
+				s[idxDRMbps]*1e6, s[idxLossMbps]*1e6, capBps,
+				sim.FromMillis(s[idxSRTTMs]), minRTT,
+				grc.Xi, grc.Kappa,
+			)
+		}
+		steps = append(steps, gr.Step{State: s, Action: rec.Actions[i], Reward: reward})
+	}
+	return steps
+}

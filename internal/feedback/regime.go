@@ -1,0 +1,76 @@
+package feedback
+
+import "math"
+
+// Traffic regimes. Live windows are classified from their own GR signals
+// (no ground truth exists for live flows) so admission can keep the pool
+// balanced: one hot regime in production must not crowd out experience
+// from the others. The heuristics key off the same raw state fields the
+// policy sees — see internal/gr/monitor.go for the vector layout.
+const (
+	RegimeLossy       = "lossy"       // sustained non-congestion-scale loss
+	RegimeBufferbloat = "bufferbloat" // sRTT inflated well past the propagation floor
+	RegimeFlappy      = "flappy"      // delivery rate swinging hard interval to interval
+	RegimeSteady      = "steady"      // none of the above
+)
+
+// Regimes lists every regime a window can classify into.
+func Regimes() []string {
+	return []string{RegimeLossy, RegimeBufferbloat, RegimeFlappy, RegimeSteady}
+}
+
+// State vector indices used by classification and reward labeling
+// (0-based; the monitor's comments count from 1).
+const (
+	idxSRTTMs    = 0  // instantaneous smoothed RTT, ms
+	idxSRTTLgMin = 11 // min sRTT over the Large window, ms — propagation floor proxy
+	idxLossMbps  = 60 // loss rate this interval, Mbps
+	idxDRMbps    = 64 // delivery rate, Mbps
+	idxDRMaxMbps = 66 // max delivery rate seen, Mbps — capacity proxy
+)
+
+// Classification thresholds.
+const (
+	lossyFrac        = 0.005 // >0.5% of bytes lost marks a lossy path
+	bufferbloatRatio = 2.0   // mean sRTT at 2x the floor marks a standing queue
+	flappyCV         = 0.5   // delivery-rate coefficient of variation
+)
+
+// ClassifyRegime buckets one window of raw states. Priority order is
+// lossy > bufferbloat > flappy: loss is the strongest signal (and a
+// bloated lossy link should pool with lossy experience), while flappiness
+// is the residual "nothing stable" bucket above steady.
+func ClassifyRegime(states [][]float64) string {
+	if len(states) == 0 {
+		return RegimeSteady
+	}
+	var lossSum, drSum, drSq, srttSum float64
+	floor := math.Inf(1)
+	for _, s := range states {
+		if len(s) <= idxDRMaxMbps {
+			continue
+		}
+		lossSum += s[idxLossMbps]
+		drSum += s[idxDRMbps]
+		drSq += s[idxDRMbps] * s[idxDRMbps]
+		srttSum += s[idxSRTTMs]
+		if f := s[idxSRTTLgMin]; f > 0 && f < floor {
+			floor = f
+		}
+	}
+	n := float64(len(states))
+	meanLoss, meanDR, meanSRTT := lossSum/n, drSum/n, srttSum/n
+	if total := meanDR + meanLoss; total > 0 && meanLoss/total > lossyFrac {
+		return RegimeLossy
+	}
+	if !math.IsInf(floor, 1) && floor > 0 && meanSRTT/floor > bufferbloatRatio {
+		return RegimeBufferbloat
+	}
+	if meanDR > 0 {
+		variance := drSq/n - meanDR*meanDR
+		if variance > 0 && math.Sqrt(variance)/meanDR > flappyCV {
+			return RegimeFlappy
+		}
+	}
+	return RegimeSteady
+}

@@ -1,0 +1,63 @@
+package feedback
+
+import (
+	"math"
+	"testing"
+
+	"sage/internal/gr"
+)
+
+func TestClassifyRegime(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  WindowRecord
+		want string
+	}{
+		{"steady", regimeWindow(1, RegimeSteady, 6), RegimeSteady},
+		{"lossy", regimeWindow(2, RegimeLossy, 6), RegimeLossy},
+		{"bufferbloat", regimeWindow(3, RegimeBufferbloat, 6), RegimeBufferbloat},
+		{"flappy", regimeWindow(4, RegimeFlappy, 6), RegimeFlappy},
+	}
+	for _, c := range cases {
+		if got := ClassifyRegime(c.rec.States); got != c.want {
+			t.Errorf("%s window classified %q", c.name, got)
+		}
+	}
+	if got := ClassifyRegime(nil); got != RegimeSteady {
+		t.Errorf("empty window classified %q, want steady", got)
+	}
+	// A lossy AND bloated window pools with lossy: loss outranks queueing.
+	rec := regimeWindow(5, RegimeBufferbloat, 6)
+	for _, s := range rec.States {
+		s[idxLossMbps] = 2
+	}
+	if got := ClassifyRegime(rec.States); got != RegimeLossy {
+		t.Errorf("lossy+bloated window classified %q, want lossy (priority)", got)
+	}
+}
+
+// Proxy labeling: rewards are finite, every action is carried through,
+// and a step at higher delivery with equal delay earns more than one at
+// lower delivery — the ranking signal training needs.
+func TestLabelWindowProxyRewards(t *testing.T) {
+	rec := WindowRecord{SID: 1, Reason: "close"}
+	rec.States = append(rec.States, stVec(20, 20, 0, 30, 60)) // slower
+	rec.States = append(rec.States, stVec(20, 20, 0, 55, 60)) // faster, same delay
+	rec.Actions = []float64{1.1, 0.9}
+
+	steps := LabelWindow(rec, gr.Config{})
+	if len(steps) != 2 {
+		t.Fatalf("labeled %d steps, want 2", len(steps))
+	}
+	for i, s := range steps {
+		if math.IsNaN(s.Reward) || math.IsInf(s.Reward, 0) {
+			t.Fatalf("step %d reward %v", i, s.Reward)
+		}
+		if s.Action != rec.Actions[i] {
+			t.Fatalf("step %d action %v, want %v", i, s.Action, rec.Actions[i])
+		}
+	}
+	if steps[1].Reward <= steps[0].Reward {
+		t.Fatalf("higher delivery rewarded less: %v <= %v", steps[1].Reward, steps[0].Reward)
+	}
+}

@@ -1,0 +1,203 @@
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sage/internal/safeio"
+)
+
+// Spool metric names (writer side; the tailer's accounting lives in the
+// ingest journal, not in counters).
+const (
+	MetricSpooled       = "feedback.spooled"
+	MetricSpoolBytes    = "feedback.spool_bytes"
+	MetricSpoolSegments = "feedback.spool_segments"
+	MetricSpoolDropped  = "feedback.spool_dropped"
+)
+
+// DefaultSegmentBytes caps one spool segment before rotation.
+const DefaultSegmentBytes = 4 << 20
+
+// segName formats the file name of segment n.
+func segName(n int) string { return fmt.Sprintf("spool-%08d.seg", n) }
+
+// ListSegments returns the segment numbers present in dir, ascending.
+// A missing directory reads as empty: the writer may not have started.
+func ListSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "spool-%d.seg", &n); err == nil && e.Name() == segName(n) {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// Cursor addresses a position in the spool: byte offset Off into segment
+// Seg. The zero cursor is "before everything"; TailSpool normalizes it to
+// the first segment present.
+type Cursor struct {
+	Seg int   `json:"seg"`
+	Off int64 `json:"off"`
+}
+
+func (c Cursor) String() string { return fmt.Sprintf("%d:%d", c.Seg, c.Off) }
+
+// Spool is the writer: an append-only sequence of safeio.AppendLog
+// segments, rotated at a byte cap so retention and tailing work in
+// segment-sized units. One record is one exported trace window. Each
+// segment inherits AppendLog's crash discipline — fsync per append,
+// checksummed records, flock against concurrent repair — so a reader
+// tailing a live spool (TailSpool) never observes a torn record.
+// Not safe for concurrent use by multiple goroutines (SpoolSink serializes).
+type Spool struct {
+	dir     string
+	maxSeg  int64
+	seg     int
+	log     *safeio.AppendLog
+	segSize int64
+}
+
+// OpenSpool opens (creating if needed) the spool in dir for appending,
+// resuming on the highest existing segment. maxSegBytes <= 0 selects
+// DefaultSegmentBytes. Opening repairs a crash-torn tail on the resumed
+// segment under AppendLog's exclusive flock.
+func OpenSpool(dir string, maxSegBytes int64) (*Spool, error) {
+	if maxSegBytes <= 0 {
+		maxSegBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	cur := 1
+	if len(segs) > 0 {
+		cur = segs[len(segs)-1]
+	}
+	s := &Spool{dir: dir, maxSeg: maxSegBytes, seg: cur}
+	if err := s.openSeg(cur); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Spool) openSeg(n int) error {
+	log, _, err := safeio.OpenAppendLog(filepath.Join(s.dir, segName(n)), nil)
+	if err != nil {
+		return err
+	}
+	s.log, s.seg, s.segSize = log, n, log.Offset()
+	return nil
+}
+
+// Segment reports the segment currently being appended to.
+func (s *Spool) Segment() int { return s.seg }
+
+// Append writes one record, rotating to a fresh segment first when the
+// current one is at its byte cap. Durable (fsynced) before returning.
+func (s *Spool) Append(payload []byte) error {
+	rec := int64(len(payload)) + 10 // "<crc8> " prefix + '\n'
+	if s.segSize > 0 && s.segSize+rec > s.maxSeg {
+		if err := s.log.Close(); err != nil {
+			return err
+		}
+		if err := s.openSeg(s.seg + 1); err != nil {
+			return err
+		}
+	}
+	if err := s.log.Append(payload); err != nil {
+		return err
+	}
+	s.segSize += rec
+	return nil
+}
+
+// Close closes the current segment.
+func (s *Spool) Close() error { return s.log.Close() }
+
+// TailSpool streams every intact record at or after cursor from to fn, in
+// commit order, and returns the cursor just past the last record consumed.
+// fn receives the cursor *after* the record — journaling that cursor and
+// resuming from it later yields exactly-once consumption. fn returning
+// false stops the tail early (the returned cursor still excludes the
+// refused record, which will be re-delivered next call).
+//
+// Safe against a live writer: segments are opened read-only (never
+// repaired), and a half-written tail on the newest segment reads as "no
+// more data yet". A torn or checksum-failed record anywhere else cannot
+// be an in-flight append and is reported as corruption.
+func TailSpool(dir string, from Cursor, fn func(pos Cursor, payload []byte) bool) (Cursor, error) {
+	segs, err := ListSegments(dir)
+	if err != nil || len(segs) == 0 {
+		return from, err
+	}
+	cur := from
+	if cur.Seg == 0 {
+		cur = Cursor{Seg: segs[0]}
+	}
+	last := segs[len(segs)-1]
+	for cur.Seg <= last {
+		path := filepath.Join(dir, segName(cur.Seg))
+		log, err := safeio.OpenAppendLogReader(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			// A gap below the newest segment would mean spool truncation
+			// under our cursor; an absent newest segment cannot happen
+			// (ListSegments just saw it).
+			return cur, fmt.Errorf("feedback: spool segment %d vanished under cursor %s: %w", cur.Seg, cur, safeio.ErrLogCorrupt)
+		}
+		if err != nil {
+			return cur, err
+		}
+		stop := false
+		off, rerr := log.ReplayFrom(cur.Off, func(payload []byte) {
+			if stop {
+				return
+			}
+			next := Cursor{Seg: cur.Seg, Off: cur.Off + int64(len(payload)) + 10}
+			if !fn(next, payload) {
+				stop = true
+				return
+			}
+			cur = next
+		})
+		size := int64(-1)
+		if fi, serr := log.Stat(); serr == nil {
+			size = fi.Size()
+		}
+		log.Close()
+		if rerr != nil {
+			return cur, fmt.Errorf("feedback: tail %s: %w", segName(cur.Seg), rerr)
+		}
+		if stop {
+			return cur, nil
+		}
+		if cur.Seg == last {
+			return cur, nil // drained up to the writer's live tail
+		}
+		if size >= 0 && off < size {
+			// Leftover bytes on a segment the writer already rotated past:
+			// the writer repairs torn tails before ever rotating, so this
+			// tail can never complete. Surface it rather than stall forever.
+			return cur, fmt.Errorf("feedback: torn tail on rotated segment %d (offset %d, size %d): %w", cur.Seg, off, size, safeio.ErrLogCorrupt)
+		}
+		cur = Cursor{Seg: cur.Seg + 1}
+	}
+	return cur, nil
+}

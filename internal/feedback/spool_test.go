@@ -1,0 +1,244 @@
+package feedback
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sage/internal/safeio"
+)
+
+func appendAll(t *testing.T, sp *Spool, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := sp.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func tailAll(t *testing.T, dir string, from Cursor) (rec []string, cur Cursor) {
+	t.Helper()
+	cur, err := TailSpool(dir, from, func(pos Cursor, payload []byte) bool {
+		rec = append(rec, string(payload))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, cur
+}
+
+// Basic write → tail round trip, resuming from a mid-stream cursor.
+func TestSpoolTailResume(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, sp, `{"a":1}`, `{"a":2}`, `{"a":3}`)
+
+	got, cur := tailAll(t, dir, Cursor{})
+	if len(got) != 3 || got[2] != `{"a":3}` {
+		t.Fatalf("tail = %v", got)
+	}
+
+	// New records appear when tailing again from the returned cursor —
+	// and only the new ones.
+	appendAll(t, sp, `{"a":4}`)
+	got, cur2 := tailAll(t, dir, cur)
+	if len(got) != 1 || got[0] != `{"a":4}` {
+		t.Fatalf("resumed tail = %v, want only the new record", got)
+	}
+	if cur2 == cur {
+		t.Fatal("cursor did not advance")
+	}
+	sp.Close()
+}
+
+// Rotation: a byte cap splits records across segments; tailing walks the
+// segment chain transparently and a writer reopen resumes on the newest.
+func TestSpoolRotation(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir, 40) // tiny cap: every record rotates
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf(`{"n":%d,"pad":"xxxxxxxxxxxxxxxx"}`, i)
+		want = append(want, p)
+		appendAll(t, sp, p)
+	}
+	sp.Close()
+
+	segs, err := ListSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments = %v (err %v), want rotation", segs, err)
+	}
+
+	got, _ := tailAll(t, dir, Cursor{})
+	if len(got) != len(want) {
+		t.Fatalf("tail across segments = %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Reopen resumes the newest segment, not a fresh one.
+	sp2, err := OpenSpool(dir, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Segment() != segs[len(segs)-1] {
+		t.Fatalf("reopen on segment %d, want %d", sp2.Segment(), segs[len(segs)-1])
+	}
+	sp2.Close()
+}
+
+// Satellite: byte-prefix torn-tail recovery, mirroring the registry
+// journal tests. For EVERY byte-length prefix of a spool segment — every
+// possible crash point of the writer — the tailer must return exactly the
+// records whose commit completed, never an error and never a torn or
+// phantom record; and a reopened writer must repair the tear and keep
+// appending, with the tailer picking up seamlessly.
+func TestSpoolTornTailEveryPrefix(t *testing.T) {
+	master := t.TempDir()
+	sp, err := OpenSpool(master, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := []string{`{"w":1}`, `{"w":22}`, `{"w":333}`}
+	appendAll(t, sp, payloads...)
+	sp.Close()
+
+	seg, err := os.ReadFile(filepath.Join(master, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLens := make([]int, len(payloads))
+	for i, p := range payloads {
+		recLens[i] = len(p) + 10
+	}
+
+	for n := 0; n <= len(seg); n++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), seg[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// How many records fit entirely in this prefix?
+		complete, off := 0, 0
+		for _, l := range recLens {
+			if off+l <= n {
+				complete++
+				off += l
+			}
+		}
+
+		var got []string
+		cur, err := TailSpool(dir, Cursor{}, func(pos Cursor, payload []byte) bool {
+			got = append(got, string(payload))
+			return true
+		})
+		if err != nil {
+			t.Fatalf("prefix %d/%d: tail failed: %v", n, len(seg), err)
+		}
+		if len(got) != complete {
+			t.Fatalf("prefix %d: tailed %d records, want %d", n, len(got), complete)
+		}
+		for i := range got {
+			if got[i] != payloads[i] {
+				t.Fatalf("prefix %d: record %d = %q, want %q", n, i, got[i], payloads[i])
+			}
+		}
+
+		// The writer reopens over the tear, repairs it, and appends; the
+		// tailer resumes from its cursor without loss or duplication.
+		w, err := OpenSpool(dir, 0)
+		if err != nil {
+			t.Fatalf("prefix %d: writer reopen failed: %v", n, err)
+		}
+		appendAll(t, w, `{"post":true}`)
+		w.Close()
+		var after []string
+		if _, err := TailSpool(dir, cur, func(pos Cursor, payload []byte) bool {
+			after = append(after, string(payload))
+			return true
+		}); err != nil {
+			t.Fatalf("prefix %d: post-repair tail failed: %v", n, err)
+		}
+		if len(after) != 1 || after[0] != `{"post":true}` {
+			t.Fatalf("prefix %d: post-repair tail = %v, want exactly the new record", n, after)
+		}
+	}
+}
+
+// A mid-file tear (not a tail) is corruption, not an in-flight append:
+// the tailer must surface it instead of stalling or skipping silently.
+func TestSpoolMidFileCorruptionSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, sp, `{"q":1}`, `{"q":2}`)
+	sp.Close()
+
+	path := filepath.Join(dir, segName(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[2] ^= 0xff // flip a checksum byte of record 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = TailSpool(dir, Cursor{}, func(pos Cursor, payload []byte) bool { return true })
+	if err == nil {
+		t.Fatal("corrupt record tailed without error")
+	}
+}
+
+// The tailer's handle is read-only: it never repairs (truncates) a
+// segment, and appending through it is refused — the writer's flock
+// discipline stays the only repair path.
+func TestSpoolTailerNeverRepairs(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, sp, `{"k":1}`)
+	sp.Close()
+
+	path := filepath.Join(dir, segName(1))
+	torn := []byte(`deadbeef {"half`)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(torn)
+	f.Close()
+	before, _ := os.Stat(path)
+
+	got, _ := tailAll(t, dir, Cursor{})
+	if len(got) != 1 {
+		t.Fatalf("tail = %v, want 1 intact record", got)
+	}
+	after, _ := os.Stat(path)
+	if before.Size() != after.Size() {
+		t.Fatalf("tailer changed the segment: %d -> %d bytes", before.Size(), after.Size())
+	}
+
+	r, err := safeio.OpenAppendLogReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Append([]byte("x")); err == nil {
+		t.Fatal("read-only handle accepted an append")
+	}
+}

@@ -1,0 +1,32 @@
+package rl
+
+import (
+	"fmt"
+
+	"sage/internal/nn"
+)
+
+// SeedFromPolicy copies src's network parameters into the learner's
+// policy and target policy, warm-starting incremental retraining from an
+// incumbent's weights. Only parameters move: the learner's normalizer
+// stays the one NewCRR fitted on the training dataset, and checkpoints
+// store exactly one normalizer shared by every network, so swapping it
+// per-network would silently change critic normalization across a
+// checkpoint round-trip. Call before the first Train step.
+func (l *CRR) SeedFromPolicy(src *nn.Policy) error {
+	if src == nil {
+		return fmt.Errorf("rl: seed from nil policy")
+	}
+	dst, sp := l.Policy.Params(), src.Params()
+	if len(dst) != len(sp) {
+		return fmt.Errorf("rl: seed policy has %d parameter tensors, learner has %d (architecture mismatch)", len(sp), len(dst))
+	}
+	for i := range dst {
+		if len(dst[i].Data) != len(sp[i].Data) {
+			return fmt.Errorf("rl: seed policy tensor %d has %d values, learner has %d (architecture mismatch)", i, len(sp[i].Data), len(dst[i].Data))
+		}
+	}
+	nn.CopyParams(l.Policy, src)
+	nn.CopyParams(l.targetPolicy, src)
+	return nil
+}

@@ -33,6 +33,7 @@ type AppendLog struct {
 	f        *os.File
 	openOff  int64 // end of the last intact record at open time
 	writeErr error // sticky: a failed write may have torn the log mid-file
+	readOnly bool  // opened by OpenAppendLogReader: Append refused
 }
 
 // ErrLogCorrupt marks a complete log record that failed its checksum: the
@@ -99,6 +100,22 @@ func OpenAppendLog(path string, replay func(payload []byte)) (*AppendLog, int, e
 // Offset returns the byte offset just past the last intact record replayed
 // at open time — the position ReplayFrom continues from.
 func (l *AppendLog) Offset() int64 { return l.openOff }
+
+// OpenAppendLogReader opens an existing log read-only, for a follower
+// tailing a file another process is actively appending to. Unlike
+// OpenAppendLog it performs no verify-and-truncate repair — a reader must
+// never rewrite the writer's live tail — so it takes no exclusive lock and
+// cannot block behind the writer. Use ReplayFrom to consume records: its
+// shared flock plus the benign-torn-tail rule make following safe against
+// concurrent appends (a half-written final record reads as "no new data
+// yet"). Append on the returned handle always fails.
+func OpenAppendLogReader(path string) (*AppendLog, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &AppendLog{f: f, readOnly: true}, nil
+}
 
 // ReplayFrom streams every intact record that starts at or after byte
 // offset off to replay and returns the offset just past the last one. A
@@ -172,6 +189,9 @@ func checkRecord(line []byte) ([]byte, bool) {
 // is poisoned — the file may hold a torn middle that would corrupt every
 // later record, so the caller must re-open to repair before appending.
 func (l *AppendLog) Append(payload []byte) error {
+	if l.readOnly {
+		return fmt.Errorf("safeio: append to a log opened read-only")
+	}
 	if l.writeErr != nil {
 		return fmt.Errorf("safeio: log handle poisoned by earlier write failure (re-open to repair): %w", l.writeErr)
 	}
@@ -192,6 +212,10 @@ func (l *AppendLog) Append(payload []byte) error {
 	}
 	return l.f.Sync()
 }
+
+// Stat reports the underlying file's metadata (a follower uses the size
+// to distinguish a drained segment from one with an unreadable tail).
+func (l *AppendLog) Stat() (os.FileInfo, error) { return l.f.Stat() }
 
 // Close closes the underlying file.
 func (l *AppendLog) Close() error { return l.f.Close() }

@@ -377,3 +377,76 @@ func TestAppendLogOpenConcurrentWithAppends(t *testing.T) {
 		}
 	}
 }
+
+// A read-only follower replays intact records without repairing the
+// writer's torn tail (truncation is the writer's exclusive job) and
+// refuses appends outright.
+func TestAppendLogReaderFollowsWithoutRepair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	log, _, err := OpenAppendLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	// Simulate a crash mid-append: half a record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef ha"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenAppendLogReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got []string
+	if _, err := r.ReplayFrom(0, func(p []byte) { got = append(got, string(p)) }); err != nil {
+		t.Fatalf("follower replay over torn tail: %v", err)
+	}
+	if len(got) != 1 || got[0] != "one" {
+		t.Fatalf("follower replayed %v, want the one intact record", got)
+	}
+	if err := r.Append([]byte("nope")); err == nil {
+		t.Fatal("read-only log accepted an append")
+	}
+	st, err := r.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != before.Size() {
+		t.Fatalf("follower changed the file: %d -> %d bytes", before.Size(), st.Size())
+	}
+
+	// The writer's reopen still owns the repair.
+	w, n, err := OpenAppendLog(path, nil)
+	if err != nil || n != 1 {
+		t.Fatalf("writer reopen: n=%d err=%v", n, err)
+	}
+	if err := w.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	r2, err := OpenAppendLogReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got = nil
+	if _, err := r2.ReplayFrom(0, func(p []byte) { got = append(got, string(p)) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != "two" {
+		t.Fatalf("after repair, follower replayed %v", got)
+	}
+}

@@ -90,6 +90,14 @@ type Config struct {
 	// behavior: unbounded queues, no shedding, shadow always on.
 	Overload *OverloadConfig
 
+	// Trace, when non-nil, receives every session's completed decision
+	// window (see TraceSink): the export side of the closed learning loop.
+	// Nil disables tracing entirely at zero cost.
+	Trace TraceSink
+	// TraceWindowSteps caps one trace window's length; a window that fills
+	// is flushed with reason "rotate" and a fresh one starts (default 256).
+	TraceWindowSteps int
+
 	// ReprimeWindow is how many recent decided states each session retains
 	// for hot-swap hidden-state migration (default 8): Swap replays the
 	// window through the incoming model so a long-lived flow's recurrent
@@ -120,6 +128,9 @@ func (c Config) fill() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.TraceWindowSteps <= 0 {
+		c.TraceWindowSteps = 256
 	}
 	if c.ReprimeWindow == 0 {
 		c.ReprimeWindow = 8
@@ -159,6 +170,11 @@ type session struct {
 	// this session's state (busy); applied when the in-flight decision
 	// releases it.
 	pendingReset bool
+
+	// trace is the open decision window exported to Config.Trace when this
+	// session's story ends (close/evict/reset/drain/swap) or the window
+	// fills. Nil when tracing is off.
+	trace []TraceStep
 }
 
 // recordWindow appends a decided state to the re-prime ring (copying it).
@@ -314,6 +330,7 @@ func (e *Engine) evictLocked() bool {
 		if s.busy {
 			continue
 		}
+		e.exportTrace(s, TraceReasonEvict)
 		e.lru.Remove(el)
 		delete(e.sessions, s.id)
 		e.cfg.Metrics.Counter(MetricSessEvicted).Inc()
@@ -348,6 +365,7 @@ func (e *Engine) ResetSession(id uint64) {
 // resetLocked clears a session's recurrent state, degraded pin, and
 // re-prime window. Caller holds e.mu and the session must not be busy.
 func (e *Engine) resetLocked(s *session) {
+	e.exportTrace(s, TraceReasonReset)
 	for i := range s.hidden {
 		s.hidden[i] = 0
 	}
@@ -382,6 +400,7 @@ func (e *Engine) CloseSession(id uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if s, ok := e.sessions[id]; ok && !s.busy {
+		e.exportTrace(s, TraceReasonClose)
 		e.lru.Remove(s.elem)
 		delete(e.sessions, id)
 		e.cfg.Metrics.Gauge(MetricSessions).Set(float64(len(e.sessions)))
@@ -547,6 +566,16 @@ func (e *Engine) forwardChunk(chunk []pendingDecision, buf *batchBuf, apply func
 			e.cfg.Metrics.Counter(MetricFallbacks).Inc()
 		}
 		e.cfg.Metrics.Counter(MetricDecisions).Inc()
+		// Trace before apply: apply releases session ownership on the async
+		// path (busy=false), after which a concurrent CloseSession may
+		// export the window.
+		if e.cfg.Trace != nil && finiteVec(chunk[i].sess.stateBuf) {
+			s := chunk[i].sess
+			s.recordTrace(s.stateBuf, ratio, fallback[i])
+			if len(s.trace) >= e.cfg.TraceWindowSteps {
+				e.exportTrace(s, TraceReasonRotate)
+			}
+		}
 		apply(i, ratio)
 		if shadow != nil {
 			shadow.Observe(chunk[i].sess.id, chunk[i].sess.stateBuf, ratio, fallback[i])
@@ -800,6 +829,12 @@ func (e *Engine) Close() {
 	// race-free.
 	e.mu.Lock()
 	e.pending = nil
+	// Every worker has exited and no new decision can start, so each
+	// session's open trace window is final: flush them whole, so a drain
+	// never strands served experience in memory.
+	for _, s := range e.sessions {
+		e.exportTrace(s, TraceReasonDrain)
+	}
 	e.mu.Unlock()
 }
 

@@ -84,6 +84,10 @@ func (e *Engine) Swap(pol *nn.Policy, mask []int) (SwapStats, error) {
 
 	stats.Sessions = len(e.sessions)
 	for _, s := range e.sessions {
+		// The acting model is changing: flush the window accumulated under
+		// the old model whole, so no exported trajectory ever mixes two
+		// models' actions. The drain above guarantees the window is final.
+		e.exportTrace(s, TraceReasonSwap)
 		s.degraded = false
 		trace := s.windowOrdered()
 		if len(trace) == 0 {

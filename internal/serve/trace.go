@@ -1,0 +1,83 @@
+package serve
+
+// Trace export: the serving half of the closed learning loop. When
+// Config.Trace is set, every session accumulates the decisions it serves
+// (raw GR state, applied cwnd ratio, fallback flag) into a bounded
+// window, and the engine hands the *complete* window to the sink at every
+// point where the window's story ends: session close, LRU eviction,
+// explicit reset, engine drain, hot-swap (a window must never mix two
+// models' actions), or simply filling up (rotation). Windows are never
+// flushed mid-decision, so a sink sees whole trajectories or nothing.
+//
+// The sink runs on the engine's batch path and must not block; a slow
+// consumer has to shed (see feedback.SpoolSink) rather than stall serving.
+
+// Trace metric names.
+const (
+	MetricTraceWindows = "serve.trace_windows"
+	MetricTraceSteps   = "serve.trace_steps"
+)
+
+// Window flush reasons, recorded in every exported window so the consumer
+// can tell a naturally-complete trajectory from a lifecycle-truncated one.
+const (
+	TraceReasonClose  = "close"  // CloseSession freed the flow
+	TraceReasonEvict  = "evict"  // LRU eviction past MaxSessions
+	TraceReasonReset  = "reset"  // ResetSession cleared recurrent state
+	TraceReasonDrain  = "drain"  // engine Close drained the session table
+	TraceReasonSwap   = "swap"   // hot-swap: the acting model is changing
+	TraceReasonRotate = "rotate" // window hit TraceWindowSteps and rolled
+)
+
+// TraceStep is one served decision: the raw (unmasked) GR state the
+// decision was computed from and the cwnd ratio actually applied.
+// Fallback marks safety no-ops (degraded session); such steps carry
+// ratio 1 and never touched the recurrent state. Steps with non-finite
+// state are never recorded — they carry no usable observation.
+type TraceStep struct {
+	State    []float64
+	Ratio    float64
+	Fallback bool
+}
+
+// TraceWindow is one session's contiguous run of decisions under a single
+// model, flushed whole.
+type TraceWindow struct {
+	SID    uint64
+	Reason string
+	Steps  []TraceStep
+}
+
+// TraceSink receives completed windows. ExportWindow must not block and
+// must not retain the window's slices beyond the call unless it owns them
+// (the engine hands over ownership — it never touches a window again).
+// Implementations must be safe for concurrent use: windows are exported
+// from worker goroutines and from lifecycle paths holding engine locks.
+type TraceSink interface {
+	ExportWindow(w TraceWindow)
+}
+
+// recordTrace appends one decided step to the session's open window,
+// copying state. Caller owns the session (holds e.mu, or busy=true).
+func (s *session) recordTrace(state []float64, ratio float64, fallback bool) {
+	s.trace = append(s.trace, TraceStep{
+		State:    append([]float64(nil), state...),
+		Ratio:    ratio,
+		Fallback: fallback,
+	})
+}
+
+// exportTrace hands the session's open window (if any) to the sink and
+// starts a fresh one. Caller owns the session. The sink call itself is
+// lock-free on the engine side, so it is safe under e.mu — the contract
+// is that the sink does not re-enter the engine.
+func (e *Engine) exportTrace(s *session, reason string) {
+	if e.cfg.Trace == nil || len(s.trace) == 0 {
+		return
+	}
+	w := TraceWindow{SID: s.id, Reason: reason, Steps: s.trace}
+	s.trace = nil // ownership transfers to the sink
+	e.cfg.Metrics.Counter(MetricTraceWindows).Inc()
+	e.cfg.Metrics.Counter(MetricTraceSteps).Add(int64(len(w.Steps)))
+	e.cfg.Trace.ExportWindow(w)
+}

@@ -1,0 +1,242 @@
+package serve_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sage/internal/serve"
+)
+
+// memSink collects exported windows for assertions.
+type memSink struct {
+	mu      sync.Mutex
+	windows []serve.TraceWindow
+}
+
+func (m *memSink) ExportWindow(w serve.TraceWindow) {
+	m.mu.Lock()
+	m.windows = append(m.windows, w)
+	m.mu.Unlock()
+}
+
+func (m *memSink) take() []serve.TraceWindow {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.windows
+	m.windows = nil
+	return out
+}
+
+func (m *memSink) byReason(reason string) []serve.TraceWindow {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []serve.TraceWindow
+	for _, w := range m.windows {
+		if w.Reason == reason {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// decideN runs n decisions for session id and returns the states used.
+func decideN(t *testing.T, e *serve.Engine, id uint64, n int, rng *rand.Rand) [][]float64 {
+	t.Helper()
+	var states [][]float64
+	for i := 0; i < n; i++ {
+		st := randState(rng)
+		if _, _, err := e.Decide(id, 100, st); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, st)
+	}
+	return states
+}
+
+// A closed session flushes one complete window: every decision, in order,
+// with the exact states served.
+func TestTraceCloseFlushesCompleteWindow(t *testing.T) {
+	sink := &memSink{}
+	e := serve.NewEngine(serve.Config{Policy: testPolicy(1), Trace: sink, BatchDeadline: time.Millisecond})
+	e.Start()
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	sid := e.NewSessionID()
+	states := decideN(t, e, sid, 5, rng)
+	e.CloseSession(sid)
+
+	got := sink.take()
+	if len(got) != 1 {
+		t.Fatalf("got %d windows, want 1", len(got))
+	}
+	w := got[0]
+	if w.SID != sid || w.Reason != serve.TraceReasonClose {
+		t.Fatalf("window = sid %d reason %q, want sid %d reason close", w.SID, w.Reason, sid)
+	}
+	if len(w.Steps) != len(states) {
+		t.Fatalf("window has %d steps, want %d (no truncation)", len(w.Steps), len(states))
+	}
+	for i, st := range w.Steps {
+		for j := range st.State {
+			if st.State[j] != states[i][j] {
+				t.Fatalf("step %d state[%d] = %g, want %g", i, j, st.State[j], states[i][j])
+			}
+		}
+		if st.Fallback {
+			t.Fatalf("step %d marked fallback on finite state", i)
+		}
+		if math.IsNaN(st.Ratio) || st.Ratio <= 0 {
+			t.Fatalf("step %d ratio %g", i, st.Ratio)
+		}
+	}
+}
+
+// Satellite: LRU eviction must flush the evicted session's *complete*
+// window — the decisions served before eviction are experience, not
+// garbage.
+func TestTraceEvictionFlushesCompleteWindow(t *testing.T) {
+	sink := &memSink{}
+	e := serve.NewEngine(serve.Config{
+		Policy: testPolicy(1), Trace: sink,
+		MaxSessions: 2, BatchDeadline: time.Millisecond,
+	})
+	e.Start()
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	first := e.NewSessionID()
+	served := decideN(t, e, first, 4, rng)
+
+	// Two more sessions push the first out of the LRU.
+	decideN(t, e, e.NewSessionID(), 1, rng)
+	decideN(t, e, e.NewSessionID(), 1, rng)
+
+	evicted := sink.byReason(serve.TraceReasonEvict)
+	if len(evicted) != 1 {
+		t.Fatalf("got %d evict windows, want 1", len(evicted))
+	}
+	w := evicted[0]
+	if w.SID != first {
+		t.Fatalf("evict window sid = %d, want %d", w.SID, first)
+	}
+	if len(w.Steps) != len(served) {
+		t.Fatalf("evict window has %d steps, want %d (complete, not truncated)", len(w.Steps), len(served))
+	}
+}
+
+// Satellite: Swap's drain must flush every resident session's window
+// before the new model serves — no exported window may mix two models'
+// actions.
+func TestTraceSwapFlushesBeforeNewModel(t *testing.T) {
+	sink := &memSink{}
+	e := serve.NewEngine(serve.Config{Policy: testPolicy(1), Trace: sink, BatchDeadline: time.Millisecond})
+	e.Start()
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(4))
+	sid := e.NewSessionID()
+	preSwap := decideN(t, e, sid, 3, rng)
+
+	if _, err := e.Swap(testPolicyWide(9), nil); err != nil {
+		t.Fatal(err)
+	}
+	swapped := sink.byReason(serve.TraceReasonSwap)
+	if len(swapped) != 1 {
+		t.Fatalf("got %d swap windows, want 1", len(swapped))
+	}
+	if got := len(swapped[0].Steps); got != len(preSwap) {
+		t.Fatalf("swap window has %d steps, want %d (complete pre-swap window)", got, len(preSwap))
+	}
+
+	// Decisions under the new model land in a fresh window.
+	postSwap := decideN(t, e, sid, 2, rng)
+	e.CloseSession(sid)
+	closed := sink.byReason(serve.TraceReasonClose)
+	if len(closed) != 1 || len(closed[0].Steps) != len(postSwap) {
+		t.Fatalf("post-swap window = %+v, want %d fresh steps", closed, len(postSwap))
+	}
+}
+
+// Engine drain (Close) flushes every open window so a daemon shutdown
+// strands nothing in memory.
+func TestTraceDrainFlushesAllSessions(t *testing.T) {
+	sink := &memSink{}
+	e := serve.NewEngine(serve.Config{Policy: testPolicy(1), Trace: sink, BatchDeadline: time.Millisecond})
+	e.Start()
+
+	rng := rand.New(rand.NewSource(5))
+	want := map[uint64]int{}
+	for i := 0; i < 3; i++ {
+		sid := e.NewSessionID()
+		decideN(t, e, sid, i+1, rng)
+		want[sid] = i + 1
+	}
+	e.Close()
+
+	drained := sink.byReason(serve.TraceReasonDrain)
+	if len(drained) != len(want) {
+		t.Fatalf("got %d drain windows, want %d", len(drained), len(want))
+	}
+	for _, w := range drained {
+		if want[w.SID] != len(w.Steps) {
+			t.Fatalf("sid %d drained %d steps, want %d", w.SID, len(w.Steps), want[w.SID])
+		}
+	}
+}
+
+// A window that reaches TraceWindowSteps rotates out whole and a fresh
+// one starts — no step is dropped at the boundary.
+func TestTraceRotation(t *testing.T) {
+	sink := &memSink{}
+	e := serve.NewEngine(serve.Config{
+		Policy: testPolicy(1), Trace: sink,
+		TraceWindowSteps: 4, BatchDeadline: time.Millisecond,
+	})
+	e.Start()
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(6))
+	sid := e.NewSessionID()
+	decideN(t, e, sid, 10, rng)
+	e.CloseSession(sid)
+
+	rotated := sink.byReason(serve.TraceReasonRotate)
+	if len(rotated) != 2 {
+		t.Fatalf("got %d rotate windows, want 2", len(rotated))
+	}
+	total := 0
+	for _, w := range append(rotated, sink.byReason(serve.TraceReasonClose)...) {
+		total += len(w.Steps)
+	}
+	if total != 10 {
+		t.Fatalf("steps across windows = %d, want 10", total)
+	}
+}
+
+// Non-finite states never enter a window (they carry no observation), and
+// an engine with no sink pays nothing.
+func TestTraceSkipsNonFiniteStates(t *testing.T) {
+	sink := &memSink{}
+	e := serve.NewEngine(serve.Config{Policy: testPolicy(1), Trace: sink, BatchDeadline: time.Millisecond})
+	e.Start()
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	sid := e.NewSessionID()
+	decideN(t, e, sid, 2, rng)
+	bad := randState(rng)
+	bad[3] = math.NaN()
+	if _, fb, err := e.Decide(sid, 100, bad); err != nil || !fb {
+		t.Fatalf("NaN state: fallback=%v err=%v, want fallback", fb, err)
+	}
+	e.CloseSession(sid)
+
+	got := sink.take()
+	if len(got) != 1 || len(got[0].Steps) != 2 {
+		t.Fatalf("windows = %+v, want one 2-step window (NaN step excluded)", got)
+	}
+}
